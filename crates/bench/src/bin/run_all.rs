@@ -1,0 +1,62 @@
+//! Runs every figure binary in sequence and collects the `RESULT` lines
+//! into `bench_results/summary.txt` — the data behind EXPERIMENTS.md.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const FIGURES: &[&str] = &[
+    "fig07_hyperparams",
+    "fig08_static_sets",
+    "fig09_mixed_beamformees",
+    "fig10_training_positions",
+    "fig11_swap_beamformees",
+    "fig12_phy_params",
+    "fig13_quant_error",
+    "fig14_v_evolution",
+    "fig15_stream1",
+    "fig16_offset_correction",
+    "fig17_mobility",
+];
+
+fn main() {
+    let exe_dir: PathBuf = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+
+    let out_dir = PathBuf::from("bench_results");
+    std::fs::create_dir_all(&out_dir).expect("create bench_results/");
+    let mut summary = String::new();
+
+    for fig in FIGURES {
+        let bin = exe_dir.join(fig);
+        println!("\n================ {fig} ================");
+        let start = std::time::Instant::now();
+        let output = Command::new(&bin)
+            .args(&forwarded)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", bin.display()));
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        print!("{stdout}");
+        if !output.status.success() {
+            eprintln!(
+                "{fig} FAILED: {}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+        }
+        std::fs::write(out_dir.join(format!("{fig}.txt")), stdout.as_bytes())
+            .expect("write figure log");
+        for line in stdout.lines() {
+            if line.starts_with("RESULT ") {
+                summary.push_str(line);
+                summary.push('\n');
+            }
+        }
+        println!("[{fig} finished in {:.1?}]", start.elapsed());
+    }
+
+    std::fs::write(out_dir.join("summary.txt"), &summary).expect("write summary");
+    println!("\nwrote bench_results/summary.txt ({} result lines)", summary.lines().count());
+}

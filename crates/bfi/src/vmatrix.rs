@@ -1,0 +1,100 @@
+//! Extraction of the beamforming matrix `V_k` from the CFR (Eq. (3)).
+
+use deepcsi_linalg::{right_singular_vectors, CMatrix};
+
+/// Computes the beamforming matrix `V_k` for one subcarrier.
+///
+/// Following Eq. (3) of the paper, the M×N CFR sub-matrix `H_k` (TX
+/// antennas × RX antennas) is decomposed as `H_kᵀ = U_k S_k Z_k†` and the
+/// first `n_ss` columns of the M×M unitary `Z_k` form `V_k`.
+///
+/// # Panics
+///
+/// Panics if `n_ss` exceeds either dimension of `h_k`.
+///
+/// # Example
+///
+/// ```
+/// use deepcsi_linalg::{C64, CMatrix};
+/// use deepcsi_bfi::beamforming_matrix;
+///
+/// let h = CMatrix::from_rows(&[
+///     vec![C64::new(1.0, 0.0), C64::new(0.0, 0.5)],
+///     vec![C64::new(0.0, -1.0), C64::new(0.3, 0.0)],
+///     vec![C64::new(0.5, 0.5), C64::new(-0.2, 0.8)],
+/// ]);
+/// let v = beamforming_matrix(&h, 2);
+/// assert_eq!(v.shape(), (3, 2));
+/// assert!(v.is_unitary(1e-9)); // orthonormal columns
+/// ```
+pub fn beamforming_matrix(h_k: &CMatrix, n_ss: usize) -> CMatrix {
+    let (m, n) = h_k.shape();
+    assert!(
+        n_ss <= n && n_ss <= m,
+        "n_ss={n_ss} exceeds channel dimensions {m}x{n}"
+    );
+    // Right singular vectors of H_kᵀ (N×M), ordered by descending singular
+    // value; the leading n_ss columns span the strongest TX-side subspace.
+    let z = right_singular_vectors(&h_k.transpose());
+    z.first_cols(n_ss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcsi_linalg::{svd, C64};
+
+    fn sample_h() -> CMatrix {
+        CMatrix::from_rows(&[
+            vec![C64::new(0.8, 0.1), C64::new(-0.2, 0.5)],
+            vec![C64::new(0.1, -0.9), C64::new(0.4, 0.3)],
+            vec![C64::new(-0.5, 0.2), C64::new(0.6, -0.1)],
+        ])
+    }
+
+    #[test]
+    fn columns_are_orthonormal() {
+        let v = beamforming_matrix(&sample_h(), 2);
+        assert!(v.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn first_column_is_dominant_right_singular_vector() {
+        let h = sample_h();
+        let v = beamforming_matrix(&h, 1);
+        let d = svd(&h.transpose());
+        // ‖Hᵀ v₁‖ must equal the largest singular value.
+        let hv = h.transpose().matmul(&v);
+        assert!((hv.fro_norm() - d.s[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beamforming_gain_dominates_random_direction() {
+        // Steering along v₁ must capture at least as much energy as any
+        // other unit direction (variational characterisation of the SVD).
+        let h = sample_h();
+        let v = beamforming_matrix(&h, 1);
+        let gain_v = h.transpose().matmul(&v).fro_norm();
+        let w = CMatrix::from_fn(3, 1, |r, _| C64::new(0.5 + r as f64 * 0.1, -0.3));
+        let wn = w.scale(C64::real(1.0 / w.fro_norm()));
+        let gain_w = h.transpose().matmul(&wn).fro_norm();
+        assert!(gain_v >= gain_w - 1e-12);
+    }
+
+    #[test]
+    fn nss_one_and_two_share_first_column_up_to_phase() {
+        let h = sample_h();
+        let v1 = beamforming_matrix(&h, 1);
+        let v2 = beamforming_matrix(&h, 2);
+        // Columns come from the same ordered basis, so they agree exactly.
+        for r in 0..3 {
+            assert!((v1[(r, 0)] - v2[(r, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds channel dimensions")]
+    fn oversized_nss_panics() {
+        let _ = beamforming_matrix(&sample_h(), 3);
+    }
+}

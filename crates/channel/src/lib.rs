@@ -1,0 +1,54 @@
+//! Indoor MU-MIMO multipath channel simulator.
+//!
+//! The DeepCSI paper evaluates on real indoor channels (Fig. 6: one AP,
+//! two beamformees 3 m away, 9 beamformee positions, an A-B-C-D-B-A AP
+//! mobility path). This crate simulates those channels with the paper's
+//! own propagation model (Eq. (2)): every CFR entry is a sum of `P` paths
+//! with per-path attenuation and delay,
+//!
+//! ```text
+//! [H]_{k,m,n} = Σ_p A_{m,n,p} · e^{−j2π (fc + k/T) τ_{m,n,p}}
+//! ```
+//!
+//! Paths are generated geometrically with the image method: the line-of-
+//! sight ray, first-order reflections off the four room walls, and a set
+//! of environment-specific point scatterers (with optional per-snapshot
+//! position jitter that models residual motion in the room). The exact
+//! per-antenna-pair geometry is used, so antenna arrays see physically
+//! consistent phase fronts — which is what makes beam patterns change
+//! with beamformee position, the effect Figs. 8–10 measure.
+//!
+//! # Example
+//!
+//! ```
+//! use deepcsi_channel::{Environment, ChannelModel, AntennaArray, Point2};
+//! use deepcsi_phy::SubcarrierLayout;
+//! use rand::SeedableRng;
+//!
+//! let env = Environment::fig6(0);
+//! let tx = AntennaArray::new(Point2::new(0.0, 0.0), 0.0, env.half_wavelength(), 3);
+//! let rx = AntennaArray::new(Point2::new(-0.75, 3.0), 0.0, env.half_wavelength(), 2);
+//! let layout = SubcarrierLayout::vht80();
+//! let model = ChannelModel::new(&env, layout);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let cfr = model.cfr(&tx, &rx, &mut rng);
+//! assert_eq!(cfr.len(), 234);            // one matrix per sounded tone
+//! assert_eq!(cfr[0].shape(), (3, 2));    // M×N
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod environment;
+mod geometry;
+mod mobility;
+mod model;
+mod ray;
+mod sounding;
+
+pub use environment::{Environment, Scatterer};
+pub use geometry::{AntennaArray, Point2, Room};
+pub use mobility::{MobilityPath, PersonMotion};
+pub use model::ChannelModel;
+pub use ray::{trace_paths, Path};
+pub use sounding::{ChannelSounder, SounderConfig};

@@ -1,0 +1,83 @@
+//! Property-based tests for the channel simulator.
+
+use deepcsi_channel::{trace_paths, AntennaArray, ChannelModel, Environment, Point2};
+use deepcsi_phy::SubcarrierLayout;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn point_in_room() -> impl Strategy<Value = Point2> {
+    (-2.3f64..2.3, -0.8f64..3.8).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn los_never_longer_than_any_path(tx in point_in_room(), rx in point_in_room()) {
+        let env = Environment::fig6(0);
+        let paths = trace_paths(tx, rx, &env.room, &env.scatterers);
+        let los = paths[0].length;
+        for p in &paths {
+            prop_assert!(p.length >= los - 1e-12, "path shorter than LoS");
+            prop_assert!(p.gain > 0.0 && p.gain <= 1.0);
+            prop_assert!(p.length.is_finite());
+        }
+    }
+
+    #[test]
+    fn path_symmetry_under_endpoint_swap(tx in point_in_room(), rx in point_in_room()) {
+        // Ray reciprocity: swapping TX and RX preserves path lengths
+        // (image of TX seen from RX ≡ image of RX seen from TX).
+        let env = Environment::fig6(0);
+        let fwd = trace_paths(tx, rx, &env.room, &[]);
+        let back = trace_paths(rx, tx, &env.room, &[]);
+        let mut a: Vec<f64> = fwd.iter().map(|p| p.length).collect();
+        let mut b: Vec<f64> = back.iter().map(|p| p.length).collect();
+        a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cfr_is_finite_and_nonzero_anywhere(tx in point_in_room(), rx in point_in_room(), seed in 0u64..1000) {
+        let env = Environment::fig6(0);
+        let model = ChannelModel::new(&env, SubcarrierLayout::vht20());
+        let txa = AntennaArray::new(tx, 0.0, env.half_wavelength(), 3);
+        let rxa = AntennaArray::new(rx, 0.0, env.half_wavelength(), 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfr = model.cfr(&txa, &rxa, &mut rng);
+        for h in &cfr {
+            prop_assert!(h.is_finite());
+            prop_assert!(h.fro_norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn closer_rx_has_stronger_channel(seed in 0u64..100) {
+        // Path loss: halving the LoS distance should raise the mean CFR
+        // magnitude (all else equal, no scatterers).
+        let env = Environment::fig6(0);
+        let model = ChannelModel::new(&env, SubcarrierLayout::vht20());
+        let tx = AntennaArray::new(env.ap_home(), 0.0, env.half_wavelength(), 3);
+        let near = AntennaArray::new(Point2::new(0.0, 1.5), 0.0, env.half_wavelength(), 2);
+        let far = AntennaArray::new(Point2::new(0.0, 3.0), 0.0, env.half_wavelength(), 2);
+        let _ = seed;
+        let h_near = model.cfr_with_scatterers(&tx, &near, &[]);
+        let h_far = model.cfr_with_scatterers(&tx, &far, &[]);
+        let e = |h: &Vec<deepcsi_linalg::CMatrix>| -> f64 {
+            h.iter().map(|m| m.fro_norm()).sum()
+        };
+        prop_assert!(e(&h_near) > e(&h_far));
+    }
+
+    #[test]
+    fn environments_are_distinct(a in 0u64..50, b in 0u64..50) {
+        prop_assume!(a != b);
+        let ea = Environment::fig6(a);
+        let eb = Environment::fig6(b);
+        prop_assert_ne!(ea.scatterers, eb.scatterers);
+    }
+}

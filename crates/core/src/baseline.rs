@@ -1,0 +1,123 @@
+//! The Fig. 16 comparison baseline: learning from offset-cleaned Ṽ.
+//!
+//! §V ("DeepCSI performance compared with learning from a processed
+//! input") applies the CSI sanitization algorithm of \[36\] to the
+//! beamforming feedback before classification. The cleaner fits and
+//! removes a constant + linear-in-k phase per Ṽ element series — exactly
+//! the shape of the Eq. (9) offsets (CFO/PPO → intercept, SFO/PDD →
+//! slope), but *also* the shape of the transmitter's per-chain phase
+//! intercepts and group-delay mismatches. Those are fingerprint, not
+//! nuisance: "the offsets introduced by the beamformer hardware
+//! imperfections are strategic to reliably recognize the device, and any
+//! offset cleaning may result in their partial removal".
+//!
+//! The cleaning itself lives in [`deepcsi_data::clean_phase_offsets`] (so
+//! dataset splits can apply it in one pass); this module re-exports it
+//! with helpers for the baseline experiment.
+
+pub use deepcsi_data::clean_phase_offsets;
+
+use deepcsi_data::InputSpec;
+
+/// Returns the [`InputSpec`] of the offset-correction baseline: identical
+/// to `spec` but with the \[36\] cleaner enabled.
+pub fn cleaned_spec(spec: &InputSpec) -> InputSpec {
+    InputSpec {
+        offset_cleaning: true,
+        ..spec.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcsi_bfi::VSeries;
+    use deepcsi_linalg::{C64, CMatrix};
+
+    /// Builds a Ṽ-like series whose element (0,0) has a pure linear
+    /// phase ramp.
+    fn ramp_series(slope: f64, intercept: f64) -> VSeries {
+        let subcarriers: Vec<i32> = (-8..8).collect();
+        let v = subcarriers
+            .iter()
+            .map(|&k| {
+                CMatrix::from_fn(2, 1, |r, _| {
+                    if r == 0 {
+                        C64::from_polar(0.7, slope * k as f64 + intercept)
+                    } else {
+                        C64::real(0.71) // canonical last row: real
+                    }
+                })
+            })
+            .collect();
+        VSeries { subcarriers, v }
+    }
+
+    #[test]
+    fn removes_linear_phase_exactly() {
+        let mut s = ramp_series(0.21, 0.9);
+        clean_phase_offsets(&mut s);
+        for vk in &s.v {
+            assert!(
+                vk[(0, 0)].arg().abs() < 1e-9,
+                "residual phase {}",
+                vk[(0, 0)].arg()
+            );
+            // Amplitude untouched.
+            assert!((vk[(0, 0)].abs() - 0.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn handles_phase_wrapping() {
+        // A steep ramp wraps many times across the band; unwrapping must
+        // still recover it.
+        let mut s = ramp_series(1.0, -2.0);
+        clean_phase_offsets(&mut s);
+        for vk in &s.v {
+            assert!(vk[(0, 0)].arg().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn preserves_nonlinear_structure() {
+        // A quadratic phase component (not representable as slope +
+        // intercept) must survive cleaning.
+        let subcarriers: Vec<i32> = (-8..8).collect();
+        let v = subcarriers
+            .iter()
+            .map(|&k| {
+                CMatrix::from_fn(1, 1, |_, _| {
+                    C64::from_polar(1.0, 0.01 * (k as f64) * (k as f64))
+                })
+            })
+            .collect();
+        let mut s = VSeries { subcarriers, v };
+        clean_phase_offsets(&mut s);
+        let spread: f64 = s
+            .v
+            .iter()
+            .map(|vk| vk[(0, 0)].arg().abs())
+            .fold(0.0, f64::max);
+        assert!(spread > 0.05, "quadratic structure was destroyed");
+    }
+
+    #[test]
+    fn cleaned_spec_flips_the_flag_only() {
+        let spec = InputSpec::fast();
+        let cleaned = cleaned_spec(&spec);
+        assert!(cleaned.offset_cleaning);
+        assert_eq!(cleaned.stride, spec.stride);
+        assert_eq!(cleaned.antennas, spec.antennas);
+    }
+
+    #[test]
+    fn short_series_is_a_no_op() {
+        let mut s = VSeries {
+            subcarriers: vec![0],
+            v: vec![CMatrix::from_fn(1, 1, |_, _| C64::from_polar(1.0, 0.5))],
+        };
+        clean_phase_offsets(&mut s);
+        assert!((s.v[0][(0, 0)].arg() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! The DeepCSI classifier architecture (Fig. 4).
+
+use deepcsi_nn::{
+    AlphaDropout, Conv2d, Dense, Flatten, MaxPool2d, Network, Selu, SpatialAttention, Tensor,
+};
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyper-parameters of the DeepCSI classifier.
+///
+/// The defaults are the paper's selection (§III-C / §V): five
+/// convolutional layers with 128 filters and kernels (1,7)(1,7)(1,7)(1,5)
+/// (1,3), max-pooling (1,2) after each, a spatial-attention block, dense
+/// layers of 128 and 64 units with alpha-dropout rates 0.5 and 0.2, and a
+/// 10-class softmax head. At the paper's input size this counts 489,305
+/// trainable parameters (the paper reports 489,301).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Filters per convolutional layer (one entry per layer).
+    pub conv_filters: Vec<usize>,
+    /// Kernel widths per convolutional layer (same length).
+    pub conv_kernels: Vec<usize>,
+    /// Attention convolution kernel width.
+    pub attention_kernel: usize,
+    /// Hidden dense layer sizes.
+    pub dense_units: Vec<usize>,
+    /// Alpha-dropout rates between the dense layers (same length).
+    pub dropout_rates: Vec<f32>,
+    /// Number of output classes (modules).
+    pub num_classes: usize,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// The paper's architecture.
+    pub fn paper(num_classes: usize, seed: u64) -> Self {
+        ModelConfig {
+            conv_filters: vec![128; 5],
+            conv_kernels: vec![7, 7, 7, 5, 3],
+            attention_kernel: 7,
+            dense_units: vec![128, 64],
+            dropout_rates: vec![0.5, 0.2],
+            num_classes,
+            seed,
+        }
+    }
+
+    /// A slimmer profile for laptop-scale experiment sweeps (same layer
+    /// structure, fewer filters/units). Used by the figure binaries
+    /// together with [`deepcsi_data::InputSpec::fast`].
+    pub fn fast(num_classes: usize, seed: u64) -> Self {
+        ModelConfig {
+            conv_filters: vec![24; 4],
+            conv_kernels: vec![7, 7, 5, 3],
+            attention_kernel: 7,
+            dense_units: vec![48, 32],
+            dropout_rates: vec![0.3, 0.1],
+            num_classes,
+            seed,
+        }
+    }
+
+    /// Builds the network for a given input shape `(channels, rows,
+    /// cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if configuration vectors disagree in length or the input is
+    /// too narrow for the pooling pyramid.
+    pub fn build(&self, input_shape: (usize, usize, usize)) -> Network {
+        assert_eq!(
+            self.conv_filters.len(),
+            self.conv_kernels.len(),
+            "one kernel per conv layer"
+        );
+        assert_eq!(
+            self.dense_units.len(),
+            self.dropout_rates.len(),
+            "one dropout rate per dense layer"
+        );
+        let (mut ch, rows, mut cols) = input_shape;
+        let mut net = Network::new();
+        for (li, (&filters, &kernel)) in self
+            .conv_filters
+            .iter()
+            .zip(self.conv_kernels.iter())
+            .enumerate()
+        {
+            net.push(Conv2d::new(
+                ch,
+                filters,
+                (1, kernel),
+                self.seed.wrapping_add(li as u64 * 101),
+            ));
+            net.push(Selu::new());
+            net.push(MaxPool2d::new((1, 2)));
+            ch = filters;
+            cols /= 2;
+            assert!(cols > 0, "input too narrow for the pooling pyramid");
+        }
+        net.push(SpatialAttention::new(
+            self.attention_kernel,
+            self.seed.wrapping_add(7777),
+        ));
+        net.push(Flatten::new());
+        let mut dim = ch * rows * cols;
+        for (li, (&units, &rate)) in self
+            .dense_units
+            .iter()
+            .zip(self.dropout_rates.iter())
+            .enumerate()
+        {
+            net.push(Dense::new(dim, units, self.seed.wrapping_add(900 + li as u64)));
+            net.push(Selu::new());
+            net.push(AlphaDropout::new(rate, self.seed.wrapping_add(950 + li as u64)));
+            dim = units;
+        }
+        net.push(Dense::new(dim, self.num_classes, self.seed.wrapping_add(999)));
+        net
+    }
+
+    /// Builds the network and sanity-checks it against a probe input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe's shape disagrees with `input_shape`.
+    pub fn build_for(&self, probe: &Tensor) -> Network {
+        let [c, h, w]: [usize; 3] = probe
+            .shape()
+            .try_into()
+            .expect("classifier input must be rank 3");
+        self.build((c, h, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_architecture_parameter_count() {
+        // §III-C: "a DNN containing 489,301 trainable parameters". Our
+        // bias bookkeeping counts 489,305 — same architecture.
+        let cfg = ModelConfig::paper(10, 0);
+        let mut net = cfg.build((5, 1, 234));
+        assert_eq!(net.num_params(), 489_305);
+    }
+
+    #[test]
+    fn forward_shape_is_class_logits() {
+        let cfg = ModelConfig::fast(10, 1);
+        let mut net = cfg.build((5, 1, 117));
+        let y = net.forward(&Tensor::zeros(vec![5, 1, 117]), false);
+        assert_eq!(y.shape(), &[10]);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn works_for_20mhz_inputs() {
+        // 52 tones survive the paper's five (1,2) pools: 52→26→13→6→3→1.
+        let cfg = ModelConfig::paper(10, 0);
+        let mut net = cfg.build((5, 1, 52));
+        let y = net.forward(&Tensor::zeros(vec![5, 1, 52]), false);
+        assert_eq!(y.shape(), &[10]);
+    }
+
+    #[test]
+    fn two_row_input_is_supported() {
+        let cfg = ModelConfig::fast(10, 3);
+        let mut net = cfg.build((5, 2, 117));
+        let y = net.forward(&Tensor::zeros(vec![5, 2, 117]), false);
+        assert_eq!(y.shape(), &[10]);
+    }
+
+    #[test]
+    fn seeds_change_weights() {
+        let a = ModelConfig::fast(4, 1).build((2, 1, 32));
+        let b = ModelConfig::fast(4, 2).build((2, 1, 32));
+        let x = Tensor::from_vec(vec![0.5; 64], vec![2, 1, 32]);
+        let ya = a.clone().forward(&x, false);
+        let yb = b.clone().forward(&x, false);
+        assert_ne!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "too narrow")]
+    fn too_narrow_input_panics() {
+        let cfg = ModelConfig::paper(10, 0);
+        let _ = cfg.build((5, 1, 8)); // 8 → 4 → 2 → 1 → 0
+    }
+}

@@ -1,0 +1,266 @@
+//! The deployed observer: sniffed bytes → module identity.
+
+use crate::model::ModelConfig;
+use deepcsi_bfi::BeamformingFeedback;
+use deepcsi_data::InputSpec;
+use deepcsi_frame::{BeamformingReportFrame, FrameError, MacAddr};
+use deepcsi_nn::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Errors from the authentication pipeline.
+#[derive(Debug)]
+pub enum AuthError {
+    /// The captured bytes did not decode as a beamforming report.
+    Frame(FrameError),
+    /// Model persistence failed.
+    Io(std::io::Error),
+    /// Model (de)serialisation failed.
+    Codec(bincode::Error),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::Frame(e) => write!(f, "frame decode failed: {e}"),
+            AuthError::Io(e) => write!(f, "model i/o failed: {e}"),
+            AuthError::Codec(e) => write!(f, "model codec failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+impl From<FrameError> for AuthError {
+    fn from(e: FrameError) -> Self {
+        AuthError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for AuthError {
+    fn from(e: std::io::Error) -> Self {
+        AuthError::Io(e)
+    }
+}
+
+impl From<bincode::Error> for AuthError {
+    fn from(e: bincode::Error) -> Self {
+        AuthError::Codec(e)
+    }
+}
+
+/// Serialised trained model: architecture + input spec + weights.
+#[derive(Serialize, Deserialize)]
+struct SavedModel {
+    model: ModelConfig,
+    spec: InputSpec,
+    input_shape: (usize, usize, usize),
+    weights: Vec<Vec<f32>>,
+}
+
+/// A trained DeepCSI classifier deployed as a real-time authenticator
+/// (the "DeepCSI Real-Time Inference" box of Fig. 1).
+///
+/// Feed it raw captured frames ([`Authenticator::classify_frame`]) or
+/// already-parsed feedback ([`Authenticator::classify_feedback`]); it
+/// returns the inferred module identity.
+#[derive(Clone)]
+pub struct Authenticator {
+    net: Network,
+    spec: InputSpec,
+    model: Option<ModelConfig>,
+    input_shape: Option<(usize, usize, usize)>,
+}
+
+impl Authenticator {
+    /// Wraps a trained network and the input spec it was trained with.
+    pub fn new(net: Network, spec: InputSpec) -> Self {
+        Authenticator {
+            net,
+            spec,
+            model: None,
+            input_shape: None,
+        }
+    }
+
+    /// Like [`Authenticator::new`], also recording the architecture so
+    /// the model can be saved with [`Authenticator::save`].
+    pub fn with_config(
+        net: Network,
+        spec: InputSpec,
+        model: ModelConfig,
+        input_shape: (usize, usize, usize),
+    ) -> Self {
+        Authenticator {
+            net,
+            spec,
+            model: Some(model),
+            input_shape: Some(input_shape),
+        }
+    }
+
+    /// The input spec this authenticator tensorises feedback with.
+    pub fn spec(&self) -> &InputSpec {
+        &self.spec
+    }
+
+    /// Classifies a parsed beamforming feedback, returning the predicted
+    /// module id.
+    pub fn classify_feedback(&self, fb: &BeamformingFeedback) -> usize {
+        let x = self.spec.tensor(fb);
+        self.net.clone().forward(&x, false).argmax()
+    }
+
+    /// Decodes a captured frame and classifies its feedback, returning
+    /// the reporting beamformee's address and the predicted module id.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::Frame`] when the bytes do not parse.
+    pub fn classify_frame(&self, bytes: &[u8]) -> Result<(MacAddr, usize), AuthError> {
+        let frame = BeamformingReportFrame::parse(bytes)?;
+        let source = frame.source();
+        let id = self.classify_feedback(frame.feedback());
+        Ok((source, id))
+    }
+
+    /// Saves the trained model (requires construction via
+    /// [`Authenticator::with_config`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O or serialisation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the authenticator was built without a recorded
+    /// architecture.
+    pub fn save<P: AsRef<Path>>(&mut self, path: P) -> Result<(), AuthError> {
+        let model = self.model.clone().expect("architecture not recorded");
+        let input_shape = self.input_shape.expect("input shape not recorded");
+        let saved = SavedModel {
+            model,
+            spec: self.spec.clone(),
+            input_shape,
+            weights: self.net.save_weights(),
+        };
+        let file = std::fs::File::create(path)?;
+        bincode::serialize_into(std::io::BufWriter::new(file), &saved)?;
+        Ok(())
+    }
+
+    /// Loads a model saved by [`Authenticator::save`].
+    ///
+    /// # Errors
+    ///
+    /// I/O or deserialisation failures.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, AuthError> {
+        let file = std::fs::File::open(path)?;
+        let saved: SavedModel = bincode::deserialize_from(std::io::BufReader::new(file))?;
+        let mut net = saved.model.build(saved.input_shape);
+        net.load_weights(&saved.weights);
+        Ok(Authenticator {
+            net,
+            spec: saved.spec,
+            model: Some(saved.model),
+            input_shape: Some(saved.input_shape),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcsi_data::{generate_trace, GenConfig, TraceKind, TraceSpec};
+    use deepcsi_impair::DeviceId;
+
+    fn tiny_trace() -> deepcsi_data::Trace {
+        generate_trace(
+            &GenConfig {
+                snapshots_per_trace: 2,
+                ..GenConfig::default()
+            },
+            &TraceSpec {
+                module: DeviceId(0),
+                beamformee: 1,
+                n_rx: 2,
+                rx_position: 3,
+                kind: TraceKind::D1Static { position: 3 },
+            },
+        )
+    }
+
+    fn tiny_authenticator() -> (Authenticator, ModelConfig, InputSpec) {
+        let spec = InputSpec::fast();
+        let trace = tiny_trace();
+        let probe = spec.tensor(&trace.snapshots[0]);
+        let [c, h, w]: [usize; 3] = probe.shape().try_into().unwrap();
+        let model = ModelConfig::fast(3, 9);
+        let net = model.build((c, h, w));
+        (
+            Authenticator::with_config(net, spec.clone(), model.clone(), (c, h, w)),
+            model,
+            spec,
+        )
+    }
+
+    #[test]
+    fn classifies_feedback_and_frames_consistently() {
+        let (auth, _, _) = tiny_authenticator();
+        let trace = tiny_trace();
+        let fb = &trace.snapshots[0];
+        let direct = auth.classify_feedback(fb);
+        assert!(direct < 3);
+        // Through the frame path.
+        let frame = deepcsi_frame::BeamformingReportFrame::new(
+            MacAddr::station(100),
+            MacAddr::station(1),
+            MacAddr::station(100),
+            3,
+            fb.clone(),
+        );
+        let (src, id) = auth.classify_frame(&frame.encode()).unwrap();
+        assert_eq!(src, MacAddr::station(1));
+        assert_eq!(id, direct);
+    }
+
+    #[test]
+    fn garbage_frame_is_an_error() {
+        let (auth, _, _) = tiny_authenticator();
+        let err = auth.classify_frame(&[0u8; 10]).unwrap_err();
+        assert!(matches!(err, AuthError::Frame(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn save_load_preserves_predictions() {
+        let (mut auth, _, _) = tiny_authenticator();
+        let trace = tiny_trace();
+        let before: Vec<usize> = trace
+            .snapshots
+            .iter()
+            .map(|fb| auth.classify_feedback(fb))
+            .collect();
+        let dir = std::env::temp_dir().join("deepcsi-auth-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        auth.save(&path).unwrap();
+        let loaded = Authenticator::load(&path).unwrap();
+        let after: Vec<usize> = trace
+            .snapshots
+            .iter()
+            .map(|fb| loaded.classify_feedback(fb))
+            .collect();
+        assert_eq!(before, after);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_fails() {
+        assert!(matches!(
+            Authenticator::load("/nonexistent/model.bin"),
+            Err(AuthError::Io(_))
+        ));
+    }
+}

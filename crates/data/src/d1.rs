@@ -1,0 +1,76 @@
+//! The static dataset D1 (§IV-A).
+
+use crate::generator::{generate_traces, GenConfig, TraceSpec};
+use crate::trace::{Dataset, TraceKind};
+use deepcsi_impair::DeviceId;
+
+/// Generates dataset **D1**: for every module, the beamformees are placed
+/// at position pairs 1..=9 (beamformee 1 stepping left, beamformee 2
+/// stepping right, Fig. 6) with the AP fixed at A. Both beamformees run
+/// N = N_SS = 2.
+///
+/// Yields `num_modules × 9 positions × 2 beamformees` traces (180 at the
+/// paper's scale).
+pub fn generate_d1(cfg: &GenConfig) -> Dataset {
+    let mut specs = Vec::new();
+    for module in 0..cfg.num_modules {
+        for position in 1..=9usize {
+            for beamformee in [1u8, 2u8] {
+                specs.push(TraceSpec {
+                    module: DeviceId(module),
+                    beamformee,
+                    n_rx: 2,
+                    rx_position: position,
+                    kind: TraceKind::D1Static { position },
+                });
+            }
+        }
+    }
+    Dataset {
+        traces: generate_traces(cfg, &specs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_structure_matches_paper() {
+        let cfg = GenConfig {
+            num_modules: 2,
+            snapshots_per_trace: 2,
+            ..GenConfig::default()
+        };
+        let ds = generate_d1(&cfg);
+        // 2 modules × 9 positions × 2 beamformees.
+        assert_eq!(ds.traces.len(), 36);
+        assert_eq!(ds.modules().len(), 2);
+        // Every (module, position, beamformee) combination appears once.
+        for module in 0..2u32 {
+            for pos in 1..=9usize {
+                for bf in [1u8, 2u8] {
+                    let count = ds
+                        .filter(|t| {
+                            t.module == DeviceId(module)
+                                && t.beamformee == bf
+                                && t.kind == TraceKind::D1Static { position: pos }
+                        })
+                        .count();
+                    assert_eq!(count, 1, "module {module} pos {pos} bf {bf}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d1_snapshot_count() {
+        let cfg = GenConfig {
+            num_modules: 1,
+            snapshots_per_trace: 3,
+            ..GenConfig::default()
+        };
+        let ds = generate_d1(&cfg);
+        assert_eq!(ds.num_snapshots(), 9 * 2 * 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! The mobility dataset D2 (§IV-A).
+
+use crate::generator::{generate_traces, GenConfig, TraceSpec};
+use crate::trace::{Dataset, TraceKind};
+use deepcsi_impair::DeviceId;
+
+/// Generates dataset **D2**: per module, 4 traces with the AP fixed at A
+/// (groups "fix1" and "fix2", two traces each) and 7 traces with the AP
+/// manually carried along A-B-C-D-B-A (group "mob1" with four traces,
+/// "mob2" with three), per Table II. The beamformees stay at position 3;
+/// beamformee 1 runs N = N_SS = 1 and beamformee 2 runs N = N_SS = 2.
+///
+/// Yields `num_modules × 11 traces × 2 beamformees` traces (220 at the
+/// paper's scale).
+pub fn generate_d2(cfg: &GenConfig) -> Dataset {
+    let mut specs = Vec::new();
+    for module in 0..cfg.num_modules {
+        let mut kinds: Vec<TraceKind> = Vec::new();
+        for group in [1u8, 2u8] {
+            for idx in 0..2u8 {
+                kinds.push(TraceKind::D2Fixed { group, idx });
+            }
+        }
+        for idx in 0..4u8 {
+            kinds.push(TraceKind::D2Mobility { group: 1, idx });
+        }
+        for idx in 0..3u8 {
+            kinds.push(TraceKind::D2Mobility { group: 2, idx });
+        }
+        for kind in kinds {
+            for (beamformee, n_rx) in [(1u8, 1usize), (2u8, 2usize)] {
+                specs.push(TraceSpec {
+                    module: DeviceId(module),
+                    beamformee,
+                    n_rx,
+                    rx_position: 3,
+                    kind,
+                });
+            }
+        }
+    }
+    Dataset {
+        traces: generate_traces(cfg, &specs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d2_structure_matches_table_ii() {
+        let cfg = GenConfig {
+            num_modules: 1,
+            snapshots_per_trace: 2,
+            ..GenConfig::default()
+        };
+        let ds = generate_d2(&cfg);
+        // 11 traces × 2 beamformees.
+        assert_eq!(ds.traces.len(), 22);
+        let count = |f: &dyn Fn(&TraceKind) -> bool| {
+            ds.filter(|t| t.beamformee == 1 && f(&t.kind)).count()
+        };
+        assert_eq!(count(&|k| matches!(k, TraceKind::D2Fixed { group: 1, .. })), 2);
+        assert_eq!(count(&|k| matches!(k, TraceKind::D2Fixed { group: 2, .. })), 2);
+        assert_eq!(
+            count(&|k| matches!(k, TraceKind::D2Mobility { group: 1, .. })),
+            4
+        );
+        assert_eq!(
+            count(&|k| matches!(k, TraceKind::D2Mobility { group: 2, .. })),
+            3
+        );
+    }
+
+    #[test]
+    fn beamformee_stream_counts_follow_the_paper() {
+        let cfg = GenConfig {
+            num_modules: 1,
+            snapshots_per_trace: 1,
+            ..GenConfig::default()
+        };
+        let ds = generate_d2(&cfg);
+        for t in &ds.traces {
+            let want = if t.beamformee == 1 { 1 } else { 2 };
+            assert_eq!(t.snapshots[0].mimo.n_ss(), want);
+        }
+    }
+}

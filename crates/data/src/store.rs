@@ -1,0 +1,102 @@
+//! Dataset persistence ("we pledge to share the 800 GB datasets" — the
+//! synthetic equivalents are rather smaller).
+
+use crate::trace::Dataset;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Errors from dataset persistence.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Serialisation error.
+    Codec(bincode::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "dataset i/o error: {e}"),
+            StoreError::Codec(e) => write!(f, "dataset codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<bincode::Error> for StoreError {
+    fn from(e: bincode::Error) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Saves a dataset to a binary file.
+///
+/// # Errors
+///
+/// Returns [`StoreError`] on filesystem or serialisation failure.
+pub fn save_dataset<P: AsRef<Path>>(path: P, ds: &Dataset) -> Result<(), StoreError> {
+    let file = File::create(path)?;
+    bincode::serialize_into(BufWriter::new(file), ds)?;
+    Ok(())
+}
+
+/// Loads a dataset saved by [`save_dataset`].
+///
+/// # Errors
+///
+/// Returns [`StoreError`] on filesystem or deserialisation failure.
+pub fn load_dataset<P: AsRef<Path>>(path: P) -> Result<Dataset, StoreError> {
+    let file = File::open(path)?;
+    Ok(bincode::deserialize_from(BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GenConfig;
+    use crate::generate_d1;
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let ds = generate_d1(&GenConfig {
+            num_modules: 1,
+            snapshots_per_trace: 2,
+            ..GenConfig::default()
+        });
+        let dir = std::env::temp_dir().join("deepcsi-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d1.bin");
+        save_dataset(&path, &ds).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_dataset("/nonexistent/deepcsi.bin").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn corrupt_file_is_codec_error() {
+        let dir = std::env::temp_dir().join("deepcsi-store-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not a dataset").unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Codec(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

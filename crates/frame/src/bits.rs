@@ -1,0 +1,159 @@
+//! LSB-first bit packing, as used by 802.11 information fields.
+
+use bytes::{BufMut, BytesMut};
+
+/// Writes values LSB-first into a growing byte buffer.
+///
+/// 802.11 information elements place the least-significant bit of each
+/// field in the lowest free bit position of the stream.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    partial: u8,
+    filled: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `bits` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 32`.
+    pub fn put(&mut self, value: u32, bits: u8) {
+        assert!(bits <= 32, "at most 32 bits per put");
+        for i in 0..bits {
+            let bit = ((value >> i) & 1) as u8;
+            self.partial |= bit << self.filled;
+            self.filled += 1;
+            if self.filled == 8 {
+                self.buf.put_u8(self.partial);
+                self.partial = 0;
+                self.filled = 0;
+            }
+        }
+    }
+
+    /// Number of whole bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.filled as usize
+    }
+
+    /// Finishes the stream, zero-padding the final byte.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.buf.put_u8(self.partial);
+        }
+        self.buf.to_vec()
+    }
+}
+
+/// Reads values LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Reads `bits` bits; returns `None` when the stream is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 32`.
+    pub fn get(&mut self, bits: u8) -> Option<u32> {
+        assert!(bits <= 32, "at most 32 bits per get");
+        if self.pos + bits as usize > self.data.len() * 8 {
+            return None;
+        }
+        let mut out = 0u32;
+        for i in 0..bits {
+            let byte = self.data[self.pos / 8];
+            let bit = (byte >> (self.pos % 8)) & 1;
+            out |= (bit as u32) << i;
+            self.pos += 1;
+        }
+        Some(out)
+    }
+
+    /// Remaining unread bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.data.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0x1FF, 9);
+        w.put(0, 1);
+        w.put(0x7F, 7);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(3), Some(0b101));
+        assert_eq!(r.get(9), Some(0x1FF));
+        assert_eq!(r.get(1), Some(0));
+        assert_eq!(r.get(7), Some(0x7F));
+    }
+
+    #[test]
+    fn lsb_first_layout() {
+        let mut w = BitWriter::new();
+        w.put(1, 1); // bit 0 of byte 0
+        w.put(0, 1);
+        w.put(1, 1); // bit 2
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn cross_byte_field() {
+        let mut w = BitWriter::new();
+        w.put(0b11111, 5);
+        w.put(0b111111, 6); // spans byte boundary
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(5), Some(0b11111));
+        assert_eq!(r.get(6), Some(0b111111));
+    }
+
+    #[test]
+    fn reader_detects_exhaustion() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.get(8), Some(0xFF));
+        assert_eq!(r.get(1), None);
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.put(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.put(0xFF, 8);
+        assert_eq!(w.bit_len(), 10);
+    }
+
+    #[test]
+    fn truncated_wide_read_returns_none() {
+        let mut r = BitReader::new(&[0xAB, 0xCD]);
+        assert_eq!(r.get(12), Some(0xDAB));
+        assert_eq!(r.remaining_bits(), 4);
+        assert_eq!(r.get(5), None, "5 bits > 4 remaining");
+        assert_eq!(r.get(4), Some(0xC));
+    }
+}

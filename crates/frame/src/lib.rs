@@ -1,0 +1,68 @@
+//! IEEE 802.11ac VHT Compressed Beamforming frame codec.
+//!
+//! DeepCSI's observer is any Wi-Fi device in monitor mode: it captures the
+//! VHT Compressed Beamforming **Action No Ack** frames the beamformees
+//! send in clear text, reads the VHT MIMO Control field (Nr, Nc, channel
+//! width, codebook) and unpacks the quantized (φ, ψ) angles. This crate
+//! implements that frame format byte- and bit-exactly in both directions:
+//!
+//! * [`VhtMimoControl`] — the 3-byte control field (§8.4.1.48 of the
+//!   standard).
+//! * [`pack_report`] / [`unpack_report`] — the angle bitstream with the
+//!   standard's per-subcarrier angle ordering (φ blocks then ψ blocks per
+//!   column) and per-stream average-SNR prefix.
+//! * [`BeamformingReportFrame`] — the full MAC frame: header, category,
+//!   action, control field, report; [`BeamformingReportFrame::encode`]
+//!   and [`BeamformingReportFrame::parse`].
+//! * [`Monitor`] — a promiscuous capture point that filters beamforming
+//!   reports by source address, mirroring the Wireshark workflow of §IV.
+//!
+//! # Example
+//!
+//! ```
+//! use deepcsi_frame::{BeamformingReportFrame, MacAddr, Monitor};
+//! use deepcsi_bfi::{BeamformingFeedback, QuantizedAngles};
+//! use deepcsi_phy::{Codebook, MimoConfig};
+//!
+//! let mimo = MimoConfig::new(3, 2, 2).unwrap();
+//! let feedback = BeamformingFeedback {
+//!     mimo,
+//!     codebook: Codebook::MU_HIGH,
+//!     subcarriers: vec![-2, 2],
+//!     angles: vec![
+//!         QuantizedAngles { m: 3, n_ss: 2, q_phi: vec![1, 2, 3], q_psi: vec![4, 5, 6] },
+//!         QuantizedAngles { m: 3, n_ss: 2, q_phi: vec![7, 8, 9], q_psi: vec![10, 11, 12] },
+//!     ],
+//! };
+//! let frame = BeamformingReportFrame::new(
+//!     MacAddr::BROADCAST,
+//!     MacAddr::new([2, 0, 0, 0, 0, 7]),
+//!     MacAddr::BROADCAST,
+//!     5,
+//!     feedback,
+//! );
+//! let bytes = frame.encode();
+//! let parsed = BeamformingReportFrame::parse(&bytes).unwrap();
+//! assert_eq!(parsed.feedback().angles, frame.feedback().angles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod bits;
+mod capture;
+mod mac;
+mod mimo_ctrl;
+mod mu_exclusive;
+mod report;
+
+pub use action::{BeamformingReportFrame, FrameError};
+pub use bits::{BitReader, BitWriter};
+pub use capture::{CapturedReport, Monitor};
+pub use mac::MacAddr;
+pub use mimo_ctrl::{FeedbackType, VhtMimoControl};
+pub use mu_exclusive::{
+    mu_exclusive_len, pack_mu_exclusive, unpack_mu_exclusive, DELTA_SNR_MAX, DELTA_SNR_MIN,
+};
+pub use report::{pack_report, report_len, unpack_report};

@@ -1,0 +1,115 @@
+//! The MU Exclusive Beamforming Report (IEEE 802.11ac §8.4.1.49).
+//!
+//! In MU feedback the beamformee appends per-subcarrier **delta SNRs** —
+//! one 4-bit signed value per spatial stream per (grouped) tone, in 1 dB
+//! steps relative to the per-stream average SNR of the main report. The
+//! beamformer uses them to pick MU groupings; for DeepCSI they are just
+//! more cleartext the monitor can read.
+
+use crate::bits::{BitReader, BitWriter};
+
+/// Range of a 4-bit two's-complement delta SNR \[dB\].
+pub const DELTA_SNR_MIN: i8 = -8;
+/// Upper end of the 4-bit delta SNR range \[dB\].
+pub const DELTA_SNR_MAX: i8 = 7;
+
+/// Packs per-tone, per-stream delta SNRs into the MU exclusive report
+/// bitstream. `delta_snr[t][s]` is the delta of stream `s` at tone `t`,
+/// clamped into the representable `[-8, 7]` dB range.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent stream counts.
+pub fn pack_mu_exclusive(delta_snr: &[Vec<i8>]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let n_ss = delta_snr.first().map(|r| r.len()).unwrap_or(0);
+    for row in delta_snr {
+        assert_eq!(row.len(), n_ss, "inconsistent stream count");
+        for &d in row {
+            let clamped = d.clamp(DELTA_SNR_MIN, DELTA_SNR_MAX);
+            w.put((clamped as u8 & 0x0F) as u32, 4);
+        }
+    }
+    w.finish()
+}
+
+/// Unpacks an MU exclusive report: `num_tones` rows of `n_ss` 4-bit
+/// two's-complement delta SNRs. Returns `None` when the buffer is too
+/// short.
+pub fn unpack_mu_exclusive(data: &[u8], n_ss: usize, num_tones: usize) -> Option<Vec<Vec<i8>>> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(num_tones);
+    for _ in 0..num_tones {
+        let mut row = Vec::with_capacity(n_ss);
+        for _ in 0..n_ss {
+            let raw = r.get(4)? as u8;
+            // Sign-extend 4 → 8 bits.
+            let v = if raw & 0x8 != 0 {
+                (raw | 0xF0) as i8
+            } else {
+                raw as i8
+            };
+            row.push(v);
+        }
+        out.push(row);
+    }
+    Some(out)
+}
+
+/// Size in bytes of a packed MU exclusive report.
+pub fn mu_exclusive_len(n_ss: usize, num_tones: usize) -> usize {
+    (num_tones * n_ss * 4).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_full_range() {
+        let rows: Vec<Vec<i8>> = (0..16).map(|t| vec![(t - 8) as i8, (7 - t) as i8]).collect();
+        let bytes = pack_mu_exclusive(&rows);
+        assert_eq!(bytes.len(), mu_exclusive_len(2, 16));
+        let back = unpack_mu_exclusive(&bytes, 2, 16).expect("unpack");
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let rows = vec![vec![-100i8, 100]];
+        let bytes = pack_mu_exclusive(&rows);
+        let back = unpack_mu_exclusive(&bytes, 2, 1).expect("unpack");
+        assert_eq!(back[0], vec![DELTA_SNR_MIN, DELTA_SNR_MAX]);
+    }
+
+    #[test]
+    fn sign_extension_is_correct() {
+        // 0xF = −1, 0x8 = −8, 0x7 = +7.
+        let rows = vec![vec![-1i8, -8, 7]];
+        let bytes = pack_mu_exclusive(&rows);
+        let back = unpack_mu_exclusive(&bytes, 3, 1).expect("unpack");
+        assert_eq!(back[0], vec![-1, -8, 7]);
+    }
+
+    #[test]
+    fn truncated_buffer_fails() {
+        let rows: Vec<Vec<i8>> = vec![vec![0, 0]; 8];
+        let mut bytes = pack_mu_exclusive(&rows);
+        bytes.pop();
+        assert!(unpack_mu_exclusive(&bytes, 2, 8).is_none());
+    }
+
+    #[test]
+    fn single_stream_packing_density() {
+        // 234 tones × 1 stream × 4 bits = 117 bytes.
+        assert_eq!(mu_exclusive_len(1, 234), 117);
+        assert_eq!(mu_exclusive_len(2, 234), 234);
+    }
+
+    #[test]
+    fn empty_report() {
+        let bytes = pack_mu_exclusive(&[]);
+        assert!(bytes.is_empty());
+        assert_eq!(unpack_mu_exclusive(&bytes, 2, 0), Some(vec![]));
+    }
+}

@@ -1,0 +1,207 @@
+//! The VHT Compressed Beamforming Report: angle bitstream packing.
+
+use crate::bits::{BitReader, BitWriter};
+use deepcsi_bfi::QuantizedAngles;
+use deepcsi_phy::Codebook;
+
+/// Packs the report body: per-stream average SNR bytes followed by the
+/// per-subcarrier angle bitstream.
+///
+/// Within each subcarrier the standard orders the angles per column:
+/// for `i = 1..=min(Nc, Nr−1)` first the φ block `φ_{i,i} … φ_{Nr−1,i}`
+/// then the ψ block `ψ_{i+1,i} … ψ_{Nr,i}` (Table 8-53g ordering, e.g.
+/// `φ11 φ21 ψ21 ψ31 φ22 ψ32` for Nr=3, Nc=2).
+///
+/// `asnr` carries one signed quarter-dB-per-step average-SNR byte per
+/// stream.
+///
+/// # Panics
+///
+/// Panics if any angle set is inconsistent with the first one's
+/// dimensions, or `asnr.len()` differs from Nc.
+pub fn pack_report(angles: &[QuantizedAngles], asnr: &[i8], cb: Codebook) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    if let Some(first) = angles.first() {
+        assert_eq!(asnr.len(), first.n_ss, "one average-SNR byte per stream");
+    }
+    for &snr in asnr {
+        w.put(snr as u8 as u32, 8);
+    }
+    let mut dims: Option<(usize, usize)> = None;
+    for qa in angles {
+        match dims {
+            None => dims = Some((qa.m, qa.n_ss)),
+            Some(d) => assert_eq!(d, (qa.m, qa.n_ss), "mixed angle dimensions"),
+        }
+        let m = qa.m;
+        let imax = qa.n_ss.min(m - 1);
+        let mut phi_pos = 0usize;
+        let mut psi_pos = 0usize;
+        for i in 1..=imax {
+            let nblk = m - i;
+            for _ in 0..nblk {
+                w.put(qa.q_phi[phi_pos] as u32, cb.b_phi);
+                phi_pos += 1;
+            }
+            for _ in 0..nblk {
+                w.put(qa.q_psi[psi_pos] as u32, cb.b_psi);
+                psi_pos += 1;
+            }
+        }
+        assert_eq!(phi_pos, qa.q_phi.len(), "φ count mismatch while packing");
+        assert_eq!(psi_pos, qa.q_psi.len(), "ψ count mismatch while packing");
+    }
+    w.finish()
+}
+
+/// Unpacks a report body produced by [`pack_report`].
+///
+/// Returns the per-stream average SNR bytes and the per-subcarrier angle
+/// sets, or `None` when the buffer is too short for the declared
+/// dimensions.
+pub fn unpack_report(
+    data: &[u8],
+    m: usize,
+    n_ss: usize,
+    num_subcarriers: usize,
+    cb: Codebook,
+) -> Option<(Vec<i8>, Vec<QuantizedAngles>)> {
+    let mut r = BitReader::new(data);
+    let asnr: Vec<i8> = (0..n_ss)
+        .map(|_| r.get(8).map(|v| v as u8 as i8))
+        .collect::<Option<_>>()?;
+    let imax = n_ss.min(m.saturating_sub(1));
+    let mut out = Vec::with_capacity(num_subcarriers);
+    for _ in 0..num_subcarriers {
+        let mut q_phi = Vec::new();
+        let mut q_psi = Vec::new();
+        for i in 1..=imax {
+            let nblk = m - i;
+            for _ in 0..nblk {
+                q_phi.push(r.get(cb.b_phi)? as u16);
+            }
+            for _ in 0..nblk {
+                q_psi.push(r.get(cb.b_psi)? as u16);
+            }
+        }
+        out.push(QuantizedAngles {
+            m,
+            n_ss,
+            q_phi,
+            q_psi,
+        });
+    }
+    Some((asnr, out))
+}
+
+/// Size in bytes of a packed report for the given dimensions.
+pub fn report_len(m: usize, n_ss: usize, num_subcarriers: usize, cb: Codebook) -> usize {
+    let imax = n_ss.min(m.saturating_sub(1));
+    let pairs: usize = (1..=imax).map(|i| m - i).sum();
+    let bits = n_ss * 8 + num_subcarriers * pairs * (cb.b_phi + cb.b_psi) as usize;
+    bits.div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_angles(n: usize) -> Vec<QuantizedAngles> {
+        (0..n)
+            .map(|j| QuantizedAngles {
+                m: 3,
+                n_ss: 2,
+                q_phi: vec![(j * 3) as u16 % 512, (j * 5 + 1) as u16 % 512, (j * 7 + 2) as u16 % 512],
+                q_psi: vec![(j * 2) as u16 % 128, (j * 3 + 1) as u16 % 128, (j * 4 + 2) as u16 % 128],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_mu_high() {
+        let angles = sample_angles(16);
+        let asnr = vec![22, 17];
+        let bytes = pack_report(&angles, &asnr, Codebook::MU_HIGH);
+        let (snr2, back) =
+            unpack_report(&bytes, 3, 2, 16, Codebook::MU_HIGH).expect("unpack failed");
+        assert_eq!(snr2, asnr);
+        assert_eq!(back, angles);
+    }
+
+    #[test]
+    fn roundtrip_all_codebooks() {
+        for cb in [
+            Codebook::SU_LOW,
+            Codebook::SU_HIGH,
+            Codebook::MU_LOW,
+            Codebook::MU_HIGH,
+        ] {
+            let angles: Vec<QuantizedAngles> = sample_angles(5)
+                .into_iter()
+                .map(|mut a| {
+                    // Clamp indices into the narrower codebooks' range.
+                    for q in a.q_phi.iter_mut() {
+                        *q %= cb.phi_levels() as u16;
+                    }
+                    for q in a.q_psi.iter_mut() {
+                        *q %= cb.psi_levels() as u16;
+                    }
+                    a
+                })
+                .collect();
+            let bytes = pack_report(&angles, &[0, -8], cb);
+            let (_, back) = unpack_report(&bytes, 3, 2, 5, cb).unwrap();
+            assert_eq!(back, angles, "codebook {cb}");
+        }
+    }
+
+    #[test]
+    fn packed_length_matches_report_len() {
+        let angles = sample_angles(234);
+        let bytes = pack_report(&angles, &[10, 10], Codebook::MU_HIGH);
+        assert_eq!(bytes.len(), report_len(3, 2, 234, Codebook::MU_HIGH));
+        // 2 SNR bytes + 234 · 3·(9+7) bits = 2 + 1404 bytes.
+        assert_eq!(bytes.len(), 2 + 234 * 48 / 8);
+    }
+
+    #[test]
+    fn truncated_buffer_fails_cleanly() {
+        let angles = sample_angles(8);
+        let mut bytes = pack_report(&angles, &[0, 0], Codebook::MU_HIGH);
+        bytes.truncate(bytes.len() - 1);
+        assert!(unpack_report(&bytes, 3, 2, 8, Codebook::MU_HIGH).is_none());
+    }
+
+    #[test]
+    fn negative_snr_survives() {
+        let angles = sample_angles(1);
+        let bytes = pack_report(&angles, &[-16, 5], Codebook::MU_HIGH);
+        let (snr, _) = unpack_report(&bytes, 3, 2, 1, Codebook::MU_HIGH).unwrap();
+        assert_eq!(snr, vec![-16, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one average-SNR byte per stream")]
+    fn wrong_snr_count_panics() {
+        let angles = sample_angles(1);
+        let _ = pack_report(&angles, &[0], Codebook::MU_HIGH);
+    }
+
+    #[test]
+    fn single_stream_ordering() {
+        // Nr=3, Nc=1: angles are φ11 φ21 ψ21 ψ31.
+        let qa = QuantizedAngles {
+            m: 3,
+            n_ss: 1,
+            q_phi: vec![5, 6],
+            q_psi: vec![7, 8],
+        };
+        let bytes = pack_report(&[qa.clone()], &[0], Codebook::MU_HIGH);
+        let mut r = BitReader::new(&bytes);
+        let _snr = r.get(8).unwrap();
+        assert_eq!(r.get(9), Some(5));
+        assert_eq!(r.get(9), Some(6));
+        assert_eq!(r.get(7), Some(7));
+        assert_eq!(r.get(7), Some(8));
+    }
+}

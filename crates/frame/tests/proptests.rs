@@ -1,0 +1,92 @@
+//! Property-based tests: the frame codec must round-trip arbitrary angle
+//! payloads bit-exactly and never panic on arbitrary input bytes.
+
+use deepcsi_bfi::{BeamformingFeedback, QuantizedAngles};
+use deepcsi_frame::{BeamformingReportFrame, MacAddr};
+use deepcsi_phy::{Codebook, MimoConfig};
+use proptest::prelude::*;
+
+fn quantized_angles(m: usize, n_ss: usize, cb: Codebook) -> impl Strategy<Value = QuantizedAngles> {
+    let imax = n_ss.min(m - 1);
+    let count: usize = (1..=imax).map(|i| m - i).sum();
+    (
+        proptest::collection::vec(0u16..cb.phi_levels() as u16, count),
+        proptest::collection::vec(0u16..cb.psi_levels() as u16, count),
+    )
+        .prop_map(move |(q_phi, q_psi)| QuantizedAngles {
+            m,
+            n_ss,
+            q_phi,
+            q_psi,
+        })
+}
+
+fn feedback(cb: Codebook) -> impl Strategy<Value = BeamformingFeedback> {
+    (1usize..40).prop_flat_map(move |n_sc| {
+        proptest::collection::vec(quantized_angles(3, 2, cb), n_sc).prop_map(move |angles| {
+            BeamformingFeedback {
+                mimo: MimoConfig::new(3, 2, 2).expect("valid"),
+                codebook: cb,
+                subcarriers: (0..n_sc as i32).collect(),
+                angles,
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_arbitrary_feedback(fb in feedback(Codebook::MU_HIGH), seq in 0u16..4096, src in 0u64..1000) {
+        let frame = BeamformingReportFrame::new(
+            MacAddr::station(0),
+            MacAddr::station(src),
+            MacAddr::station(0),
+            seq,
+            fb.clone(),
+        );
+        let parsed = BeamformingReportFrame::parse(&frame.encode()).expect("parse");
+        prop_assert_eq!(parsed.sequence(), seq);
+        prop_assert_eq!(parsed.source(), MacAddr::station(src));
+        prop_assert_eq!(&parsed.feedback().angles, &fb.angles);
+        prop_assert_eq!(parsed.feedback().codebook, fb.codebook);
+    }
+
+    #[test]
+    fn roundtrip_coarse_codebook(fb in feedback(Codebook::MU_LOW)) {
+        let frame = BeamformingReportFrame::new(
+            MacAddr::station(0),
+            MacAddr::station(9),
+            MacAddr::station(0),
+            1,
+            fb.clone(),
+        );
+        let parsed = BeamformingReportFrame::parse(&frame.encode()).expect("parse");
+        prop_assert_eq!(&parsed.feedback().angles, &fb.angles);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = BeamformingReportFrame::parse(&bytes);
+    }
+
+    #[test]
+    fn parser_never_panics_on_corrupted_valid_frame(
+        fb in feedback(Codebook::MU_HIGH),
+        flip in 0usize..2048,
+        bit in 0u8..8,
+    ) {
+        let frame = BeamformingReportFrame::new(
+            MacAddr::station(0),
+            MacAddr::station(1),
+            MacAddr::station(0),
+            7,
+            fb,
+        );
+        let mut bytes = frame.encode();
+        let idx = flip % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = BeamformingReportFrame::parse(&bytes);
+    }
+}

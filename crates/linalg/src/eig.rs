@@ -1,0 +1,205 @@
+//! Hermitian eigendecomposition via the complex Jacobi method.
+
+use crate::{C64, CMatrix};
+
+/// Result of a Hermitian eigendecomposition `A = V Λ V†`.
+///
+/// Eigenvalues are real (Hermitian input) and sorted in **descending**
+/// order; `vectors` holds the matching eigenvectors as columns and is
+/// unitary to machine precision.
+#[derive(Debug, Clone)]
+pub struct HermEig {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose column `i` is the eigenvector of `values[i]`.
+    pub vectors: CMatrix,
+}
+
+impl HermEig {
+    /// Rebuilds `V Λ V†`; mainly useful for testing.
+    pub fn reconstruct(&self) -> CMatrix {
+        let lambda = CMatrix::diag(
+            &self
+                .values
+                .iter()
+                .map(|&v| C64::real(v))
+                .collect::<Vec<_>>(),
+        );
+        self.vectors
+            .matmul(&lambda)
+            .matmul(&self.vectors.hermitian())
+    }
+}
+
+/// Maximum number of Jacobi sweeps before giving up. For the ≤8×8 matrices
+/// in this codebase convergence takes 3–6 sweeps.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the eigendecomposition of a Hermitian matrix by cyclic complex
+/// Jacobi rotations.
+///
+/// The input is symmetrised as `(A + A†)/2` first, so small asymmetries from
+/// accumulated floating-point error are tolerated.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Example
+///
+/// ```
+/// use deepcsi_linalg::{C64, CMatrix, herm_eig};
+///
+/// let a = CMatrix::from_rows(&[
+///     vec![C64::new(2.0, 0.0), C64::new(0.0, 1.0)],
+///     vec![C64::new(0.0, -1.0), C64::new(2.0, 0.0)],
+/// ]);
+/// let e = herm_eig(&a);
+/// assert!((e.values[0] - 3.0).abs() < 1e-10);
+/// assert!((e.values[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn herm_eig(a: &CMatrix) -> HermEig {
+    assert_eq!(a.rows(), a.cols(), "herm_eig requires a square matrix");
+    let n = a.rows();
+    // Symmetrise to guard against tiny Hermitian violations.
+    let mut m = CMatrix::from_fn(n, n, |r, c| (a[(r, c)] + a[(c, r)].conj()).scale(0.5));
+    let mut v = CMatrix::identity(n);
+
+    let scale = m.fro_norm().max(1.0);
+    let tol = 1e-14 * scale;
+
+    for _ in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off = off.max(m[(p, q)].abs());
+            }
+        }
+        if off < tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                let r = apq.abs();
+                if r < tol {
+                    continue;
+                }
+                // Factor out the phase so the 2×2 sub-problem is real
+                // symmetric, then apply a classical Jacobi rotation.
+                let phi = apq.arg();
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                // Zeroing the (p,q) entry requires tan(2θ) = 2r/(app−aqq);
+                // atan2 keeps the angle well-defined when app ≈ aqq.
+                let theta = 0.5 * (2.0 * r).atan2(app - aqq);
+                let (s, c) = theta.sin_cos();
+                // Unitary rotation G: columns p,q mix with phase `phi`.
+                //   G[p,p]=c            G[p,q]=-s·e^{jφ}
+                //   G[q,p]=s·e^{-jφ}    G[q,q]=c
+                let eip = C64::cis(phi);
+                let eim = eip.conj();
+                let gpp = C64::real(c);
+                let gpq = -C64::real(s) * eip;
+                let gqp = C64::real(s) * eim;
+                let gqq = C64::real(c);
+
+                // m ← G† m G applied in place on rows/cols p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = mkp * gpp + mkq * gqp;
+                    m[(k, q)] = mkp * gpq + mkq * gqq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = gpp.conj() * mpk + gqp.conj() * mqk;
+                    m[(q, k)] = gpq.conj() * mpk + gqq.conj() * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * gpp + vkq * gqp;
+                    v[(k, q)] = vkp * gpq + vkq * gqq;
+                }
+            }
+        }
+    }
+
+    // Collect eigenpairs and sort by descending eigenvalue.
+    let mut pairs: Vec<(f64, Vec<C64>)> = (0..n).map(|i| (m[(i, i)].re, v.col(i))).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let values = pairs.iter().map(|(val, _)| *val).collect();
+    let vectors = CMatrix::from_fn(n, n, |r, c| pairs[c].1[r]);
+    HermEig { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = CMatrix::diag(&[C64::real(3.0), C64::real(1.0), C64::real(2.0)]);
+        let e = herm_eig(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+        assert!(e.vectors.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn known_2x2_hermitian() {
+        // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+        let a = CMatrix::from_rows(&[
+            vec![C64::real(2.0), C64::I],
+            vec![-C64::I, C64::real(2.0)],
+        ]);
+        let e = herm_eig(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!(a.sub(&e.reconstruct()).fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_3x3() {
+        // Build a Hermitian matrix from B†B.
+        let b = CMatrix::from_rows(&[
+            vec![C64::new(1.0, 0.4), C64::new(-0.2, 0.0), C64::new(0.0, 1.0)],
+            vec![C64::new(0.5, -1.0), C64::new(2.0, 0.3), C64::new(0.7, 0.0)],
+        ]);
+        let a = b.hermitian().matmul(&b);
+        let e = herm_eig(&a);
+        assert!(a.sub(&e.reconstruct()).fro_norm() < 1e-9);
+        assert!(e.vectors.is_unitary(1e-9));
+        // PSD: eigenvalues non-negative.
+        assert!(e.values.iter().all(|&v| v > -1e-10));
+        // Descending order.
+        assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn eigenvector_equation_holds() {
+        let a = CMatrix::from_rows(&[
+            vec![C64::real(4.0), C64::new(1.0, 2.0)],
+            vec![C64::new(1.0, -2.0), C64::real(-1.0)],
+        ]);
+        let e = herm_eig(&a);
+        for i in 0..2 {
+            let x = CMatrix::from_fn(2, 1, |r, _| e.vectors[(r, i)]);
+            let ax = a.matmul(&x);
+            let lx = x.scale(C64::real(e.values[i]));
+            assert!(ax.sub(&lx).fro_norm() < 1e-9, "eigenpair {i} fails");
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = CMatrix::zeros(3, 3);
+        let e = herm_eig(&a);
+        assert!(e.values.iter().all(|&v| v.abs() < 1e-14));
+        assert!(e.vectors.is_unitary(1e-12));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the complex linear-algebra substrate.
+
+use deepcsi_linalg::{herm_eig, right_singular_vectors, svd, C64, CMatrix};
+use proptest::prelude::*;
+
+/// Strategy producing a bounded complex number.
+fn c64() -> impl Strategy<Value = C64> {
+    (-5.0f64..5.0, -5.0f64..5.0).prop_map(|(re, im)| C64::new(re, im))
+}
+
+/// Strategy producing a rows×cols matrix with bounded entries.
+fn cmatrix(rows: usize, cols: usize) -> impl Strategy<Value = CMatrix> {
+    proptest::collection::vec(c64(), rows * cols).prop_map(move |data| {
+        CMatrix::from_fn(rows, cols, |r, c| data[r * cols + c])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_mul_is_commutative(a in c64(), b in c64()) {
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_mul_modulus_is_multiplicative(a in c64(), b in c64()) {
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conj_distributes_over_add(a in c64(), b in c64()) {
+        prop_assert!(((a + b).conj() - (a.conj() + b.conj())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hermitian_transpose_is_involution(m in cmatrix(3, 2)) {
+        let back = m.hermitian().hermitian();
+        prop_assert!(m.max_abs_diff(&back) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_associative(a in cmatrix(2, 3), b in cmatrix(3, 2), c in cmatrix(2, 2)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-8);
+    }
+
+    #[test]
+    fn herm_eig_reconstructs(b in cmatrix(2, 3)) {
+        // B†B is Hermitian PSD by construction.
+        let a = b.hermitian().matmul(&b);
+        let e = herm_eig(&a);
+        prop_assert!(a.sub(&e.reconstruct()).fro_norm() < 1e-8 * (1.0 + a.fro_norm()));
+        prop_assert!(e.vectors.is_unitary(1e-8));
+        prop_assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        prop_assert!(e.values.iter().all(|&v| v > -1e-8));
+    }
+
+    #[test]
+    fn svd_reconstructs_wide(a in cmatrix(2, 3)) {
+        let d = svd(&a);
+        prop_assert!(d.u.is_unitary(1e-8));
+        prop_assert!(d.v.is_unitary(1e-8));
+        prop_assert!(a.sub(&d.reconstruct()).fro_norm() < 1e-7 * (1.0 + a.fro_norm()));
+        prop_assert!(d.s.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        prop_assert!(d.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_reconstructs_tall(a in cmatrix(4, 2)) {
+        let d = svd(&a);
+        prop_assert!(d.u.is_unitary(1e-8));
+        prop_assert!(d.v.is_unitary(1e-8));
+        prop_assert!(a.sub(&d.reconstruct()).fro_norm() < 1e-7 * (1.0 + a.fro_norm()));
+    }
+
+    #[test]
+    fn svd_fro_norm_matches_singular_values(a in cmatrix(3, 3)) {
+        // ‖A‖_F² = Σ σ_i²
+        let d = svd(&a);
+        let ssq: f64 = d.s.iter().map(|s| s * s).sum();
+        prop_assert!((ssq.sqrt() - a.fro_norm()).abs() < 1e-7 * (1.0 + a.fro_norm()));
+    }
+
+    #[test]
+    fn right_singular_vectors_unitary(a in cmatrix(2, 3)) {
+        let z = right_singular_vectors(&a);
+        prop_assert_eq!(z.shape(), (3, 3));
+        prop_assert!(z.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn per_tx_phase_rotates_right_vectors(a in cmatrix(2, 3), t0 in 0.0f64..6.28, t1 in 0.0f64..6.28, t2 in 0.0f64..6.28) {
+        // The fingerprint-percolation mechanism: A·T (per-column unit phases)
+        // has right singular vectors T†Z up to per-column phase, so the
+        // singular values are identical and the subspaces match.
+        let t = CMatrix::diag(&[C64::cis(t0), C64::cis(t1), C64::cis(t2)]);
+        let at = a.matmul(&t);
+        let da = svd(&a);
+        let db = svd(&at);
+        for (x, y) in da.s.iter().zip(db.s.iter()) {
+            prop_assert!((x - y).abs() < 1e-8 * (1.0 + x.abs()));
+        }
+    }
+}

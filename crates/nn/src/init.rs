@@ -1,0 +1,43 @@
+//! Weight initialisation.
+
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller.
+pub(crate) fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+/// LeCun-normal initialisation: zero-mean Gaussian with `σ = 1/√fan_in`.
+///
+/// This is the initialisation self-normalising (SELU) networks require to
+/// keep activations at zero mean / unit variance through depth.
+pub(crate) fn lecun_normal<R: Rng>(rng: &mut R, fan_in: usize, n: usize) -> Vec<f32> {
+    let std = 1.0 / (fan_in.max(1) as f32).sqrt();
+    (0..n).map(|_| gaussian(rng) * std).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lecun_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = lecun_normal(&mut rng, 100, 50_000);
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        let var: f32 = w.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.002, "mean {mean}");
+        assert!((var - 0.01).abs() < 0.002, "var {var} should be 1/100");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(lecun_normal(&mut a, 10, 32), lecun_normal(&mut b, 10, 32));
+    }
+}

@@ -1,0 +1,58 @@
+//! The layer abstraction.
+
+use crate::tensor::Tensor;
+
+/// A mutable view over one parameter tensor and its gradient accumulator.
+///
+/// Layers expose their parameters through this so optimizers can update
+/// them without knowing layer internals. Views are returned in a stable
+/// order, which is what lets [`crate::Adam`] keep per-parameter moments
+/// aligned across steps.
+pub struct ParamView<'a> {
+    /// The parameter values.
+    pub w: &'a mut [f32],
+    /// The accumulated gradient (same length as `w`).
+    pub g: &'a mut [f32],
+}
+
+/// A differentiable layer.
+///
+/// `forward` caches whatever it needs; `backward` consumes that cache,
+/// accumulates parameter gradients internally and returns the gradient
+/// with respect to the input. One `forward` must precede each `backward`.
+pub trait Layer: Send {
+    /// Human-readable layer name.
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output. `train` enables stochastic behaviour
+    /// (dropout).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Back-propagates `grad` (∂loss/∂output), returning ∂loss/∂input and
+    /// **adding** parameter gradients to the internal accumulators.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Mutable views of (parameters, gradients), in a stable order.
+    fn params(&mut self) -> Vec<ParamView<'_>>;
+
+    /// Clears the gradient accumulators.
+    fn zero_grads(&mut self) {
+        for p in self.params() {
+            p.g.fill(0.0);
+        }
+    }
+
+    /// Number of trainable scalars.
+    fn num_params(&mut self) -> usize {
+        self.params().iter().map(|p| p.w.len()).sum()
+    }
+
+    /// Clones the layer into a box (for data-parallel worker replicas).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

@@ -1,0 +1,195 @@
+//! Element-wise activations: SELU and sigmoid.
+
+use crate::layer::{Layer, ParamView};
+use crate::tensor::Tensor;
+
+/// SELU constants from Klambauer et al., "Self-Normalizing Neural
+/// Networks" (the paper's activation of choice).
+pub(crate) const SELU_LAMBDA: f32 = 1.050_701;
+pub(crate) const SELU_ALPHA: f32 = 1.673_263_2;
+
+/// The SELU activation `λ·(x if x > 0 else α(eˣ − 1))`.
+#[derive(Clone, Default)]
+pub struct Selu {
+    cache_x: Option<Tensor>,
+}
+
+impl Selu {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Selu {
+    fn name(&self) -> &'static str {
+        "selu"
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let mut out = x.clone();
+        for v in out.as_mut_slice() {
+            *v = if *v > 0.0 {
+                SELU_LAMBDA * *v
+            } else {
+                SELU_LAMBDA * SELU_ALPHA * (v.exp() - 1.0)
+            };
+        }
+        self.cache_x = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("backward without forward");
+        let mut gx = grad.clone();
+        for (g, &xv) in gx.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            let d = if xv > 0.0 {
+                SELU_LAMBDA
+            } else {
+                SELU_LAMBDA * SELU_ALPHA * xv.exp()
+            };
+            *g *= d;
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// The logistic sigmoid `1/(1+e^{−x})` (used inside the attention block).
+#[derive(Clone, Default)]
+pub struct Sigmoid {
+    cache_y: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let mut out = x.clone();
+        for v in out.as_mut_slice() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        self.cache_y = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let y = self.cache_y.take().expect("backward without forward");
+        let mut gx = grad.clone();
+        for (g, &yv) in gx.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *g *= yv * (1.0 - yv);
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selu_known_values() {
+        let mut s = Selu::new();
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], vec![3]);
+        let y = s.forward(&x, false);
+        assert!((y.as_slice()[0] - SELU_LAMBDA).abs() < 1e-6);
+        assert_eq!(y.as_slice()[1], 0.0);
+        let want = SELU_LAMBDA * SELU_ALPHA * ((-1.0f32).exp() - 1.0);
+        assert!((y.as_slice()[2] - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn selu_is_self_normalizing_on_gaussian_input() {
+        // Feeding N(0,1) data through SELU keeps mean ≈ 0 and var ≈ 1 —
+        // the fixed-point property the initialisation relies on.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+            })
+            .collect();
+        let mut s = Selu::new();
+        let y = s.forward(&Tensor::from_vec(data, vec![n]), false);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / n as f32;
+        let var: f32 =
+            y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn selu_gradient_check() {
+        let mut s = Selu::new();
+        let x = Tensor::from_vec(vec![0.5, -0.5, 2.0, -2.0], vec![4]);
+        let _ = s.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; 4], vec![4]);
+        let gx = s.backward(&ones);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp: f32 = s.forward(&xp, false).as_slice().iter().sum();
+            let fm: f32 = s.forward(&xm, false).as_slice().iter().sum();
+            assert!(((fp - fm) / (2.0 * eps) - gx.as_slice()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(vec![-3.0, 0.0, 3.0], vec![3]);
+        let y = s.forward(&x, false);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!((y.as_slice()[0] + y.as_slice()[2] - 1.0).abs() < 1e-6);
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn sigmoid_gradient_check() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.2], vec![3]);
+        let _ = s.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; 3], vec![3]);
+        let gx = s.backward(&ones);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp: f32 = s.forward(&xp, false).as_slice().iter().sum();
+            let fm: f32 = s.forward(&xm, false).as_slice().iter().sum();
+            assert!(((fp - fm) / (2.0 * eps) - gx.as_slice()[i]).abs() < 1e-2);
+        }
+    }
+}

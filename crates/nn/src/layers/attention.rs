@@ -1,0 +1,232 @@
+//! The spatial-attention block of the DeepCSI classifier.
+
+use crate::layer::{Layer, ParamView};
+use crate::layers::activation::Sigmoid;
+use crate::layers::conv::Conv2d;
+use crate::tensor::Tensor;
+
+/// CBAM-style spatial attention with a residual skip (Fig. 4, §III-C):
+///
+/// 1. max- and mean-pool the input feature maps over the channel
+///    dimension,
+/// 2. concatenate the two maps and pass them through a small convolution
+///    with sigmoid activation, producing per-position weights,
+/// 3. multiply the input by the weights, and
+/// 4. add the input back (skip connection).
+///
+/// "Thanks to the attention block, the algorithm learns where the most
+/// relevant information is located within the feature maps."
+#[derive(Clone)]
+pub struct SpatialAttention {
+    conv: Conv2d,
+    sigmoid: Sigmoid,
+    cache_x: Option<Tensor>,
+    cache_a: Option<Tensor>,
+    cache_argmax: Vec<usize>,
+}
+
+impl SpatialAttention {
+    /// Creates the block; `kernel_w` is the width of the attention
+    /// convolution's `(1, kernel_w)` kernel.
+    pub fn new(kernel_w: usize, seed: u64) -> Self {
+        SpatialAttention {
+            conv: Conv2d::new(2, 1, (1, kernel_w), seed ^ 0xA77E),
+            sigmoid: Sigmoid::new(),
+            cache_x: None,
+            cache_a: None,
+            cache_argmax: Vec::new(),
+        }
+    }
+}
+
+impl Layer for SpatialAttention {
+    fn name(&self) -> &'static str {
+        "spatial_attention"
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("attention input must be rank 3");
+        // Channel-wise max and mean maps.
+        let mut pooled = Tensor::zeros(vec![2, h, w]);
+        self.cache_argmax = vec![0; h * w];
+        for hi in 0..h {
+            for wi in 0..w {
+                let mut best_c = 0usize;
+                let mut best = x.at3(0, hi, wi);
+                let mut sum = 0.0f32;
+                for ci in 0..c {
+                    let v = x.at3(ci, hi, wi);
+                    sum += v;
+                    if v > best {
+                        best = v;
+                        best_c = ci;
+                    }
+                }
+                *pooled.at3_mut(0, hi, wi) = best;
+                *pooled.at3_mut(1, hi, wi) = sum / c as f32;
+                self.cache_argmax[hi * w + wi] = best_c;
+            }
+        }
+        let logits = self.conv.forward(&pooled, train);
+        let a = self.sigmoid.forward(&logits, train);
+        // Y = X⊙A + X.
+        let mut out = x.clone();
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let v = out.at3(ci, hi, wi);
+                    *out.at3_mut(ci, hi, wi) = v * a.at3(0, hi, wi) + v;
+                }
+            }
+        }
+        self.cache_x = Some(x.clone());
+        self.cache_a = Some(a);
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("backward without forward");
+        let a = self.cache_a.take().expect("backward without forward");
+        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("rank 3");
+
+        // Through Y = X⊙A + X:
+        //   ∂/∂X  = grad·(A + 1)   (attention + skip branches)
+        //   ∂/∂A  = Σ_c grad·X
+        let mut gx = grad.clone();
+        let mut ga = Tensor::zeros(vec![1, h, w]);
+        for hi in 0..h {
+            for wi in 0..w {
+                let av = a.at3(0, hi, wi);
+                let mut gsum = 0.0f32;
+                for ci in 0..c {
+                    let g = grad.at3(ci, hi, wi);
+                    gsum += g * x.at3(ci, hi, wi);
+                    *gx.at3_mut(ci, hi, wi) = g * (av + 1.0);
+                }
+                *ga.at3_mut(0, hi, wi) = gsum;
+            }
+        }
+
+        // Through sigmoid and the attention convolution.
+        let g_logits = self.sigmoid.backward(&ga);
+        let g_pooled = self.conv.backward(&g_logits);
+
+        // Through the max/mean channel pooling back into X.
+        for hi in 0..h {
+            for wi in 0..w {
+                let gmax = g_pooled.at3(0, hi, wi);
+                let gmean = g_pooled.at3(1, hi, wi) / c as f32;
+                let best_c = self.cache_argmax[hi * w + wi];
+                *gx.at3_mut(best_c, hi, wi) += gmax;
+                for ci in 0..c {
+                    *gx.at3_mut(ci, hi, wi) += gmean;
+                }
+            }
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        self.conv.params()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut att = SpatialAttention::new(7, 1);
+        let x = Tensor::zeros(vec![8, 1, 20]);
+        let y = att.forward(&x, false);
+        assert_eq!(y.shape(), &[8, 1, 20]);
+    }
+
+    #[test]
+    fn param_count_is_conv_only() {
+        let mut att = SpatialAttention::new(7, 1);
+        // 2 input maps × kernel 7 × 1 output + 1 bias = 15.
+        assert_eq!(att.num_params(), 15);
+    }
+
+    #[test]
+    fn output_stays_between_x_and_2x_for_positive_input() {
+        // A ∈ (0,1) → Y = X(1+A) ∈ (X, 2X) element-wise for X > 0.
+        let mut att = SpatialAttention::new(3, 2);
+        let x = Tensor::from_vec((1..=24).map(|v| v as f32 * 0.1).collect(), vec![4, 1, 6]);
+        let y = att.forward(&x, false);
+        for (xv, yv) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!(*yv > *xv && *yv < 2.0 * *xv, "x={xv} y={yv}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_end_to_end() {
+        let mut att = SpatialAttention::new(3, 3);
+        let x = Tensor::from_vec(
+            (0..18).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.2).collect(),
+            vec![3, 1, 6],
+        );
+        let y = att.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape().to_vec());
+        att.zero_grads();
+        let _ = att.forward(&x, true);
+        let gx = att.backward(&ones);
+
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp: f32 = att.forward(&xp, false).as_slice().iter().sum();
+            let fm: f32 = att.forward(&xm, false).as_slice().iter().sum();
+            let want = (fp - fm) / (2.0 * eps);
+            let got = gx.as_slice()[i];
+            assert!(
+                (want - got).abs() < 0.05,
+                "input grad {i}: fd {want} vs bp {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_weight_gradient_check() {
+        let mut att = SpatialAttention::new(3, 4);
+        let x = Tensor::from_vec(
+            (0..12).map(|i| (i as f32 * 0.37).cos()).collect(),
+            vec![2, 1, 6],
+        );
+        att.zero_grads();
+        let y = att.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape().to_vec());
+        let _ = att.backward(&ones);
+        let grads: Vec<f32> = att.params().iter().flat_map(|p| p.g.to_vec()).collect();
+
+        let eps = 1e-2f32;
+        let mut idx = 0usize;
+        for p in 0..2 {
+            let len = att.params()[p].w.len();
+            for wi in 0..len {
+                let orig = att.params()[p].w[wi];
+                att.params()[p].w[wi] = orig + eps;
+                let fp: f32 = att.forward(&x, false).as_slice().iter().sum();
+                att.params()[p].w[wi] = orig - eps;
+                let fm: f32 = att.forward(&x, false).as_slice().iter().sum();
+                att.params()[p].w[wi] = orig;
+                let want = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (want - grads[idx]).abs() < 0.05,
+                    "param {idx}: fd {want} vs bp {}",
+                    grads[idx]
+                );
+                idx += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! 2-D convolution with "same" zero padding.
+
+use crate::init::lecun_normal;
+use crate::layer::{Layer, ParamView};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A stride-1 2-D convolution with "same" zero padding.
+///
+/// Input/output feature maps are `(channels, height, width)`. The paper's
+/// classifier uses kernels of shape `(1, 7)`, `(1, 5)` and `(1, 3)` — the
+/// spectral dimension runs along `width` — but the implementation is
+/// general.
+#[derive(Clone)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kh: usize,
+    kw: usize,
+    weight: Vec<f32>, // [out][in][kh][kw]
+    bias: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with LeCun-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the kernel dims are even ("same"
+    /// padding requires odd kernels).
+    pub fn new(in_ch: usize, out_ch: usize, (kh, kw): (usize, usize), seed: u64) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && kh > 0 && kw > 0, "zero dims");
+        assert!(kh % 2 == 1 && kw % 2 == 1, "same padding needs odd kernels");
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC04F);
+        let fan_in = in_ch * kh * kw;
+        let n = out_ch * fan_in;
+        Conv2d {
+            in_ch,
+            out_ch,
+            kh,
+            kw,
+            weight: lecun_normal(&mut rng, fan_in, n),
+            bias: vec![0.0; out_ch],
+            grad_w: vec![0.0; n],
+            grad_b: vec![0.0; out_ch],
+            cache_x: None,
+        }
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, i: usize, dh: usize, dw: usize) -> usize {
+        ((o * self.in_ch + i) * self.kh + dh) * self.kw + dw
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("conv input must be rank 3");
+        assert_eq!(c, self.in_ch, "input channel mismatch");
+        let (ph, pw) = (self.kh / 2, self.kw / 2);
+        let mut out = Tensor::zeros(vec![self.out_ch, h, w]);
+        let xs = x.as_slice();
+        {
+            let os = out.as_mut_slice();
+            for o in 0..self.out_ch {
+                let out_base = o * h * w;
+                for i in 0..c {
+                    let in_base = i * h * w;
+                    for dh in 0..self.kh {
+                        for dw in 0..self.kw {
+                            let wv = self.weight[self.widx(o, i, dh, dw)];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            // Output row oh reads input row oh+dh−ph.
+                            for oh in 0..h {
+                                let ih = oh + dh;
+                                if ih < ph || ih - ph >= h {
+                                    continue;
+                                }
+                                let ih = ih - ph;
+                                let orow = out_base + oh * w;
+                                let irow = in_base + ih * w;
+                                // Valid ow range for iw = ow+dw−pw ∈ [0,w).
+                                let ow_lo = pw.saturating_sub(dw);
+                                let ow_hi = (w + pw).saturating_sub(dw).min(w);
+                                for ow in ow_lo..ow_hi {
+                                    os[orow + ow] += wv * xs[irow + ow + dw - pw];
+                                }
+                            }
+                        }
+                    }
+                }
+                for oh in 0..h {
+                    for ow in 0..w {
+                        os[out_base + oh * w + ow] += self.bias[o];
+                    }
+                }
+            }
+        }
+        self.cache_x = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("backward without forward");
+        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("rank 3");
+        let (ph, pw) = (self.kh / 2, self.kw / 2);
+        let gs = grad.as_slice();
+        let xs = x.as_slice();
+        let mut gx = Tensor::zeros(vec![c, h, w]);
+        let gxs = gx.as_mut_slice();
+
+        for o in 0..self.out_ch {
+            let out_base = o * h * w;
+            // Bias gradient: sum of output grads.
+            let mut gb = 0.0f32;
+            for v in &gs[out_base..out_base + h * w] {
+                gb += v;
+            }
+            self.grad_b[o] += gb;
+
+            for i in 0..c {
+                let in_base = i * h * w;
+                for dh in 0..self.kh {
+                    for dw in 0..self.kw {
+                        let wi = self.widx(o, i, dh, dw);
+                        let wv = self.weight[wi];
+                        let mut gw = 0.0f32;
+                        for oh in 0..h {
+                            let ih = oh + dh;
+                            if ih < ph || ih - ph >= h {
+                                continue;
+                            }
+                            let ih = ih - ph;
+                            let orow = out_base + oh * w;
+                            let irow = in_base + ih * w;
+                            let ow_lo = pw.saturating_sub(dw);
+                            let ow_hi = (w + pw).saturating_sub(dw).min(w);
+                            for ow in ow_lo..ow_hi {
+                                let g = gs[orow + ow];
+                                gw += g * xs[irow + ow + dw - pw];
+                                gxs[irow + ow + dw - pw] += g * wv;
+                            }
+                        }
+                        self.grad_w[wi] += gw;
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        vec![
+            ParamView {
+                w: &mut self.weight,
+                g: &mut self.grad_w,
+            },
+            ParamView {
+                w: &mut self.bias,
+                g: &mut self.grad_b,
+            },
+        ]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_is_same_padded() {
+        let mut conv = Conv2d::new(2, 4, (1, 7), 1);
+        let x = Tensor::zeros(vec![2, 1, 20]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[4, 1, 20]);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut conv = Conv2d::new(1, 1, (1, 3), 1);
+        // Kernel [0, 1, 0], bias 0 → identity.
+        conv.weight.copy_from_slice(&[0.0, 1.0, 0.0]);
+        conv.bias[0] = 0.0;
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![1, 1, 4]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        let mut conv = Conv2d::new(1, 1, (1, 3), 1);
+        conv.weight.copy_from_slice(&[1.0, 1.0, 1.0]);
+        conv.bias[0] = 0.5;
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![1, 1, 3]);
+        let y = conv.forward(&x, false);
+        // Same padding: [0+1+2, 1+2+3, 2+3+0] + 0.5.
+        assert_eq!(y.as_slice(), &[3.5, 6.5, 5.5]);
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut conv = Conv2d::new(128, 128, (1, 7), 0);
+        assert_eq!(conv.num_params(), 128 * 128 * 7 + 128);
+    }
+
+    #[test]
+    fn gradient_check_small() {
+        // Centered finite differences on every parameter and input of a
+        // tiny conv.
+        let mut conv = Conv2d::new(2, 2, (1, 3), 3);
+        let x = Tensor::from_vec(
+            (0..12).map(|i| (i as f32 * 0.3).sin()).collect(),
+            vec![2, 1, 6],
+        );
+        // Loss = sum of outputs → upstream grad of ones.
+        let y = conv.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape().to_vec());
+        conv.zero_grads();
+        let _ = conv.forward(&x, true);
+        let gx = conv.backward(&ones);
+
+        let eps = 1e-3f32;
+        // Input gradient check.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp: f32 = conv.forward(&xp, false).as_slice().iter().sum();
+            let fm: f32 = conv.forward(&xm, false).as_slice().iter().sum();
+            let want = (fp - fm) / (2.0 * eps);
+            let got = gx.as_slice()[i];
+            assert!(
+                (want - got).abs() < 1e-2,
+                "input grad {i}: fd {want} vs bp {got}"
+            );
+        }
+        // Weight gradient check.
+        let gw = conv.grad_w.clone();
+        for wi in 0..conv.weight.len() {
+            let orig = conv.weight[wi];
+            conv.weight[wi] = orig + eps;
+            let fp: f32 = conv.forward(&x, false).as_slice().iter().sum();
+            conv.weight[wi] = orig - eps;
+            let fm: f32 = conv.forward(&x, false).as_slice().iter().sum();
+            conv.weight[wi] = orig;
+            let want = (fp - fm) / (2.0 * eps);
+            assert!(
+                (want - gw[wi]).abs() < 1e-2,
+                "weight grad {wi}: fd {want} vs bp {}",
+                gw[wi]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernels")]
+    fn even_kernel_panics() {
+        let _ = Conv2d::new(1, 1, (1, 2), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fully-connected layer.
+
+use crate::init::lecun_normal;
+use crate::layer::{Layer, ParamView};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fully-connected layer `y = W x + b` over rank-1 inputs.
+#[derive(Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    weight: Vec<f32>, // [out][in]
+    bias: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    cache_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with LeCun-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "zero dims");
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0xDE45E);
+        Dense {
+            in_dim,
+            out_dim,
+            weight: lecun_normal(&mut rng, in_dim, in_dim * out_dim),
+            bias: vec![0.0; out_dim],
+            grad_w: vec![0.0; in_dim * out_dim],
+            grad_b: vec![0.0; out_dim],
+            cache_x: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    #[allow(clippy::needless_range_loop)] // o indexes weight rows and outputs in lockstep
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.len(), self.in_dim, "dense input length mismatch");
+        let xs = x.as_slice();
+        let mut out = Tensor::zeros(vec![self.out_dim]);
+        let os = out.as_mut_slice();
+        for o in 0..self.out_dim {
+            let row = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias[o];
+            for (wv, xv) in row.iter().zip(xs.iter()) {
+                acc += wv * xv;
+            }
+            os[o] = acc;
+        }
+        self.cache_x = Some(x.clone());
+        out
+    }
+
+    #[allow(clippy::needless_range_loop)] // o indexes weight rows and grads in lockstep
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("backward without forward");
+        let xs = x.as_slice();
+        let gs = grad.as_slice();
+        let mut gx = Tensor::zeros(vec![self.in_dim]);
+        let gxs = gx.as_mut_slice();
+        for o in 0..self.out_dim {
+            let g = gs[o];
+            self.grad_b[o] += g;
+            let row = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
+            let grow = &mut self.grad_w[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += g * xs[i];
+                gxs[i] += g * row[i];
+            }
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        vec![
+            ParamView {
+                w: &mut self.weight,
+                g: &mut self.grad_w,
+            },
+            ParamView {
+                w: &mut self.bias,
+                g: &mut self.grad_b,
+            },
+        ]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_affine_map() {
+        let mut d = Dense::new(2, 2, 0);
+        d.weight.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        d.bias.copy_from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], vec![2]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut d = Dense::new(896, 128, 0);
+        assert_eq!(d.num_params(), 896 * 128 + 128);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut d = Dense::new(3, 2, 1);
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.1], vec![3]);
+        let y = d.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; 2], y.shape().to_vec());
+        d.zero_grads();
+        let _ = d.forward(&x, true);
+        let gx = d.backward(&ones);
+
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp: f32 = d.forward(&xp, false).as_slice().iter().sum();
+            let fm: f32 = d.forward(&xm, false).as_slice().iter().sum();
+            let want = (fp - fm) / (2.0 * eps);
+            assert!((want - gx.as_slice()[i]).abs() < 1e-2);
+        }
+        let gw = d.grad_w.clone();
+        for wi in 0..d.weight.len() {
+            let orig = d.weight[wi];
+            d.weight[wi] = orig + eps;
+            let fp: f32 = d.forward(&x, false).as_slice().iter().sum();
+            d.weight[wi] = orig - eps;
+            let fm: f32 = d.forward(&x, false).as_slice().iter().sum();
+            d.weight[wi] = orig;
+            let want = (fp - fm) / (2.0 * eps);
+            assert!((want - gw[wi]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_input_length_panics() {
+        let mut d = Dense::new(3, 2, 1);
+        let _ = d.forward(&Tensor::zeros(vec![4]), false);
+    }
+}

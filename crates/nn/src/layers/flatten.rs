@@ -1,0 +1,57 @@
+//! Flattening between the convolutional and dense stages.
+
+use crate::layer::{Layer, ParamView};
+use crate::tensor::Tensor;
+
+/// Flattens any input to rank 1, restoring the shape on backward.
+#[derive(Clone, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.in_shape = x.shape().to_vec();
+        x.clone().reshape(vec![x.len()])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward without forward");
+        grad.clone().reshape(self.in_shape.clone())
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), vec![2, 2, 3]);
+        let y = f.forward(&x, false);
+        assert_eq!(y.shape(), &[12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 2, 3]);
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+}

@@ -1,0 +1,17 @@
+//! The layer zoo used by the DeepCSI classifier.
+
+mod activation;
+mod attention;
+mod conv;
+mod dense;
+mod dropout;
+mod flatten;
+mod pool;
+
+pub use activation::{Selu, Sigmoid};
+pub use attention::SpatialAttention;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::AlphaDropout;
+pub use flatten::Flatten;
+pub use pool::MaxPool2d;

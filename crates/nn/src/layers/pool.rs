@@ -1,0 +1,142 @@
+//! Max pooling.
+
+use crate::layer::{Layer, ParamView};
+use crate::tensor::Tensor;
+
+/// Max pooling with stride equal to the kernel (non-overlapping windows)
+/// and floor truncation of ragged edges — matching the framework defaults
+/// the paper's `(1, 2)` pools rely on (234 → 117 → 58 → 29 → 14 → 7).
+#[derive(Clone)]
+pub struct MaxPool2d {
+    kh: usize,
+    kw: usize,
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pool with the given kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized kernel.
+    pub fn new((kh, kw): (usize, usize)) -> Self {
+        assert!(kh > 0 && kw > 0, "zero-sized pooling kernel");
+        MaxPool2d {
+            kh,
+            kw,
+            argmax: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("pool input must be rank 3");
+        let oh = h / self.kh;
+        let ow = w / self.kw;
+        assert!(oh > 0 && ow > 0, "input smaller than pooling kernel");
+        let mut out = Tensor::zeros(vec![c, oh, ow]);
+        self.argmax = vec![0; c * oh * ow];
+        self.in_shape = x.shape().to_vec();
+        let xs = x.as_slice();
+        let os = out.as_mut_slice();
+        for ci in 0..c {
+            for hi in 0..oh {
+                for wi in 0..ow {
+                    let mut best_idx = (ci * h + hi * self.kh) * w + wi * self.kw;
+                    let mut best = xs[best_idx];
+                    for dh in 0..self.kh {
+                        for dw in 0..self.kw {
+                            let idx = (ci * h + hi * self.kh + dh) * w + wi * self.kw + dw;
+                            if xs[idx] > best {
+                                best = xs[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = (ci * oh + hi) * ow + wi;
+                    os[o] = best;
+                    self.argmax[o] = best_idx;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward without forward");
+        let mut gx = Tensor::zeros(self.in_shape.clone());
+        let gxs = gx.as_mut_slice();
+        for (o, &src) in self.argmax.iter().enumerate() {
+            gxs[src] += grad.as_slice()[o];
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maximum_with_floor_truncation() {
+        let mut pool = MaxPool2d::new((1, 2));
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0, 9.0], vec![1, 1, 5]);
+        let y = pool.forward(&x, false);
+        // Width 5 → 2 (last element dropped).
+        assert_eq!(y.shape(), &[1, 1, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 3.0]);
+    }
+
+    #[test]
+    fn paper_width_sequence() {
+        // 234 pooled by (1,2) five times: 117, 58, 29, 14, 7.
+        let mut w = 234usize;
+        let mut seq = Vec::new();
+        for _ in 0..5 {
+            let mut pool = MaxPool2d::new((1, 2));
+            let x = Tensor::zeros(vec![1, 1, w]);
+            w = pool.forward(&x, false).shape()[2];
+            seq.push(w);
+        }
+        assert_eq!(seq, vec![117, 58, 29, 14, 7]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new((1, 2));
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], vec![1, 1, 4]);
+        let y = pool.forward(&x, false);
+        let g = Tensor::from_vec(vec![10.0, 20.0], y.shape().to_vec());
+        let gx = pool.backward(&g);
+        assert_eq!(gx.as_slice(), &[0.0, 10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn multichannel_pooling() {
+        let mut pool = MaxPool2d::new((1, 2));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0], vec![2, 1, 4]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.as_slice(), &[2.0, 4.0, 8.0, 6.0]);
+    }
+
+    #[test]
+    fn no_trainable_params() {
+        let mut pool = MaxPool2d::new((1, 2));
+        assert_eq!(pool.num_params(), 0);
+    }
+}

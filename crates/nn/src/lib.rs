@@ -1,0 +1,67 @@
+//! From-scratch deep-learning substrate for the DeepCSI classifier.
+//!
+//! The paper's DNN (Fig. 4) is a stack of `N_conv` convolutional layers
+//! with SELU activations and max-pooling, a CBAM-style spatial-attention
+//! block with a skip connection, and `N_dense` dense layers with
+//! alpha-dropout, trained with cross-entropy. No Rust deep-learning crate
+//! was available offline, so this crate implements the required subset
+//! from first principles:
+//!
+//! * [`Tensor`] — a dense row-major f32 tensor (rank ≤ 3 used here).
+//! * Layers — [`Conv2d`], [`MaxPool2d`], [`Dense`], [`Selu`],
+//!   [`AlphaDropout`], [`SpatialAttention`], [`Flatten`] — each with an
+//!   exact hand-derived backward pass (validated against finite
+//!   differences in the test suite).
+//! * [`Network`] — a sequential container with cloning support for
+//!   data-parallel training.
+//! * [`softmax_cross_entropy`] — fused loss/gradient.
+//! * [`Adam`] / [`Sgd`] — optimizers.
+//! * [`Trainer`] — seeded mini-batch training with crossbeam-based
+//!   multi-threaded gradient computation.
+//! * [`ConfusionMatrix`] — the evaluation artifact every figure of the
+//!   paper reports.
+//!
+//! # Example: learning XOR
+//!
+//! ```
+//! use deepcsi_nn::{Dense, Network, Selu, Tensor, Trainer, TrainConfig};
+//!
+//! let mut net = Network::new();
+//! net.push(Dense::new(2, 8, 1));
+//! net.push(Selu::new());
+//! net.push(Dense::new(8, 2, 2));
+//! let xs: Vec<Tensor> = [[0.,0.],[0.,1.],[1.,0.],[1.,1.]]
+//!     .iter().map(|p| Tensor::from_vec(vec![p[0], p[1]], vec![2])).collect();
+//! let ys = vec![0usize, 1, 1, 0];
+//! let mut trainer = Trainer::new(TrainConfig {
+//!     epochs: 200, batch_size: 4, learning_rate: 0.02, threads: 1, seed: 7,
+//!     ..TrainConfig::default()
+//! });
+//! trainer.fit(&mut net, &xs, &ys, &[], &[]);
+//! let (acc, _) = deepcsi_nn::evaluate(&net, &xs, &ys);
+//! assert!(acc > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod init;
+mod layer;
+pub mod layers;
+mod loss;
+mod metrics;
+mod network;
+mod optim;
+mod tensor;
+mod train;
+
+pub use layer::Layer;
+pub use layers::{
+    AlphaDropout, Conv2d, Dense, Flatten, MaxPool2d, Selu, Sigmoid, SpatialAttention,
+};
+pub use loss::softmax_cross_entropy;
+pub use metrics::ConfusionMatrix;
+pub use network::Network;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;
+pub use train::{evaluate, predict, TrainConfig, TrainReport, Trainer};

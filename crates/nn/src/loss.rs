@@ -1,0 +1,82 @@
+//! Fused softmax + cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Computes the cross-entropy loss of `logits` against a class index and
+/// the gradient `softmax(logits) − one_hot(target)` in one pass
+/// (numerically stable log-sum-exp).
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    let z = logits.as_slice();
+    assert!(target < z.len(), "target class out of range");
+    let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let sum_exp: f32 = z.iter().map(|&v| (v - max).exp()).sum();
+    let log_sum = max + sum_exp.ln();
+    let loss = log_sum - z[target];
+    let mut grad = logits.clone();
+    for (i, g) in grad.as_mut_slice().iter_mut().enumerate() {
+        let p = (z[i] - log_sum).exp();
+        *g = if i == target { p - 1.0 } else { p };
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_n() {
+        let logits = Tensor::from_vec(vec![0.0; 10], vec![10]);
+        let (loss, grad) = softmax_cross_entropy(&logits, 3);
+        assert!((loss - (10f32).ln()).abs() < 1e-6);
+        // Gradient sums to zero.
+        let s: f32 = grad.as_slice().iter().sum();
+        assert!(s.abs() < 1e-6);
+        assert!((grad.as_slice()[3] - (0.1 - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], vec![2]);
+        let (loss, _) = softmax_cross_entropy(&logits, 0);
+        assert!(loss < 1e-6);
+        let (bad_loss, _) = softmax_cross_entropy(&logits, 1);
+        assert!(bad_loss > 10.0);
+    }
+
+    #[test]
+    fn stable_under_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 999.0], vec![2]);
+        let (loss, grad) = softmax_cross_entropy(&logits, 0);
+        assert!(loss.is_finite());
+        assert!(grad.is_finite());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.8, 1.2], vec![3]);
+        let (_, grad) = softmax_cross_entropy(&logits, 2);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, 2);
+            let (fm, _) = softmax_cross_entropy(&lm, 2);
+            let want = (fp - fm) / (2.0 * eps);
+            assert!((want - grad.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let logits = Tensor::zeros(vec![2]);
+        let _ = softmax_cross_entropy(&logits, 5);
+    }
+}

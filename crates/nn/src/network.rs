@@ -1,0 +1,228 @@
+//! Sequential network container.
+
+use crate::layer::{Layer, ParamView};
+use crate::tensor::Tensor;
+
+/// A sequential stack of layers.
+///
+/// Cloning a `Network` deep-copies every layer (weights, optimizer-visible
+/// gradients and RNG state) — this is what the data-parallel trainer uses
+/// to hand each worker thread its own replica.
+#[derive(Default)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network {
+            layers: self.layers.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Network[")?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{}", l.name())?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the forward pass. `train` enables stochastic layers and caches
+    /// the activations needed by [`Network::backward`].
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in self.layers.iter_mut() {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    /// Back-propagates an output gradient, accumulating parameter
+    /// gradients in every layer.
+    pub fn backward(&mut self, grad: &Tensor) {
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+    }
+
+    /// Clears all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        for layer in self.layers.iter_mut() {
+            layer.zero_grads();
+        }
+    }
+
+    /// Mutable parameter views across all layers, in a stable order.
+    pub fn params(&mut self) -> Vec<ParamView<'_>> {
+        self.layers.iter_mut().flat_map(|l| l.params()).collect()
+    }
+
+    /// Total number of trainable scalars (the paper quotes 489,301 for
+    /// its architecture; ours counts 489,305 — a bias-bookkeeping detail).
+    pub fn num_params(&mut self) -> usize {
+        self.layers.iter_mut().map(|l| l.num_params()).sum()
+    }
+
+    /// Adds `other`'s accumulated gradients into this network's
+    /// accumulators (gradient reduction across data-parallel workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectures differ.
+    pub fn add_grads_from(&mut self, other: &mut Network) {
+        let mut mine = self.params();
+        let theirs = other.params();
+        assert_eq!(mine.len(), theirs.len(), "architecture mismatch");
+        for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+            assert_eq!(m.g.len(), t.g.len(), "parameter shape mismatch");
+            for (gm, gt) in m.g.iter_mut().zip(t.g.iter()) {
+                *gm += gt;
+            }
+        }
+    }
+
+    /// Scales all accumulated gradients (e.g. by `1/batch_size`).
+    pub fn scale_grads(&mut self, s: f32) {
+        for p in self.params() {
+            for g in p.g.iter_mut() {
+                *g *= s;
+            }
+        }
+    }
+
+    /// Snapshots all weights (for serialisation; architecture is rebuilt
+    /// from configuration).
+    pub fn save_weights(&mut self) -> Vec<Vec<f32>> {
+        self.params().iter().map(|p| p.w.to_vec()).collect()
+    }
+
+    /// Restores weights saved by [`Network::save_weights`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight shapes do not match this architecture.
+    pub fn load_weights(&mut self, weights: &[Vec<f32>]) {
+        let mut params = self.params();
+        assert_eq!(params.len(), weights.len(), "weight tensor count mismatch");
+        for (p, w) in params.iter_mut().zip(weights.iter()) {
+            assert_eq!(p.w.len(), w.len(), "weight shape mismatch");
+            p.w.copy_from_slice(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Selu};
+    use crate::loss::softmax_cross_entropy;
+
+    fn tiny_net() -> Network {
+        let mut net = Network::new();
+        net.push(Dense::new(3, 5, 1));
+        net.push(Selu::new());
+        net.push(Dense::new(5, 2, 2));
+        net
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut net = tiny_net();
+        let y = net.forward(&Tensor::zeros(vec![3]), false);
+        assert_eq!(y.shape(), &[2]);
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = tiny_net();
+        let mut b = a.clone();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![3]);
+        // Same weights → same outputs.
+        assert_eq!(a.forward(&x, false).as_slice(), b.forward(&x, false).as_slice());
+        // Mutating the clone's weights leaves the original untouched.
+        b.params()[0].w[0] += 1.0;
+        assert_ne!(a.forward(&x, false).as_slice(), b.forward(&x, false).as_slice());
+    }
+
+    #[test]
+    fn grad_reduction_sums() {
+        let mut a = tiny_net();
+        let mut b = a.clone();
+        let x = Tensor::from_vec(vec![1.0, -1.0, 0.5], vec![3]);
+        for net in [&mut a, &mut b] {
+            net.zero_grads();
+            let y = net.forward(&x, true);
+            let (_, g) = softmax_cross_entropy(&y, 0);
+            net.backward(&g);
+        }
+        let b_g0 = b.params()[0].g[0];
+        let a_g0_before = a.params()[0].g[0];
+        a.add_grads_from(&mut b);
+        let a_g0_after = a.params()[0].g[0];
+        assert!((a_g0_after - (a_g0_before + b_g0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut a = tiny_net();
+        let x = Tensor::from_vec(vec![0.1, 0.2, 0.3], vec![3]);
+        let before = a.forward(&x, false);
+        let weights = a.save_weights();
+        let mut b = tiny_net();
+        // b has different init (different seeds) until loaded.
+        b.load_weights(&weights);
+        let after = b.forward(&x, false);
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn scale_grads_scales() {
+        let mut net = tiny_net();
+        net.zero_grads();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![3]);
+        let y = net.forward(&x, true);
+        let (_, g) = softmax_cross_entropy(&y, 1);
+        net.backward(&g);
+        let before = net.params()[0].g[0];
+        net.scale_grads(0.5);
+        assert!((net.params()[0].g[0] - before * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn debug_shows_layer_chain() {
+        let net = tiny_net();
+        let s = format!("{net:?}");
+        assert!(s.contains("dense"));
+        assert!(s.contains("selu"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Optimizers.
+
+use crate::network::Network;
+
+/// An optimizer updates a network's weights from its accumulated
+/// gradients.
+pub trait Optimizer {
+    /// Applies one update step; gradient accumulators are left untouched
+    /// (call [`Network::zero_grads`] before the next batch).
+    fn step(&mut self, net: &mut Network);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Network) {
+        for p in net.params() {
+            for (w, g) in p.w.iter_mut().zip(p.g.iter()) {
+                *w -= self.lr * g;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — the workhorse the DeepCSI
+/// classifier trains with.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and the standard
+    /// (β₁, β₂, ε) = (0.9, 0.999, 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current step count.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Network) {
+        let mut params = net.params();
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.w.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.w.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "optimizer bound to another net");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (pi, p) in params.iter_mut().enumerate() {
+            let m = &mut self.m[pi];
+            let v = &mut self.v[pi];
+            for i in 0..p.w.len() {
+                let g = p.g[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let mhat = m[i] / b1t;
+                let vhat = v[i] / b2t;
+                p.w[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::loss::softmax_cross_entropy;
+    use crate::tensor::Tensor;
+
+    fn one_layer() -> Network {
+        let mut net = Network::new();
+        net.push(Dense::new(2, 2, 3));
+        net
+    }
+
+    fn loss_of(net: &mut Network, x: &Tensor, y: usize) -> f32 {
+        let out = net.forward(x, false);
+        softmax_cross_entropy(&out, y).0
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut net = one_layer();
+        let mut opt = Sgd::new(0.5);
+        let x = Tensor::from_vec(vec![1.0, -1.0], vec![2]);
+        let before = loss_of(&mut net, &x, 0);
+        for _ in 0..20 {
+            net.zero_grads();
+            let out = net.forward(&x, true);
+            let (_, g) = softmax_cross_entropy(&out, 0);
+            net.backward(&g);
+            opt.step(&mut net);
+        }
+        let after = loss_of(&mut net, &x, 0);
+        assert!(after < before * 0.3, "SGD failed: {before} → {after}");
+    }
+
+    #[test]
+    fn adam_descends_faster_than_sgd_here() {
+        let x = Tensor::from_vec(vec![1.0, -1.0], vec![2]);
+        let run = |mut opt: Box<dyn FnMut(&mut Network)>| {
+            let mut net = one_layer();
+            for _ in 0..30 {
+                net.zero_grads();
+                let out = net.forward(&x, true);
+                let (_, g) = softmax_cross_entropy(&out, 1);
+                net.backward(&g);
+                opt(&mut net);
+            }
+            loss_of(&mut net, &x, 1)
+        };
+        let mut adam = Adam::new(0.05);
+        let adam_loss = run(Box::new(move |n| adam.step(n)));
+        assert!(adam_loss < 0.1, "Adam stuck at {adam_loss}");
+    }
+
+    #[test]
+    fn adam_counts_steps() {
+        let mut net = one_layer();
+        let mut opt = Adam::new(0.001);
+        assert_eq!(opt.steps(), 0);
+        net.zero_grads();
+        opt.step(&mut net);
+        opt.step(&mut net);
+        assert_eq!(opt.steps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to another net")]
+    fn adam_rejects_architecture_swap() {
+        let mut a = one_layer();
+        let mut opt = Adam::new(0.001);
+        opt.step(&mut a);
+        let mut b = Network::new();
+        b.push(Dense::new(2, 2, 0));
+        b.push(Dense::new(2, 2, 1));
+        opt.step(&mut b);
+    }
+}

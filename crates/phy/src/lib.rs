@@ -1,0 +1,43 @@
+//! IEEE 802.11ac/ax PHY constants and OFDM layouts.
+//!
+//! This crate pins down the physical-layer facts the rest of the DeepCSI
+//! reproduction builds on:
+//!
+//! * [`Band`] / [`WifiChannel`] — carrier frequencies and bandwidths of the
+//!   channels used in the paper's testbed (channel 42 @ 5.21 GHz, 80 MHz,
+//!   and its 40/20 MHz sub-channels 38 and 36).
+//! * [`SubcarrierLayout`] — which OFDM sub-channels are *sounded* during
+//!   VHT channel sounding (K = 234 for 80 MHz after removing control and
+//!   pilot tones, matching §IV of the paper) and how narrower-band subsets
+//!   are carved out of an 80 MHz capture (Fig. 12a).
+//! * [`MimoConfig`] — transmit/receive antenna counts and spatial streams.
+//! * [`Codebook`] — the (bψ, bφ) angle-quantization bit widths of the
+//!   standard's SU/MU feedback codebooks (§III-B, Eq. (8)).
+//!
+//! # Example
+//!
+//! ```
+//! use deepcsi_phy::{SubcarrierLayout, Codebook, MimoConfig};
+//!
+//! let layout = SubcarrierLayout::vht80();
+//! assert_eq!(layout.len(), 234); // K in the paper
+//!
+//! let cfg = MimoConfig::new(3, 2, 2).unwrap(); // M=3 TX, N=2 RX, NSS=2
+//! assert_eq!(cfg.num_angle_pairs(), 6); // φ11 φ21 ψ21 ψ31 φ22 ψ32
+//!
+//! let cb = Codebook::MU_HIGH; // bψ=7, bφ=9 — the paper's AP setting
+//! assert_eq!(cb.b_phi, 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod band;
+mod codebook;
+mod mimo;
+mod subcarrier;
+
+pub use band::{Band, WifiChannel, SPEED_OF_LIGHT, SUBCARRIER_SPACING_HZ, SYMBOL_PERIOD_S};
+pub use codebook::Codebook;
+pub use mimo::MimoConfig;
+pub use subcarrier::SubcarrierLayout;

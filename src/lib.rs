@@ -1,0 +1,41 @@
+//! # DeepCSI — MU-MIMO Wi-Fi radio fingerprinting from beamforming feedback
+//!
+//! A comprehensive Rust reproduction of *"DeepCSI: Rethinking Wi-Fi Radio
+//! Fingerprinting Through MU-MIMO CSI Feedback Deep Learning"* (Meneghello,
+//! Rossi, Restuccia — IEEE ICDCS 2022).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`linalg`] | `deepcsi-linalg` | complex numbers, matrices, Hermitian eig, SVD |
+//! | [`phy`] | `deepcsi-phy` | 802.11ac channels, subcarrier layouts, codebooks |
+//! | [`channel`] | `deepcsi-channel` | indoor multipath simulator (Fig. 6 geometry, mobility) |
+//! | [`impair`] | `deepcsi-impair` | per-device RF impairments — the fingerprint source |
+//! | [`bfi`] | `deepcsi-bfi` | SVD → Givens angles → quantization → Ṽ (Alg. 1, Eqs. 3–8) |
+//! | [`frame`] | `deepcsi-frame` | VHT Compressed Beamforming frame codec + monitor |
+//! | [`nn`] | `deepcsi-nn` | from-scratch CNN/attention deep-learning substrate |
+//! | [`data`] | `deepcsi-data` | synthetic D1/D2 datasets, S1–S6 splits, input tensors |
+//! | [`core`] | `deepcsi-core` | the classifier, training harness, authenticator, baseline |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the full sniff→train→authenticate
+//! loop, or run:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use deepcsi_bfi as bfi;
+pub use deepcsi_channel as channel;
+pub use deepcsi_core as core;
+pub use deepcsi_data as data;
+pub use deepcsi_frame as frame;
+pub use deepcsi_impair as impair;
+pub use deepcsi_linalg as linalg;
+pub use deepcsi_nn as nn;
+pub use deepcsi_phy as phy;
