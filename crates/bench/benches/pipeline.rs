@@ -86,7 +86,9 @@ fn bench_bfi(c: &mut Criterion) {
         b.iter(|| BeamformingFeedback::from_cfr(&cfr, &tones, mimo, Codebook::MU_HIGH))
     });
     let fb = sample_feedback();
-    g.bench_function("reconstruct_v_series_234_tones", |b| b.iter(|| fb.reconstruct()));
+    g.bench_function("reconstruct_v_series_234_tones", |b| {
+        b.iter(|| fb.reconstruct())
+    });
     g.finish();
 }
 

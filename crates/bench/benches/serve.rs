@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the streaming authentication engine and the
+//! micro-batched inference path it rides on.
+//!
+//! Reported alongside the timed groups (as `RESULT serve …` lines):
+//!
+//! * end-to-end engine throughput in reports/second, and
+//! * the `forward_batch` vs per-sample `forward` throughput ratio at
+//!   batch 32 for three workloads. The dense-stack workload is the
+//!   headline number: micro-batching turns its memory-bound mat-vecs
+//!   into register-blocked mat-muls and clears 10x on one core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepcsi_bench::serve_bench::{
+    dense_stack, engine_reports_per_sec, fast_cnn, inputs, measure_speedup, paper_cnn,
+    report_speedup, serve_dataset,
+};
+
+const BATCH: usize = 32;
+
+fn bench_forward_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forward_batch");
+    g.sample_size(10);
+    for mut w in [fast_cnn(), dense_stack()] {
+        let xs = inputs(&w, BATCH);
+        g.bench_function(&format!("{}_batched_x{BATCH}", w.name), |b| {
+            b.iter(|| w.net.forward_batch(&xs))
+        });
+        // Same 32 samples of work per iteration, so the two lines are
+        // directly comparable.
+        g.bench_function(&format!("{}_sequential_x{BATCH}", w.name), |b| {
+            b.iter(|| {
+                for x in &xs {
+                    criterion::black_box(w.net.forward(x, false));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let ds = serve_dataset(2, 10);
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("replay_2x10_snapshots", |b| {
+        b.iter(|| engine_reports_per_sec(&ds, 2, 1))
+    });
+    g.finish();
+}
+
+fn report_speedups(_c: &mut Criterion) {
+    println!("\n== forward_batch vs per-sample forward (batch {BATCH}) ==");
+    for (mut w, reps) in [(fast_cnn(), 5), (paper_cnn(), 2), (dense_stack(), 5)] {
+        let m = measure_speedup(&mut w, BATCH, reps);
+        report_speedup(&w, BATCH, m);
+    }
+    let ds = serve_dataset(2, 20);
+    let rps = engine_reports_per_sec(&ds, 2, 1);
+    deepcsi_bench::result_line("serve", "reports_per_sec", rps);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_forward_batch, bench_engine, report_speedups
+}
+criterion_main!(benches);

@@ -19,10 +19,18 @@ fn main() {
 
     let t0 = Instant::now();
     let d1 = generate_d1(&scale.gen);
-    println!("D1 generated in {:.1?} ({} traces)", t0.elapsed(), d1.traces.len());
+    println!(
+        "D1 generated in {:.1?} ({} traces)",
+        t0.elapsed(),
+        d1.traces.len()
+    );
     let t0 = Instant::now();
     let d2 = generate_d2(&scale.gen);
-    println!("D2 generated in {:.1?} ({} traces)", t0.elapsed(), d2.traces.len());
+    println!(
+        "D2 generated in {:.1?} ({} traces)",
+        t0.elapsed(),
+        d2.traces.len()
+    );
 
     let spec = scale.spec.clone();
     let run = |name: &str, split: &deepcsi_data::Split| {
@@ -42,10 +50,16 @@ fn main() {
     let s2 = run("S2 bf1 stream0", &d1_split(&d1, D1Set::S2, &[1], &spec));
     let s3 = run("S3 bf1 stream0", &d1_split(&d1, D1Set::S3, &[1], &spec));
 
-    let swap = run("S1 train bf1 test bf2", &d1_cross_beamformee(&d1, 1, 2, &spec));
+    let swap = run(
+        "S1 train bf1 test bf2",
+        &d1_cross_beamformee(&d1, 1, 2, &spec),
+    );
 
     let cleaned = baseline::cleaned_spec(&spec);
-    let s1_clean = run("S1 offset-cleaned", &d1_split(&d1, D1Set::S1, &[1], &cleaned));
+    let s1_clean = run(
+        "S1 offset-cleaned",
+        &d1_split(&d1, D1Set::S1, &[1], &cleaned),
+    );
 
     let stream1 = InputSpec {
         streams: vec![1],
@@ -55,11 +69,18 @@ fn main() {
     let s3_str1 = run("S3 stream1", &d1_split(&d1, D1Set::S3, &[1], &stream1));
 
     let s4 = run("S4 mobility bf2", &d2_split(&d2, D2Set::S4, &[2], &spec));
-    let s5 = run("S5 static→mobile bf2", &d2_split(&d2, D2Set::S5, &[2], &spec));
-    let s6 = run("S6 mobile→static bf2", &d2_split(&d2, D2Set::S6, &[2], &spec));
+    let s5 = run(
+        "S5 static→mobile bf2",
+        &d2_split(&d2, D2Set::S5, &[2], &spec),
+    );
+    let s6 = run(
+        "S6 mobile→static bf2",
+        &d2_split(&d2, D2Set::S6, &[2], &spec),
+    );
 
     println!("\n=== ordering checks (paper-shape expectations) ===");
-    let check = |name: &str, ok: bool| println!("{:<44} {}", name, if ok { "OK" } else { "VIOLATED" });
+    let check =
+        |name: &str, ok: bool| println!("{:<44} {}", name, if ok { "OK" } else { "VIOLATED" });
     check("S1 > S2 > S3", s1 > s2 && s2 > s3);
     check("S1 high (>0.9)", s1 > 0.9);
     check("S3 well below S1", s3 < s1 - 0.2);

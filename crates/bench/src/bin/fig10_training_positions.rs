@@ -29,13 +29,7 @@ fn main() {
             let train_positions = &order[..n];
             let split =
                 d1_split_positions(&ds, train_positions, &test_positions, &[1], &scale.spec);
-            run_labeled(
-                &scale,
-                &split,
-                "fig10",
-                &format!("{set:?}-npos{n}"),
-                false,
-            );
+            run_labeled(&scale, &split, "fig10", &format!("{set:?}-npos{n}"), false);
         }
         println!();
     }

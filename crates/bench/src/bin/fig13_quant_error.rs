@@ -9,9 +9,9 @@
 //! soundings, quantize, reconstruct and histogram the element errors.
 
 use deepcsi_bench::result_line;
+use deepcsi_bfi::{BeamformingFeedback, VSeries};
 use deepcsi_channel::{AntennaArray, ChannelModel, Environment};
 use deepcsi_data::GenConfig;
-use deepcsi_bfi::{BeamformingFeedback, VSeries};
 use deepcsi_phy::{Codebook, MimoConfig, SubcarrierLayout};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,8 +52,7 @@ fn main() {
             );
             let cfr = model.cfr(&tx, &rx, &mut rng);
             let exact = VSeries::exact_from_cfr(&cfr, &tones, mimo);
-            let quantized =
-                BeamformingFeedback::from_cfr(&cfr, &tones, mimo, cb).reconstruct();
+            let quantized = BeamformingFeedback::from_cfr(&cfr, &tones, mimo, cb).reconstruct();
             for (e, q) in exact.v.iter().zip(quantized.v.iter()) {
                 for m in 0..3 {
                     for s in 0..2 {
@@ -64,7 +63,10 @@ fn main() {
         }
 
         println!("\n=== Fig. 13 ({cb}) — Ṽ quantization error PDFs ===");
-        println!("{:>10} {:>12} {:>12} {:>12}", "element", "mean", "p50", "p95");
+        println!(
+            "{:>10} {:>12} {:>12} {:>12}",
+            "element", "mean", "p50", "p95"
+        );
         for m in 0..3 {
             for s in 0..2 {
                 let v = &mut errors[m * 2 + s];
@@ -105,9 +107,7 @@ fn main() {
         }
 
         // Headline check: stream-2 elements reconstruct worse.
-        let mean_of = |idx: usize| {
-            errors[idx].iter().sum::<f64>() / errors[idx].len() as f64
-        };
+        let mean_of = |idx: usize| errors[idx].iter().sum::<f64>() / errors[idx].len() as f64;
         let s1: f64 = (0..3).map(|m| mean_of(m * 2)).sum::<f64>() / 3.0;
         let s2: f64 = (0..3).map(|m| mean_of(m * 2 + 1)).sum::<f64>() / 3.0;
         println!(
@@ -116,6 +116,10 @@ fn main() {
             s2,
             s2 / s1
         );
-        result_line("fig13", &format!("{cb}-stream2-over-stream1").replace(' ', ""), s2 / s1);
+        result_line(
+            "fig13",
+            &format!("{cb}-stream2-over-stream1").replace(' ', ""),
+            s2 / s1,
+        );
     }
 }

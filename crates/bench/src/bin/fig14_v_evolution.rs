@@ -30,7 +30,11 @@ fn main() {
     println!("Fig. 14 — |Ṽ| over (subcarrier, time), static trace, module 0\n");
     for m in 0..3 {
         for s in 0..2 {
-            println!("[Ṽ]_{},{} (rows = every 8th of the first 75 tones, cols = time):", m + 1, s + 1);
+            println!(
+                "[Ṽ]_{},{} (rows = every 8th of the first 75 tones, cols = time):",
+                m + 1,
+                s + 1
+            );
             for tone in (0..75).step_by(8) {
                 let row: Vec<String> = series
                     .iter()
@@ -62,13 +66,21 @@ fn main() {
             total += std;
         }
         per_stream[s] = total / 3.0;
-        result_line("fig14", &format!("temporal-std-stream{}", s + 1), per_stream[s]);
+        result_line(
+            "fig14",
+            &format!("temporal-std-stream{}", s + 1),
+            per_stream[s],
+        );
     }
     println!(
         "\nstream2/stream1 temporal-noise ratio: {:.2} (paper: column 2 visibly noisier)",
         per_stream[1] / per_stream[0]
     );
-    result_line("fig14", "stream2-over-stream1", per_stream[1] / per_stream[0]);
+    result_line(
+        "fig14",
+        "stream2-over-stream1",
+        per_stream[1] / per_stream[0],
+    );
 }
 
 /// Sounded tone index at a position (labels the rows like the paper's

@@ -17,7 +17,13 @@ fn main() {
     println!("Fig. 16 — DeepCSI vs offset-corrected input, beamformee 1, stream 0\n");
     for set in [D1Set::S1, D1Set::S2, D1Set::S3] {
         let raw_split = d1_split(&ds, set, &[1], &scale.spec);
-        let raw = run_labeled(&scale, &raw_split, "fig16", &format!("{set:?}-deepcsi"), false);
+        let raw = run_labeled(
+            &scale,
+            &raw_split,
+            "fig16",
+            &format!("{set:?}-deepcsi"),
+            false,
+        );
         let clean_split = d1_split(&ds, set, &[1], &cleaned);
         let clean = run_labeled(
             &scale,

@@ -1,7 +1,9 @@
 //! Runs every figure binary in sequence and collects the `RESULT` lines
 //! into `bench_results/summary.txt` — the data behind EXPERIMENTS.md.
+//! Also runs the serving throughput bench (`serve_throughput`) and emits
+//! its numbers as `BENCH_serve.json`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 const FIGURES: &[&str] = &[
@@ -41,10 +43,7 @@ fn main() {
         let stdout = String::from_utf8_lossy(&output.stdout);
         print!("{stdout}");
         if !output.status.success() {
-            eprintln!(
-                "{fig} FAILED: {}",
-                String::from_utf8_lossy(&output.stderr)
-            );
+            eprintln!("{fig} FAILED: {}", String::from_utf8_lossy(&output.stderr));
         }
         std::fs::write(out_dir.join(format!("{fig}.txt")), stdout.as_bytes())
             .expect("write figure log");
@@ -58,5 +57,57 @@ fn main() {
     }
 
     std::fs::write(out_dir.join("summary.txt"), &summary).expect("write summary");
-    println!("\nwrote bench_results/summary.txt ({} result lines)", summary.lines().count());
+    println!(
+        "\nwrote bench_results/summary.txt ({} result lines)",
+        summary.lines().count()
+    );
+
+    run_serve_bench(&exe_dir, &forwarded, &out_dir);
+}
+
+/// Runs `serve_throughput` and writes its `RESULT serve <key> <value>`
+/// lines to `BENCH_serve.json`.
+fn run_serve_bench(exe_dir: &Path, forwarded: &[String], out_dir: &Path) {
+    let bin = exe_dir.join("serve_throughput");
+    println!("\n================ serve_throughput ================");
+    let start = std::time::Instant::now();
+    let output = Command::new(&bin)
+        .args(forwarded)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {}: {e}", bin.display()));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    print!("{stdout}");
+    if !output.status.success() {
+        eprintln!(
+            "serve_throughput FAILED: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    std::fs::write(out_dir.join("serve_throughput.txt"), stdout.as_bytes())
+        .expect("write serve log");
+
+    let mut entries = Vec::new();
+    for line in stdout.lines() {
+        // RESULT serve <key> <value>
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("RESULT") || parts.next() != Some("serve") {
+            continue;
+        }
+        if let (Some(key), Some(value)) = (parts.next(), parts.next()) {
+            // Only finite numbers make valid JSON ("inf"/"NaN" parse as
+            // f64 but are not JSON values).
+            if value.parse::<f64>().map(f64::is_finite).unwrap_or(false) {
+                entries.push(format!("  \"{key}\": {value}"));
+            }
+        }
+    }
+    let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
+    let path = out_dir.join("BENCH_serve.json");
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!(
+        "wrote {} ({} metrics) [{:.1?}]",
+        path.display(),
+        entries.len(),
+        start.elapsed()
+    );
 }

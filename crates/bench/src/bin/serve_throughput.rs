@@ -1,0 +1,41 @@
+//! Serving throughput summary: end-to-end engine reports/second and the
+//! micro-batched inference speedups, as machine-readable `RESULT` lines
+//! (collected by `run_all` into `BENCH_serve.json`).
+
+use deepcsi_bench::result_line;
+use deepcsi_bench::serve_bench::{
+    dense_stack, engine_reports_per_sec, fast_cnn, measure_speedup, paper_cnn, report_speedup,
+    serve_dataset,
+};
+
+const BATCH: usize = 32;
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--tiny" | "--quick" => quick = true,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let (cnn_reps, dense_reps, snapshots, repeat) =
+        if quick { (1, 2, 10, 1) } else { (3, 8, 40, 2) };
+
+    println!("== micro-batched inference (batch {BATCH}) ==");
+    for (mut w, reps) in [
+        (fast_cnn(), cnn_reps * 4),
+        (paper_cnn(), cnn_reps),
+        (dense_stack(), dense_reps),
+    ] {
+        let m = measure_speedup(&mut w, BATCH, reps);
+        report_speedup(&w, BATCH, m);
+    }
+
+    println!("\n== end-to-end engine ==");
+    for workers in [1usize, 2, 4] {
+        let ds = serve_dataset(2, snapshots);
+        let rps = engine_reports_per_sec(&ds, workers, repeat);
+        println!("workers {workers}: {rps:>8.0} reports/s");
+        result_line("serve", &format!("reports_per_sec_w{workers}"), rps);
+    }
+}

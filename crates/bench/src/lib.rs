@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve_bench;
+
 use deepcsi_core::{ExperimentConfig, ModelConfig};
 use deepcsi_data::{generate_d1, generate_d2, Dataset, GenConfig, InputSpec};
 use deepcsi_nn::{ConfusionMatrix, TrainConfig};

@@ -1,0 +1,195 @@
+//! Shared measurement helpers for the serving benchmarks
+//! (`benches/serve.rs` and the `serve_throughput` binary).
+
+use deepcsi_core::{Authenticator, ModelConfig};
+use deepcsi_data::{generate_d1, Dataset, GenConfig, InputSpec};
+use deepcsi_nn::{Dense, Network, Selu, Tensor};
+use deepcsi_serve::{Backpressure, Engine, EngineConfig, ReplaySource};
+use std::time::Instant;
+
+/// A named inference workload: network + one representative input.
+pub struct Workload {
+    /// Display name (used in RESULT keys).
+    pub name: &'static str,
+    /// The network under test.
+    pub net: Network,
+    /// Per-sample input shape.
+    pub input_shape: Vec<usize>,
+}
+
+/// The paper-architecture CNN at full input width.
+pub fn paper_cnn() -> Workload {
+    Workload {
+        name: "paper_cnn",
+        net: ModelConfig::paper(10, 1).build((5, 1, 234)),
+        input_shape: vec![5, 1, 234],
+    }
+}
+
+/// The fast sweep-profile CNN.
+pub fn fast_cnn() -> Workload {
+    Workload {
+        name: "fast_cnn",
+        net: ModelConfig::fast(10, 1).build((5, 1, 117)),
+        input_shape: vec![5, 1, 117],
+    }
+}
+
+/// A dense-stack classifier head at serving scale — the workload where
+/// micro-batching converts memory-bound mat-vec into a register-blocked
+/// mat-mul (the headline forward_batch speedup).
+pub fn dense_stack() -> Workload {
+    let mut net = Network::new();
+    net.push(Dense::new(1170, 2048, 1));
+    net.push(Selu::new());
+    net.push(Dense::new(2048, 2048, 2));
+    net.push(Selu::new());
+    net.push(Dense::new(2048, 1024, 3));
+    net.push(Selu::new());
+    net.push(Dense::new(1024, 10, 4));
+    Workload {
+        name: "dense_stack",
+        net,
+        input_shape: vec![1170],
+    }
+}
+
+/// Deterministic pseudo-random inputs for a workload.
+pub fn inputs(w: &Workload, batch: usize) -> Vec<Tensor> {
+    let len: usize = w.input_shape.iter().product();
+    (0..batch)
+        .map(|s| {
+            Tensor::from_vec(
+                (0..len)
+                    .map(|e| ((e * 31 + s * 7) % 13) as f32 * 0.1 - 0.6)
+                    .collect(),
+                w.input_shape.clone(),
+            )
+        })
+        .collect()
+}
+
+/// Measured per-sample vs micro-batched inference for one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupMeasurement {
+    /// Wall time of `batch` sequential `forward` calls, seconds.
+    pub sequential_s: f64,
+    /// Wall time of one `forward_batch` over the same inputs, seconds.
+    pub batched_s: f64,
+}
+
+impl SpeedupMeasurement {
+    /// Throughput ratio (sequential time / batched time).
+    pub fn speedup(&self) -> f64 {
+        self.sequential_s / self.batched_s
+    }
+}
+
+/// Prints one workload's speedup measurement: the human-readable line
+/// plus the machine-readable `RESULT serve …` line `run_all` collects
+/// into `BENCH_serve.json` (single source of the key format for the
+/// bench and the `serve_throughput` binary).
+pub fn report_speedup(w: &Workload, batch: usize, m: SpeedupMeasurement) {
+    println!(
+        "{:<12} sequential {:>9.3} ms  batched {:>9.3} ms  speedup {:>5.1}x",
+        w.name,
+        m.sequential_s * 1e3,
+        m.batched_s * 1e3,
+        m.speedup()
+    );
+    crate::result_line(
+        "serve",
+        &format!("forward_batch_speedup_{}_b{batch}", w.name),
+        m.speedup(),
+    );
+}
+
+/// Times `forward_batch` against `batch` sequential `forward` calls.
+pub fn measure_speedup(w: &mut Workload, batch: usize, min_reps: usize) -> SpeedupMeasurement {
+    let xs = inputs(w, batch);
+    // Warm-up both paths.
+    let _ = w.net.forward_batch(&xs);
+    for x in &xs {
+        let _ = w.net.forward(x, false);
+    }
+    let reps = min_reps.max(1);
+    let t = Instant::now();
+    for _ in 0..reps {
+        for x in &xs {
+            std::hint::black_box(w.net.forward(x, false));
+        }
+    }
+    let sequential_s = t.elapsed().as_secs_f64() / reps as f64;
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(w.net.forward_batch(&xs));
+    }
+    let batched_s = t.elapsed().as_secs_f64() / reps as f64;
+    SpeedupMeasurement {
+        sequential_s,
+        batched_s,
+    }
+}
+
+/// A small synthetic capture for end-to-end engine throughput runs.
+pub fn serve_dataset(modules: u32, snapshots: usize) -> Dataset {
+    generate_d1(&GenConfig {
+        num_modules: modules,
+        snapshots_per_trace: snapshots,
+        ..GenConfig::default()
+    })
+}
+
+/// An untrained fast classifier over the dataset's input shape
+/// (throughput does not depend on trained weights).
+pub fn serve_authenticator(ds: &Dataset, classes: usize) -> Authenticator {
+    let spec = InputSpec {
+        stride: 4,
+        ..InputSpec::default()
+    };
+    let probe = spec.tensor(&ds.traces[0].snapshots[0]);
+    Authenticator::new(ModelConfig::fast(classes, 0).build_for(&probe), spec)
+}
+
+/// End-to-end engine throughput for one replay pass, reports/second.
+pub fn engine_reports_per_sec(ds: &Dataset, workers: usize, repeat: usize) -> f64 {
+    let replay = ReplaySource::from_dataset(ds);
+    let engine = Engine::start(
+        EngineConfig {
+            workers,
+            backpressure: Backpressure::Block,
+            ..EngineConfig::default()
+        },
+        serve_authenticator(ds, ds.modules().len().max(2)),
+        ReplaySource::registry(ds),
+    );
+    let t = Instant::now();
+    for _ in 0..repeat {
+        for frame in replay.frames() {
+            engine.ingest_frame(frame);
+        }
+    }
+    engine.drain();
+    let elapsed = t.elapsed().as_secs_f64();
+    let report = engine.shutdown();
+    report.stats.classified as f64 / elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_measurement_is_positive() {
+        let mut w = fast_cnn();
+        let m = measure_speedup(&mut w, 4, 1);
+        assert!(m.sequential_s > 0.0 && m.batched_s > 0.0);
+        assert!(m.speedup() > 0.0);
+    }
+
+    #[test]
+    fn engine_throughput_is_positive() {
+        let ds = serve_dataset(1, 3);
+        assert!(engine_reports_per_sec(&ds, 1, 1) > 0.0);
+    }
+}

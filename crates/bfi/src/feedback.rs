@@ -1,7 +1,7 @@
 //! Per-sounding feedback containers spanning all sounded subcarriers.
 
 use crate::{beamforming_matrix, decompose, dequantize, quantize, v_from_angles, QuantizedAngles};
-use deepcsi_linalg::{C64, CMatrix};
+use deepcsi_linalg::{CMatrix, C64};
 use deepcsi_phy::{Codebook, MimoConfig};
 use serde::{Deserialize, Serialize};
 

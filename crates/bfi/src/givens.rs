@@ -1,7 +1,7 @@
 //! Algorithm 1: Givens-rotation decomposition of `V_k` and its inverse
 //! (Eq. (7)).
 
-use deepcsi_linalg::{C64, CMatrix};
+use deepcsi_linalg::{CMatrix, C64};
 use serde::{Deserialize, Serialize};
 
 /// The (φ, ψ) angles of one subcarrier's compressed feedback.
@@ -109,7 +109,9 @@ pub fn decompose(v: &CMatrix) -> GivensDecomposition {
 
     for i in 1..=imax {
         // φ block: phases of column i, rows i..M−1 (1-based).
-        let phis: Vec<f64> = (i..m).map(|l| wrap_2pi(omega[(l - 1, i - 1)].arg())).collect();
+        let phis: Vec<f64> = (i..m)
+            .map(|l| wrap_2pi(omega[(l - 1, i - 1)].arg()))
+            .collect();
         let d_i = d_matrix(m, i, &phis);
         omega = d_i.hermitian().matmul(&omega);
         phi.extend_from_slice(&phis);

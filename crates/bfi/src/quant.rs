@@ -157,8 +157,10 @@ mod tests {
     fn coarse_codebook_is_coarser() {
         // The same angle quantized with MU_LOW loses more precision.
         let a = 1.2345;
-        let fine = (a - dequantize_phi(quantize_phi(a, Codebook::MU_HIGH), Codebook::MU_HIGH)).abs();
-        let coarse = (a - dequantize_phi(quantize_phi(a, Codebook::MU_LOW), Codebook::MU_LOW)).abs();
+        let fine =
+            (a - dequantize_phi(quantize_phi(a, Codebook::MU_HIGH), Codebook::MU_HIGH)).abs();
+        let coarse =
+            (a - dequantize_phi(quantize_phi(a, Codebook::MU_LOW), Codebook::MU_LOW)).abs();
         assert!(coarse >= fine);
     }
 

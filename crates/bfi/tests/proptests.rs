@@ -3,7 +3,7 @@
 use deepcsi_bfi::{
     beamforming_matrix, decompose, dequantize, quant, quantize, v_from_angles, GivensAngles,
 };
-use deepcsi_linalg::{C64, CMatrix};
+use deepcsi_linalg::{CMatrix, C64};
 use deepcsi_phy::Codebook;
 use proptest::prelude::*;
 use std::f64::consts::{FRAC_PI_2, PI};

@@ -248,12 +248,7 @@ mod tests {
 
     #[test]
     fn rotated_array_points_along_orientation() {
-        let arr = AntennaArray::new(
-            Point2::new(1.0, 1.0),
-            std::f64::consts::FRAC_PI_2,
-            0.1,
-            2,
-        );
+        let arr = AntennaArray::new(Point2::new(1.0, 1.0), std::f64::consts::FRAC_PI_2, 0.1, 2);
         let e0 = arr.element(0);
         let e1 = arr.element(1);
         assert!((e0.x - 1.0).abs() < 1e-12);

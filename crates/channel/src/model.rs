@@ -3,7 +3,7 @@
 use crate::environment::{Environment, Scatterer};
 use crate::geometry::AntennaArray;
 use crate::ray::trace_paths;
-use deepcsi_linalg::{C64, CMatrix};
+use deepcsi_linalg::{CMatrix, C64};
 use deepcsi_phy::{SubcarrierLayout, SPEED_OF_LIGHT, SUBCARRIER_SPACING_HZ};
 use rand::Rng;
 
@@ -89,19 +89,15 @@ impl ChannelModel {
 
         for mi in 0..m {
             for ni in 0..n {
-                let paths = trace_paths(
-                    tx.element(mi),
-                    rx.element(ni),
-                    &self.env.room,
-                    scatterers,
-                );
+                let paths = trace_paths(tx.element(mi), rx.element(ni), &self.env.room, scatterers);
                 for p in &paths {
                     let tau = p.length / SPEED_OF_LIGHT;
                     let amp = p.gain * lambda / (4.0 * std::f64::consts::PI * p.length);
                     // Phasor at the first tone, then advance one tone per
                     // step: e^{−j2π(fc + kΔf)τ}.
-                    let phase0 = -std::f64::consts::TAU * (fc + k_min as f64 * SUBCARRIER_SPACING_HZ) * tau
-                        + p.extra_phase;
+                    let phase0 =
+                        -std::f64::consts::TAU * (fc + k_min as f64 * SUBCARRIER_SPACING_HZ) * tau
+                            + p.extra_phase;
                     let mut phasor = C64::from_polar(amp, phase0);
                     let step = C64::cis(-std::f64::consts::TAU * SUBCARRIER_SPACING_HZ * tau);
                     let mut idx_iter = indices.iter().enumerate().peekable();
@@ -206,7 +202,7 @@ mod tests {
 
     #[test]
     fn extra_scatterer_perturbs_the_channel() {
-        let (env, tx, rx, model) = setup();
+        let (_env, tx, rx, model) = setup();
         let mut rng1 = StdRng::seed_from_u64(3);
         let mut rng2 = StdRng::seed_from_u64(3);
         let base = model.cfr(&tx, &rx, &mut rng1);
@@ -238,10 +234,9 @@ mod tests {
     #[test]
     fn amplitude_scale_is_physical() {
         // 3 m LoS at 5.21 GHz: free-space amplitude ≈ λ/(4πd) ≈ 1.5e-3.
-        let (env, tx, rx, model) = setup();
+        let (_env, tx, rx, model) = setup();
         let h = model.cfr_with_scatterers(&tx, &rx, &[]);
         let mag = h[117][(0, 0)].abs();
         assert!(mag > 1e-4 && mag < 1e-2, "LoS magnitude {mag}");
-        let _ = env;
     }
 }

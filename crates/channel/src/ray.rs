@@ -87,12 +87,7 @@ mod tests {
 
     #[test]
     fn los_is_shortest_path() {
-        let paths = trace_paths(
-            Point2::new(0.0, 0.0),
-            Point2::new(-0.75, 3.0),
-            &room(),
-            &[],
-        );
+        let paths = trace_paths(Point2::new(0.0, 0.0), Point2::new(-0.75, 3.0), &room(), &[]);
         let los = paths[0].length;
         for p in &paths[1..] {
             assert!(p.length > los, "reflection shorter than LoS");

@@ -108,8 +108,7 @@ impl Iterator for ChannelSounder {
             Some((path, person)) => {
                 let pos = path.position_at(t);
                 let tx = self.tx_template.at(pos);
-                let extra: Vec<Scatterer> =
-                    vec![person.scatterer_at(t, pos, &mut self.rng)];
+                let extra: Vec<Scatterer> = vec![person.scatterer_at(t, pos, &mut self.rng)];
                 self.model
                     .cfr_with_extra(&tx, &self.rx, &extra, &mut self.rng)
             }
@@ -166,7 +165,11 @@ mod tests {
         let items: Vec<_> = sounder(2).collect();
         let (_, a) = &items[0];
         let (_, b) = &items[1];
-        let diff: f64 = a.iter().zip(b.iter()).map(|(x, y)| x.sub(y).fro_norm()).sum();
+        let diff: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.sub(y).fro_norm())
+            .sum();
         let norm: f64 = a.iter().map(|x| x.fro_norm()).sum();
         let rel = diff / norm;
         assert!(rel > 0.0, "snapshots identical");

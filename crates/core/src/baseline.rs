@@ -32,7 +32,7 @@ pub fn cleaned_spec(spec: &InputSpec) -> InputSpec {
 mod tests {
     use super::*;
     use deepcsi_bfi::VSeries;
-    use deepcsi_linalg::{C64, CMatrix};
+    use deepcsi_linalg::{CMatrix, C64};
 
     /// Builds a Ṽ-like series whose element (0,0) has a pure linear
     /// phase ramp.
@@ -94,11 +94,10 @@ mod tests {
             .collect();
         let mut s = VSeries { subcarriers, v };
         clean_phase_offsets(&mut s);
-        let spread: f64 = s
-            .v
-            .iter()
-            .map(|vk| vk[(0, 0)].arg().abs())
-            .fold(0.0, f64::max);
+        let spread: f64 =
+            s.v.iter()
+                .map(|vk| vk[(0, 0)].arg().abs())
+                .fold(0.0, f64::max);
         assert!(spread > 0.05, "quadratic structure was destroyed");
     }
 

@@ -51,4 +51,4 @@ mod pipeline;
 
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use model::ModelConfig;
-pub use pipeline::{Authenticator, AuthError};
+pub use pipeline::{AuthError, Authenticator};

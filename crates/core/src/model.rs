@@ -45,6 +45,22 @@ impl ModelConfig {
         }
     }
 
+    /// A two-conv-layer demo profile that trains to usable accuracy in
+    /// about a second on narrow (`stride: 4`) inputs — the recipe the
+    /// serving demos, the `deepcsi-served` binary and the engine
+    /// integration tests all share.
+    pub fn demo(num_classes: usize) -> Self {
+        ModelConfig {
+            conv_filters: vec![16, 16],
+            conv_kernels: vec![7, 5],
+            attention_kernel: 7,
+            dense_units: vec![32],
+            dropout_rates: vec![0.1],
+            num_classes,
+            seed: 5,
+        }
+    }
+
     /// A slimmer profile for laptop-scale experiment sweeps (same layer
     /// structure, fewer filters/units). Used by the figure binaries
     /// together with [`deepcsi_data::InputSpec::fast`].
@@ -110,12 +126,23 @@ impl ModelConfig {
             .zip(self.dropout_rates.iter())
             .enumerate()
         {
-            net.push(Dense::new(dim, units, self.seed.wrapping_add(900 + li as u64)));
+            net.push(Dense::new(
+                dim,
+                units,
+                self.seed.wrapping_add(900 + li as u64),
+            ));
             net.push(Selu::new());
-            net.push(AlphaDropout::new(rate, self.seed.wrapping_add(950 + li as u64)));
+            net.push(AlphaDropout::new(
+                rate,
+                self.seed.wrapping_add(950 + li as u64),
+            ));
             dim = units;
         }
-        net.push(Dense::new(dim, self.num_classes, self.seed.wrapping_add(999)));
+        net.push(Dense::new(
+            dim,
+            self.num_classes,
+            self.seed.wrapping_add(999),
+        ));
         net
     }
 

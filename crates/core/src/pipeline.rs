@@ -109,7 +109,27 @@ impl Authenticator {
     /// module id.
     pub fn classify_feedback(&self, fb: &BeamformingFeedback) -> usize {
         let x = self.spec.tensor(fb);
-        self.net.clone().forward(&x, false).argmax()
+        self.net.infer(&x).argmax()
+    }
+
+    /// The wrapped network (used by the serving engine for micro-batched
+    /// inference).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The recorded input shape `(channels, rows, cols)`, when this
+    /// authenticator was built with [`Authenticator::with_config`] or
+    /// loaded from disk. The serving engine uses it to pin the accepted
+    /// tensor shape up front.
+    pub fn input_shape(&self) -> Option<(usize, usize, usize)> {
+        self.input_shape
+    }
+
+    /// Builds the input tensor for a parsed feedback without classifying
+    /// it (the serving engine batches tensors before inference).
+    pub fn tensorize(&self, fb: &BeamformingFeedback) -> deepcsi_nn::Tensor {
+        self.spec.tensor(fb)
     }
 
     /// Decodes a captured frame and classifies its feedback, returning

@@ -58,11 +58,16 @@ mod tests {
         let ds = generate_d2(&cfg);
         // 11 traces × 2 beamformees.
         assert_eq!(ds.traces.len(), 22);
-        let count = |f: &dyn Fn(&TraceKind) -> bool| {
-            ds.filter(|t| t.beamformee == 1 && f(&t.kind)).count()
-        };
-        assert_eq!(count(&|k| matches!(k, TraceKind::D2Fixed { group: 1, .. })), 2);
-        assert_eq!(count(&|k| matches!(k, TraceKind::D2Fixed { group: 2, .. })), 2);
+        let count =
+            |f: &dyn Fn(&TraceKind) -> bool| ds.filter(|t| t.beamformee == 1 && f(&t.kind)).count();
+        assert_eq!(
+            count(&|k| matches!(k, TraceKind::D2Fixed { group: 1, .. })),
+            2
+        );
+        assert_eq!(
+            count(&|k| matches!(k, TraceKind::D2Fixed { group: 2, .. })),
+            2
+        );
         assert_eq!(
             count(&|k| matches!(k, TraceKind::D2Mobility { group: 1, .. })),
             4

@@ -98,8 +98,7 @@ pub fn generate_trace(cfg: &GenConfig, spec: &TraceSpec) -> Trace {
     let m_tx = 3; // the paper's AP sounds with M = 3 antennas
     let mimo = MimoConfig::new(m_tx, spec.n_rx, spec.n_rx).expect("valid MIMO dims");
     let tx_fp = RadioFingerprint::generate(spec.module, m_tx, &cfg.profile);
-    let rx_fp =
-        RadioFingerprint::generate_rx(spec.beamformee as u64, spec.n_rx, &cfg.profile);
+    let rx_fp = RadioFingerprint::generate_rx(spec.beamformee as u64, spec.n_rx, &cfg.profile);
 
     let spacing = env.half_wavelength();
     let tx_array = AntennaArray::new(env.ap_home(), 0.0, spacing, m_tx);

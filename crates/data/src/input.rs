@@ -130,13 +130,29 @@ impl InputSpec {
             .sum()
     }
 
+    /// `true` when [`InputSpec::tensor`] can convert this feedback
+    /// without panicking: every selected stream/antenna/subcarrier exists
+    /// and at least one subcarrier survives selection. Online consumers
+    /// (the serving engine) gate arbitrary over-the-air feedback on this
+    /// before tensorizing.
+    pub fn compatible(&self, fb: &BeamformingFeedback) -> bool {
+        let streams_ok = self.streams.iter().all(|&s| s < fb.mimo.n_ss());
+        let antennas_ok = self.antennas.iter().all(|&a| a < fb.mimo.m_tx());
+        let subcarriers_ok = match &self.subcarrier_positions {
+            Some(p) => !p.is_empty() && p.iter().all(|&i| i < fb.len()),
+            None => !fb.is_empty(),
+        };
+        streams_ok && antennas_ok && subcarriers_ok
+    }
+
     /// Converts one captured feedback into a classifier input tensor of
     /// shape `(Nch, Nrow, Ncol)`.
     ///
     /// # Panics
     ///
     /// Panics if a selected stream/antenna is out of range for the
-    /// feedback's MIMO dimensions, or no subcarriers survive selection.
+    /// feedback's MIMO dimensions, or no subcarriers survive selection
+    /// (see [`InputSpec::compatible`]).
     pub fn tensor(&self, fb: &BeamformingFeedback) -> Tensor {
         let mut series = fb.reconstruct();
         if self.offset_cleaning {
@@ -233,7 +249,7 @@ impl LabeledSamples {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepcsi_linalg::{C64, CMatrix};
+    use deepcsi_linalg::{CMatrix, C64};
     use deepcsi_phy::{Codebook, MimoConfig};
 
     fn sample_feedback(n_sc: usize) -> BeamformingFeedback {

@@ -101,35 +101,34 @@ fn assemble(jobs: Vec<Job<'_>>, spec: &InputSpec) -> Split {
         .unwrap_or(4)
         .clamp(1, 16);
     let chunk = jobs.len().div_ceil(threads).max(1);
-    let parts: Vec<Vec<(Dest, usize, LabeledSamples, usize)>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk)
-                .map(|shard| {
-                    scope.spawn(move |_| {
-                        shard
-                            .iter()
-                            .map(|job| {
-                                let mut samples = LabeledSamples::default();
-                                for i in job.start..job.end {
-                                    samples.push(
-                                        spec.tensor(&job.trace.snapshots[i]),
-                                        job.trace.module.0 as usize,
-                                    );
-                                }
-                                let n = samples.len();
-                                (job.dest, job.start, samples, n)
-                            })
-                            .collect()
-                    })
+    let parts: Vec<Vec<(Dest, usize, LabeledSamples, usize)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    shard
+                        .iter()
+                        .map(|job| {
+                            let mut samples = LabeledSamples::default();
+                            for i in job.start..job.end {
+                                samples.push(
+                                    spec.tensor(&job.trace.snapshots[i]),
+                                    job.trace.module.0 as usize,
+                                );
+                            }
+                            let n = samples.len();
+                            (job.dest, job.start, samples, n)
+                        })
+                        .collect()
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("tensorize worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed");
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tensorize worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
 
     let mut split = Split::default();
     for (dest, _, samples, n) in parts.into_iter().flatten() {
@@ -384,9 +383,7 @@ mod tests {
             }
         }
         // S3 is the extrapolation set: max train position < min test.
-        assert!(
-            D1Set::S3.train_positions().iter().max() < D1Set::S3.test_positions().iter().min()
-        );
+        assert!(D1Set::S3.train_positions().iter().max() < D1Set::S3.test_positions().iter().min());
     }
 
     #[test]

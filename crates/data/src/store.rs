@@ -63,8 +63,8 @@ pub fn load_dataset<P: AsRef<Path>>(path: P) -> Result<Dataset, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generator::GenConfig;
     use crate::generate_d1;
+    use crate::generator::GenConfig;
 
     #[test]
     fn roundtrip_through_disk() {

@@ -75,7 +75,10 @@ impl Dataset {
     }
 
     /// Traces matching a predicate.
-    pub fn filter<'a, F: Fn(&Trace) -> bool + 'a>(&'a self, f: F) -> impl Iterator<Item = &'a Trace> {
+    pub fn filter<'a, F: Fn(&Trace) -> bool + 'a>(
+        &'a self,
+        f: F,
+    ) -> impl Iterator<Item = &'a Trace> {
         self.traces.iter().filter(move |t| f(t))
     }
 
@@ -103,7 +106,11 @@ mod tests {
     #[test]
     fn modules_are_deduped_and_sorted() {
         let ds = Dataset {
-            traces: vec![dummy_trace(3, 1, 1), dummy_trace(1, 1, 1), dummy_trace(3, 2, 2)],
+            traces: vec![
+                dummy_trace(3, 1, 1),
+                dummy_trace(1, 1, 1),
+                dummy_trace(3, 2, 2),
+            ],
         };
         assert_eq!(ds.modules(), vec![DeviceId(1), DeviceId(3)]);
     }
@@ -111,7 +118,11 @@ mod tests {
     #[test]
     fn filter_selects_by_predicate() {
         let ds = Dataset {
-            traces: vec![dummy_trace(0, 1, 1), dummy_trace(0, 2, 1), dummy_trace(0, 1, 2)],
+            traces: vec![
+                dummy_trace(0, 1, 1),
+                dummy_trace(0, 2, 1),
+                dummy_trace(0, 1, 2),
+            ],
         };
         let bf1: Vec<_> = ds.filter(|t| t.beamformee == 1).collect();
         assert_eq!(bf1.len(), 2);

@@ -2,7 +2,7 @@
 
 use deepcsi_bfi::BeamformingFeedback;
 use deepcsi_data::{clean_phase_offsets, InputSpec};
-use deepcsi_linalg::{C64, CMatrix};
+use deepcsi_linalg::{CMatrix, C64};
 use deepcsi_phy::{Codebook, MimoConfig};
 use proptest::prelude::*;
 

@@ -317,8 +317,16 @@ mod tests {
                 .map(|j| QuantizedAngles {
                     m: 3,
                     n_ss: 2,
-                    q_phi: vec![(j % 512) as u16, ((j + 1) % 512) as u16, ((j + 2) % 512) as u16],
-                    q_psi: vec![(j % 128) as u16, ((j + 1) % 128) as u16, ((j + 2) % 128) as u16],
+                    q_phi: vec![
+                        (j % 512) as u16,
+                        ((j + 1) % 512) as u16,
+                        ((j + 2) % 512) as u16,
+                    ],
+                    q_psi: vec![
+                        (j % 128) as u16,
+                        ((j + 1) % 128) as u16,
+                        ((j + 2) % 128) as u16,
+                    ],
                 })
                 .collect(),
         }
@@ -406,7 +414,9 @@ mod tests {
     #[test]
     fn mu_exclusive_roundtrip_through_frame() {
         let f = frame(16).with_mu_exclusive(
-            (0..16).map(|t| vec![(t % 16) as i8 - 8, 7 - (t % 16) as i8]).collect(),
+            (0..16)
+                .map(|t| vec![(t % 16) as i8 - 8, 7 - (t % 16) as i8])
+                .collect(),
         );
         let bytes = f.encode();
         let parsed = BeamformingReportFrame::parse(&bytes).unwrap();

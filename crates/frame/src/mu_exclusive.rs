@@ -67,7 +67,9 @@ mod tests {
 
     #[test]
     fn roundtrip_full_range() {
-        let rows: Vec<Vec<i8>> = (0..16).map(|t| vec![(t - 8) as i8, (7 - t) as i8]).collect();
+        let rows: Vec<Vec<i8>> = (0..16)
+            .map(|t| vec![(t - 8) as i8, (7 - t) as i8])
+            .collect();
         let bytes = pack_mu_exclusive(&rows);
         assert_eq!(bytes.len(), mu_exclusive_len(2, 16));
         let back = unpack_mu_exclusive(&bytes, 2, 16).expect("unpack");

@@ -111,8 +111,16 @@ mod tests {
             .map(|j| QuantizedAngles {
                 m: 3,
                 n_ss: 2,
-                q_phi: vec![(j * 3) as u16 % 512, (j * 5 + 1) as u16 % 512, (j * 7 + 2) as u16 % 512],
-                q_psi: vec![(j * 2) as u16 % 128, (j * 3 + 1) as u16 % 128, (j * 4 + 2) as u16 % 128],
+                q_phi: vec![
+                    (j * 3) as u16 % 512,
+                    (j * 5 + 1) as u16 % 512,
+                    (j * 7 + 2) as u16 % 512,
+                ],
+                q_psi: vec![
+                    (j * 2) as u16 % 128,
+                    (j * 3 + 1) as u16 % 128,
+                    (j * 4 + 2) as u16 % 128,
+                ],
             })
             .collect()
     }
@@ -196,7 +204,7 @@ mod tests {
             q_phi: vec![5, 6],
             q_psi: vec![7, 8],
         };
-        let bytes = pack_report(&[qa.clone()], &[0], Codebook::MU_HIGH);
+        let bytes = pack_report(std::slice::from_ref(&qa), &[0], Codebook::MU_HIGH);
         let mut r = BitReader::new(&bytes);
         let _snr = r.get(8).unwrap();
         assert_eq!(r.get(9), Some(5));

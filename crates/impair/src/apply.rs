@@ -2,7 +2,7 @@
 
 use crate::fingerprint::{ImpairmentProfile, RadioFingerprint};
 use crate::offsets::LinkState;
-use deepcsi_linalg::{C64, CMatrix};
+use deepcsi_linalg::{CMatrix, C64};
 use deepcsi_phy::SYMBOL_PERIOD_S;
 
 /// Sign of the LTF pilot product `x(−k)·x(k)` at tone `k`. The real VHT-LTF
@@ -153,7 +153,11 @@ mod tests {
 
     fn flat_cfr(m: usize, n: usize, count: usize) -> Vec<CMatrix> {
         (0..count)
-            .map(|_| CMatrix::from_fn(m, n, |mi, ni| C64::new(1.0 + mi as f64 * 0.1, ni as f64 * 0.1)))
+            .map(|_| {
+                CMatrix::from_fn(m, n, |mi, ni| {
+                    C64::new(1.0 + mi as f64 * 0.1, ni as f64 * 0.1)
+                })
+            })
             .collect()
     }
 
@@ -218,7 +222,11 @@ mod tests {
         let mut lb = LinkState::new(&tx_b, 0);
         let a = apply_impairments(&cfr, &t, &tx_a, &rx, &p, &mut la);
         let b = apply_impairments(&cfr, &t, &tx_b, &rx, &p, &mut lb);
-        let diff: f64 = a.iter().zip(b.iter()).map(|(x, y)| x.sub(y).fro_norm()).sum();
+        let diff: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.sub(y).fro_norm())
+            .sum();
         assert!(diff > 0.1, "device fingerprints indistinguishable");
     }
 

@@ -132,10 +132,7 @@ mod tests {
         let mut prev = c.response(-122, 122);
         for k in -121..=122 {
             let cur = c.response(k, 122);
-            assert!(
-                (cur - prev).abs() < 0.15,
-                "response jumped at tone {k}"
-            );
+            assert!((cur - prev).abs() < 0.15, "response jumped at tone {k}");
             prev = cur;
         }
     }

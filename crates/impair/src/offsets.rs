@@ -98,13 +98,20 @@ impl LinkState {
     }
 
     /// Draws the offsets of the next packet given the link's nominal SNR.
-    pub fn next_packet(&mut self, snr_db: f64, snr_jitter_db: f64, phase_noise_std: f64) -> PacketOffsets {
+    pub fn next_packet(
+        &mut self,
+        snr_db: f64,
+        snr_jitter_db: f64,
+        phase_noise_std: f64,
+    ) -> PacketOffsets {
         self.packet_count += 1;
         let n_chains = self.pa.len();
         let pa = self.pa.clone();
         // Residual CFO phase after receiver correction: the correction
         // leaves a fraction of a cycle, uniformly distributed.
-        let theta_cfo = self.rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)
+        let theta_cfo = self
+            .rng
+            .gen_range(-std::f64::consts::PI..std::f64::consts::PI)
             * (self.cfo_anchor_hz.abs() / (self.cfo_anchor_hz.abs() + 1e4)).min(1.0);
         // SFO accumulates over the symbol; PDD is a few sample periods.
         let tau_sfo = self.sfo_anchor_s_per_s * 4e-6 * (1.0 + 0.1 * self.gaussian());

@@ -1,6 +1,6 @@
 //! Hermitian eigendecomposition via the complex Jacobi method.
 
-use crate::{C64, CMatrix};
+use crate::{CMatrix, C64};
 
 /// Result of a Hermitian eigendecomposition `A = V Λ V†`.
 ///
@@ -153,10 +153,7 @@ mod tests {
     #[test]
     fn known_2x2_hermitian() {
         // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
-        let a = CMatrix::from_rows(&[
-            vec![C64::real(2.0), C64::I],
-            vec![-C64::I, C64::real(2.0)],
-        ]);
+        let a = CMatrix::from_rows(&[vec![C64::real(2.0), C64::I], vec![-C64::I, C64::real(2.0)]]);
         let e = herm_eig(&a);
         assert!((e.values[0] - 3.0).abs() < 1e-10);
         assert!((e.values[1] - 1.0).abs() < 1e-10);

@@ -40,4 +40,4 @@ mod svd;
 pub use complex::C64;
 pub use eig::{herm_eig, HermEig};
 pub use matrix::CMatrix;
-pub use svd::{svd, right_singular_vectors, Svd};
+pub use svd::{right_singular_vectors, svd, Svd};

@@ -1,6 +1,6 @@
 //! Complex singular value decomposition.
 
-use crate::{herm_eig, C64, CMatrix};
+use crate::{herm_eig, CMatrix, C64};
 
 /// Result of a singular value decomposition `A = U Σ V†`.
 ///
@@ -62,7 +62,12 @@ pub fn svd(a: &CMatrix) -> Svd {
         let gram = a.hermitian().matmul(a);
         let eig = herm_eig(&gram);
         let v = eig.vectors;
-        let s: Vec<f64> = eig.values.iter().take(k).map(|&l| l.max(0.0).sqrt()).collect();
+        let s: Vec<f64> = eig
+            .values
+            .iter()
+            .take(k)
+            .map(|&l| l.max(0.0).sqrt())
+            .collect();
         let u = left_from_right(a, &v, &s);
         Svd { u, s, v }
     } else {
@@ -70,7 +75,12 @@ pub fn svd(a: &CMatrix) -> Svd {
         let gram = a.matmul(&a.hermitian());
         let eig = herm_eig(&gram);
         let u = eig.vectors;
-        let s: Vec<f64> = eig.values.iter().take(k).map(|&l| l.max(0.0).sqrt()).collect();
+        let s: Vec<f64> = eig
+            .values
+            .iter()
+            .take(k)
+            .map(|&l| l.max(0.0).sqrt())
+            .collect();
         // V columns: v_i = A† u_i / σ_i.
         let v = left_from_right(&a.hermitian(), &u, &s);
         Svd { u, s, v }
@@ -149,10 +159,7 @@ mod tests {
 
     #[test]
     fn diagonal_real_matrix() {
-        let a = CMatrix::from_rows(&[
-            vec![c(3.0, 0.0), C64::ZERO],
-            vec![C64::ZERO, c(-2.0, 0.0)],
-        ]);
+        let a = CMatrix::from_rows(&[vec![c(3.0, 0.0), C64::ZERO], vec![C64::ZERO, c(-2.0, 0.0)]]);
         let d = svd(&a);
         assert!((d.s[0] - 3.0).abs() < 1e-12);
         assert!((d.s[1] - 2.0).abs() < 1e-12);

@@ -1,6 +1,6 @@
 //! Property-based tests for the complex linear-algebra substrate.
 
-use deepcsi_linalg::{herm_eig, right_singular_vectors, svd, C64, CMatrix};
+use deepcsi_linalg::{herm_eig, right_singular_vectors, svd, CMatrix, C64};
 use proptest::prelude::*;
 
 /// Strategy producing a bounded complex number.
@@ -10,9 +10,8 @@ fn c64() -> impl Strategy<Value = C64> {
 
 /// Strategy producing a rows×cols matrix with bounded entries.
 fn cmatrix(rows: usize, cols: usize) -> impl Strategy<Value = CMatrix> {
-    proptest::collection::vec(c64(), rows * cols).prop_map(move |data| {
-        CMatrix::from_fn(rows, cols, |r, c| data[r * cols + c])
-    })
+    proptest::collection::vec(c64(), rows * cols)
+        .prop_map(move |data| CMatrix::from_fn(rows, cols, |r, c| data[r * cols + c]))
 }
 
 proptest! {
@@ -91,7 +90,7 @@ proptest! {
     }
 
     #[test]
-    fn per_tx_phase_rotates_right_vectors(a in cmatrix(2, 3), t0 in 0.0f64..6.28, t1 in 0.0f64..6.28, t2 in 0.0f64..6.28) {
+    fn per_tx_phase_rotates_right_vectors(a in cmatrix(2, 3), t0 in 0.0f64..std::f64::consts::TAU, t1 in 0.0f64..std::f64::consts::TAU, t2 in 0.0f64..std::f64::consts::TAU) {
         // The fingerprint-percolation mechanism: A·T (per-column unit phases)
         // has right singular vectors T†Z up to per-column phase, so the
         // singular values are identical and the subspaces match.

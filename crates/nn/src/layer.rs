@@ -1,5 +1,6 @@
 //! The layer abstraction.
 
+use crate::batch::Batch;
 use crate::tensor::Tensor;
 
 /// A mutable view over one parameter tensor and its gradient accumulator.
@@ -31,6 +32,15 @@ pub trait Layer: Send {
     /// Back-propagates `grad` (∂loss/∂output), returning ∂loss/∂input and
     /// **adding** parameter gradients to the internal accumulators.
     fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Batched immutable inference over batch-innermost planes.
+    ///
+    /// Semantically identical to calling [`Layer::forward`] with
+    /// `train = false` on each sample — implementations keep the exact
+    /// accumulation order of `forward` so results are bit-equal — but
+    /// caches nothing, takes `&self`, and walks contiguous `b`-wide lane
+    /// rows so the hot loops autovectorize across the batch.
+    fn infer_batch(&self, x: &Batch) -> Batch;
 
     /// Mutable views of (parameters, gradients), in a stable order.
     fn params(&mut self) -> Vec<ParamView<'_>>;

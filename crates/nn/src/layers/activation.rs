@@ -1,5 +1,6 @@
 //! Element-wise activations: SELU and sigmoid.
 
+use crate::batch::Batch;
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
 
@@ -53,6 +54,18 @@ impl Layer for Selu {
         gx
     }
 
+    fn infer_batch(&self, x: &Batch) -> Batch {
+        let mut out = x.clone();
+        for v in out.as_mut_slice() {
+            *v = if *v > 0.0 {
+                SELU_LAMBDA * *v
+            } else {
+                SELU_LAMBDA * SELU_ALPHA * (v.exp() - 1.0)
+            };
+        }
+        out
+    }
+
     fn params(&mut self) -> Vec<ParamView<'_>> {
         Vec::new()
     }
@@ -98,6 +111,14 @@ impl Layer for Sigmoid {
         gx
     }
 
+    fn infer_batch(&self, x: &Batch) -> Batch {
+        let mut out = x.clone();
+        for v in out.as_mut_slice() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        out
+    }
+
     fn params(&mut self) -> Vec<ParamView<'_>> {
         Vec::new()
     }
@@ -139,8 +160,12 @@ mod tests {
         let mut s = Selu::new();
         let y = s.forward(&Tensor::from_vec(data, vec![n]), false);
         let mean: f32 = y.as_slice().iter().sum::<f32>() / n as f32;
-        let var: f32 =
-            y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let var: f32 = y
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n as f32;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -1,5 +1,6 @@
 //! The spatial-attention block of the DeepCSI classifier.
 
+use crate::batch::Batch;
 use crate::layer::{Layer, ParamView};
 use crate::layers::activation::Sigmoid;
 use crate::layers::conv::Conv2d;
@@ -45,7 +46,10 @@ impl Layer for SpatialAttention {
     }
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("attention input must be rank 3");
+        let [c, h, w]: [usize; 3] = x
+            .shape()
+            .try_into()
+            .expect("attention input must be rank 3");
         // Channel-wise max and mean maps.
         let mut pooled = Tensor::zeros(vec![2, h, w]);
         self.cache_argmax = vec![0; h * w];
@@ -124,6 +128,58 @@ impl Layer for SpatialAttention {
             }
         }
         gx
+    }
+
+    fn infer_batch(&self, x: &Batch) -> Batch {
+        let [c, h, w]: [usize; 3] = x
+            .shape()
+            .try_into()
+            .expect("attention input must be rank 3");
+        let b = x.batch_size();
+        let xs = x.as_slice();
+        // Channel-wise max and mean maps, batch lanes innermost; the
+        // channel scan order matches `forward` (strict `>` keeps the
+        // first maximum, the mean sums channels in ascending order).
+        let mut pooled = Batch::zeros(vec![2, h, w], b);
+        {
+            let ps = pooled.as_mut_slice();
+            for hw in 0..h * w {
+                let max_base = hw * b;
+                let mean_base = (h * w + hw) * b;
+                ps[max_base..max_base + b].copy_from_slice(&xs[hw * b..(hw + 1) * b]);
+                for ci in 0..c {
+                    let ibase = (ci * h * w + hw) * b;
+                    for s in 0..b {
+                        let v = xs[ibase + s];
+                        if v > ps[max_base + s] {
+                            ps[max_base + s] = v;
+                        }
+                        ps[mean_base + s] += v;
+                    }
+                }
+                for s in 0..b {
+                    // `forward` divides the plain sum; multiply-by-inverse
+                    // would round differently, so divide here too.
+                    ps[mean_base + s] /= c as f32;
+                }
+            }
+        }
+        let a = self.sigmoid.infer_batch(&self.conv.infer_batch(&pooled));
+        let avs = a.as_slice();
+        let mut out = x.clone();
+        let os = out.as_mut_slice();
+        // Y = X⊙A + X, the attention map broadcast over channels.
+        for ci in 0..c {
+            for hw in 0..h * w {
+                let obase = (ci * h * w + hw) * b;
+                let abase = hw * b;
+                for s in 0..b {
+                    let v = os[obase + s];
+                    os[obase + s] = v * avs[abase + s] + v;
+                }
+            }
+        }
+        out
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {

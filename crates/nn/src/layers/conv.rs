@@ -1,5 +1,6 @@
 //! 2-D convolution with "same" zero padding.
 
+use crate::batch::Batch;
 use crate::init::lecun_normal;
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
@@ -55,7 +56,66 @@ impl Conv2d {
     fn widx(&self, o: usize, i: usize, dh: usize, dw: usize) -> usize {
         ((o * self.in_ch + i) * self.kh + dh) * self.kw + dw
     }
+
+    /// Register-blocked batched kernel for one full `LANES`-wide lane
+    /// block: `OB` output channels share every input-lane load, and the
+    /// accumulators stay in vector registers across the whole
+    /// receptive-field scan. Term order per output element matches
+    /// `forward` — `(i, dh, dw)` ascending with out-of-bounds taps
+    /// skipped, bias last — so results stay bit-equal.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn conv_lanes<const OB: usize>(
+        &self,
+        xs: &[f32],
+        os: &mut [f32],
+        (c, h, w): (usize, usize, usize),
+        b: usize,
+        o0: usize,
+        s0: usize,
+    ) {
+        let (ph, pw) = (self.kh / 2, self.kw / 2);
+        for oh in 0..h {
+            // Valid kernel rows: ih = oh + dh − ph ∈ [0, h).
+            let dh_lo = ph.saturating_sub(oh);
+            let dh_hi = (h + ph - oh).min(self.kh);
+            for ow in 0..w {
+                // Valid kernel cols: iw = ow + dw − pw ∈ [0, w).
+                let dw_lo = pw.saturating_sub(ow);
+                let dw_hi = (w + pw - ow).min(self.kw);
+                let mut acc = [[0.0f32; LANES]; OB];
+                for i in 0..c {
+                    for dh in dh_lo..dh_hi {
+                        let ih = oh + dh - ph;
+                        for dw in dw_lo..dw_hi {
+                            let iw = ow + dw - pw;
+                            let base = ((i * h + ih) * w + iw) * b + s0;
+                            let xrow: &[f32; LANES] =
+                                xs[base..base + LANES].try_into().expect("full lane block");
+                            for (j, a) in acc.iter_mut().enumerate() {
+                                let wv = self.weight[self.widx(o0 + j, i, dh, dw)];
+                                for (av, &xv) in a.iter_mut().zip(xrow) {
+                                    *av += wv * xv;
+                                }
+                            }
+                        }
+                    }
+                }
+                for (j, a) in acc.iter().enumerate() {
+                    let bias = self.bias[o0 + j];
+                    let ob = (((o0 + j) * h + oh) * w + ow) * b + s0;
+                    for (ov, &av) in os[ob..ob + LANES].iter_mut().zip(a) {
+                        *ov = av + bias;
+                    }
+                }
+            }
+        }
+    }
 }
+
+/// SIMD lane-block width of the batched conv kernel (matches the dense
+/// kernel; one full AVX-512 vector of `f32`).
+const LANES: usize = 16;
 
 impl Layer for Conv2d {
     fn name(&self) -> &'static str {
@@ -77,9 +137,6 @@ impl Layer for Conv2d {
                     for dh in 0..self.kh {
                         for dw in 0..self.kw {
                             let wv = self.weight[self.widx(o, i, dh, dw)];
-                            if wv == 0.0 {
-                                continue;
-                            }
                             // Output row oh reads input row oh+dh−ph.
                             for oh in 0..h {
                                 let ih = oh + dh;
@@ -159,6 +216,73 @@ impl Layer for Conv2d {
         gx
     }
 
+    fn infer_batch(&self, x: &Batch) -> Batch {
+        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("conv input must be rank 3");
+        assert_eq!(c, self.in_ch, "input channel mismatch");
+        let b = x.batch_size();
+        let mut out = Batch::zeros(vec![self.out_ch, h, w], b);
+        let xs = x.as_slice();
+        let mut s0 = 0;
+        while s0 < b {
+            let sl = LANES.min(b - s0);
+            if sl == LANES {
+                let os = out.as_mut_slice();
+                let mut o0 = 0;
+                while o0 + 4 <= self.out_ch {
+                    self.conv_lanes::<4>(xs, os, (c, h, w), b, o0, s0);
+                    o0 += 4;
+                }
+                while o0 < self.out_ch {
+                    self.conv_lanes::<1>(xs, os, (c, h, w), b, o0, s0);
+                    o0 += 1;
+                }
+            } else {
+                // Ragged trailing lanes (batch not a multiple of LANES):
+                // same term order, dynamic lane width.
+                let (ph, pw) = (self.kh / 2, self.kw / 2);
+                let os = out.as_mut_slice();
+                for o in 0..self.out_ch {
+                    let out_base = o * h * w;
+                    for i in 0..c {
+                        let in_base = i * h * w;
+                        for dh in 0..self.kh {
+                            for dw in 0..self.kw {
+                                let wv = self.weight[self.widx(o, i, dh, dw)];
+                                for oh in 0..h {
+                                    let ih = oh + dh;
+                                    if ih < ph || ih - ph >= h {
+                                        continue;
+                                    }
+                                    let ih = ih - ph;
+                                    let orow = out_base + oh * w;
+                                    let irow = in_base + ih * w;
+                                    let ow_lo = pw.saturating_sub(dw);
+                                    let ow_hi = (w + pw).saturating_sub(dw).min(w);
+                                    for ow in ow_lo..ow_hi {
+                                        let ob = (orow + ow) * b + s0;
+                                        let ib = (irow + ow + dw - pw) * b + s0;
+                                        for s in 0..sl {
+                                            os[ob + s] += wv * xs[ib + s];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let bias = self.bias[o];
+                    for hw in 0..h * w {
+                        let ob = (out_base + hw) * b + s0;
+                        for s in 0..sl {
+                            os[ob + s] += bias;
+                        }
+                    }
+                }
+            }
+            s0 += sl;
+        }
+        out
+    }
+
     fn params(&mut self) -> Vec<ParamView<'_>> {
         vec![
             ParamView {
@@ -218,6 +342,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // wi indexes weight and grad in lockstep
     fn gradient_check_small() {
         // Centered finite differences on every parameter and input of a
         // tiny conv.

@@ -1,5 +1,6 @@
 //! Fully-connected layer.
 
+use crate::batch::Batch;
 use crate::init::lecun_normal;
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
@@ -49,6 +50,46 @@ impl Dense {
     }
 }
 
+/// SIMD lane-block width of the batched dense kernel (one full AVX-512
+/// vector of `f32`; narrower ISAs just use two or four registers).
+const LANES: usize = 16;
+
+/// Computes `OB` output rows × `LANES` batch lanes of `y = W x + b` with
+/// all accumulators in registers: the constant trip counts let the
+/// compiler fully unroll and vectorize the j/s loops, so each k step is
+/// one lane load plus `OB` broadcast-FMAs.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // flat kernel signature keeps the hot path monomorphic
+fn lane_kernel<const OB: usize>(
+    weight: &[f32],
+    bias: &[f32],
+    xs: &[f32],
+    os: &mut [f32],
+    in_dim: usize,
+    b: usize,
+    o0: usize,
+    s0: usize,
+) {
+    let mut acc = [[0.0f32; LANES]; OB];
+    for (j, a) in acc.iter_mut().enumerate() {
+        *a = [bias[o0 + j]; LANES];
+    }
+    for k in 0..in_dim {
+        let base = k * b + s0;
+        let xrow: &[f32; LANES] = xs[base..base + LANES].try_into().expect("full lane block");
+        for (j, a) in acc.iter_mut().enumerate() {
+            let wv = weight[(o0 + j) * in_dim + k];
+            for (av, &xv) in a.iter_mut().zip(xrow) {
+                *av += wv * xv;
+            }
+        }
+    }
+    for (j, a) in acc.iter().enumerate() {
+        let ob = (o0 + j) * b + s0;
+        os[ob..ob + LANES].copy_from_slice(a);
+    }
+}
+
 impl Layer for Dense {
     fn name(&self) -> &'static str {
         "dense"
@@ -92,6 +133,53 @@ impl Layer for Dense {
         gx
     }
 
+    fn infer_batch(&self, x: &Batch) -> Batch {
+        assert_eq!(x.elems(), self.in_dim, "dense input length mismatch");
+        let b = x.batch_size();
+        let mut out = Batch::zeros(vec![self.out_dim], b);
+        // One weight-matrix pass serves the whole batch. The hot path is a
+        // register-blocked micro-kernel (see `lane_kernel`): LANES-wide
+        // accumulators stay in vector registers across the whole k loop
+        // and OB output rows share each input-lane load. Accumulation
+        // order per output matches `forward` — bias, then inputs in
+        // ascending order — so results stay bit-equal.
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
+        let xs = x.as_slice();
+        let os = out.as_mut_slice();
+        let mut s0 = 0;
+        while s0 < b {
+            let sl = LANES.min(b - s0);
+            if sl == LANES {
+                let mut o0 = 0;
+                while o0 + 8 <= out_dim {
+                    lane_kernel::<8>(&self.weight, &self.bias, xs, os, in_dim, b, o0, s0);
+                    o0 += 8;
+                }
+                while o0 < out_dim {
+                    lane_kernel::<1>(&self.weight, &self.bias, xs, os, in_dim, b, o0, s0);
+                    o0 += 1;
+                }
+            } else {
+                // Ragged trailing lanes (batch not a multiple of LANES).
+                for o in 0..out_dim {
+                    let row = &self.weight[o * in_dim..(o + 1) * in_dim];
+                    let mut acc = [0.0f32; LANES];
+                    acc[..sl].fill(self.bias[o]);
+                    for (k, &wv) in row.iter().enumerate() {
+                        let xrow = &xs[k * b + s0..k * b + s0 + sl];
+                        for (av, &xv) in acc[..sl].iter_mut().zip(xrow) {
+                            *av += wv * xv;
+                        }
+                    }
+                    let ob = o * b + s0;
+                    os[ob..ob + sl].copy_from_slice(&acc[..sl]);
+                }
+            }
+            s0 += sl;
+        }
+        out
+    }
+
     fn params(&mut self) -> Vec<ParamView<'_>> {
         vec![
             ParamView {
@@ -131,6 +219,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // wi indexes weight and grad in lockstep
     fn gradient_check() {
         let mut d = Dense::new(3, 2, 1);
         let x = Tensor::from_vec(vec![0.3, -0.7, 1.1], vec![3]);

@@ -1,5 +1,6 @@
 //! Alpha dropout for self-normalising networks.
 
+use crate::batch::Batch;
 use crate::layer::{Layer, ParamView};
 use crate::layers::activation::{SELU_ALPHA, SELU_LAMBDA};
 use crate::tensor::Tensor;
@@ -53,7 +54,9 @@ impl Layer for AlphaDropout {
             return x.clone();
         }
         let (alpha_p, a, b) = self.affine();
-        self.mask = (0..x.len()).map(|_| self.rng.gen::<f32>() >= self.rate).collect();
+        self.mask = (0..x.len())
+            .map(|_| self.rng.gen::<f32>() >= self.rate)
+            .collect();
         let mut out = x.clone();
         for (v, &keep) in out.as_mut_slice().iter_mut().zip(&self.mask) {
             let pre = if keep { *v } else { alpha_p };
@@ -72,6 +75,11 @@ impl Layer for AlphaDropout {
             *g = if keep { *g * a } else { 0.0 };
         }
         gx
+    }
+
+    fn infer_batch(&self, x: &Batch) -> Batch {
+        // Identity at inference, like `forward` with `train = false`.
+        x.clone()
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {
@@ -125,8 +133,12 @@ mod tests {
         let mut d = AlphaDropout::new(0.2, 7);
         let y = d.forward(&Tensor::from_vec(data, vec![n]), true);
         let mean: f32 = y.as_slice().iter().sum::<f32>() / n as f32;
-        let var: f32 =
-            y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let var: f32 = y
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

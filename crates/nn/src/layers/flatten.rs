@@ -1,5 +1,6 @@
 //! Flattening between the convolutional and dense stages.
 
+use crate::batch::Batch;
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
 
@@ -29,6 +30,11 @@ impl Layer for Flatten {
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert!(!self.in_shape.is_empty(), "backward without forward");
         grad.clone().reshape(self.in_shape.clone())
+    }
+
+    fn infer_batch(&self, x: &Batch) -> Batch {
+        let elems = x.elems();
+        x.clone().reshape(vec![elems])
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {

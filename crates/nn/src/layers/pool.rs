@@ -1,5 +1,6 @@
 //! Max pooling.
 
+use crate::batch::Batch;
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
 
@@ -77,6 +78,40 @@ impl Layer for MaxPool2d {
             gxs[src] += grad.as_slice()[o];
         }
         gx
+    }
+
+    fn infer_batch(&self, x: &Batch) -> Batch {
+        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("pool input must be rank 3");
+        let oh = h / self.kh;
+        let ow = w / self.kw;
+        assert!(oh > 0 && ow > 0, "input smaller than pooling kernel");
+        let b = x.batch_size();
+        let mut out = Batch::zeros(vec![c, oh, ow], b);
+        let xs = x.as_slice();
+        let os = out.as_mut_slice();
+        for ci in 0..c {
+            for hi in 0..oh {
+                for wi in 0..ow {
+                    let first = (ci * h + hi * self.kh) * w + wi * self.kw;
+                    let obase = ((ci * oh + hi) * ow + wi) * b;
+                    os[obase..obase + b].copy_from_slice(&xs[first * b..(first + 1) * b]);
+                    for dh in 0..self.kh {
+                        for dw in 0..self.kw {
+                            let idx = (ci * h + hi * self.kh + dh) * w + wi * self.kw + dw;
+                            let ibase = idx * b;
+                            for s in 0..b {
+                                // Strict `>` keeps the first maximum, like
+                                // `forward`.
+                                if xs[ibase + s] > os[obase + s] {
+                                    os[obase + s] = xs[ibase + s];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod init;
 mod layer;
 pub mod layers;
@@ -55,6 +56,7 @@ mod optim;
 mod tensor;
 mod train;
 
+pub use batch::Batch;
 pub use layer::Layer;
 pub use layers::{
     AlphaDropout, Conv2d, Dense, Flatten, MaxPool2d, Selu, Sigmoid, SpatialAttention,

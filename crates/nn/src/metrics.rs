@@ -96,7 +96,11 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "actual\\pred {}", (0..self.n).map(|i| format!("{i:>5}")).collect::<String>())?;
+        writeln!(
+            f,
+            "actual\\pred {}",
+            (0..self.n).map(|i| format!("{i:>5}")).collect::<String>()
+        )?;
         for a in 0..self.n {
             write!(f, "{a:>11} ")?;
             for p in 0..self.n {

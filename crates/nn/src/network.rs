@@ -1,5 +1,6 @@
 //! Sequential network container.
 
+use crate::batch::Batch;
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
 
@@ -63,6 +64,35 @@ impl Network {
             cur = layer.forward(&cur, train);
         }
         cur
+    }
+
+    /// Immutable single-sample inference.
+    ///
+    /// Bit-equal to `forward(x, false)` but caches nothing and takes
+    /// `&self`, so serving paths can classify without cloning the network.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.forward_batch(std::slice::from_ref(x))
+            .pop()
+            .expect("one output per input")
+    }
+
+    /// Micro-batched immutable inference: one pass of every weight matrix
+    /// serves the whole batch.
+    ///
+    /// Samples are interleaved into a batch-innermost [`Batch`] layout so
+    /// each layer's inner loops run contiguously across the batch and
+    /// autovectorize; see [`crate::Batch`]. Outputs are element-wise
+    /// bit-equal to calling [`Network::forward`] with `train = false` on
+    /// each sample. Any batch size works (no padding requirement).
+    pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let mut cur = Batch::from_tensors(xs);
+        for layer in &self.layers {
+            cur = layer.infer_batch(&cur);
+        }
+        cur.into_tensors()
     }
 
     /// Back-propagates an output gradient, accumulating parameter
@@ -168,10 +198,16 @@ mod tests {
         let mut b = a.clone();
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![3]);
         // Same weights → same outputs.
-        assert_eq!(a.forward(&x, false).as_slice(), b.forward(&x, false).as_slice());
+        assert_eq!(
+            a.forward(&x, false).as_slice(),
+            b.forward(&x, false).as_slice()
+        );
         // Mutating the clone's weights leaves the original untouched.
         b.params()[0].w[0] += 1.0;
-        assert_ne!(a.forward(&x, false).as_slice(), b.forward(&x, false).as_slice());
+        assert_ne!(
+            a.forward(&x, false).as_slice(),
+            b.forward(&x, false).as_slice()
+        );
     }
 
     #[test]

@@ -218,12 +218,8 @@ fn clip_global_norm(net: &mut Network, max_norm: f32) {
 }
 
 /// Predicts the class of one sample (inference mode).
-///
-/// Works on an immutable network by cloning it; for bulk prediction use
-/// [`evaluate`], which clones once.
 pub fn predict(net: &Network, x: &Tensor) -> usize {
-    let mut replica = net.clone();
-    replica.forward(x, false).argmax()
+    net.infer(x).argmax()
 }
 
 /// Evaluates a network over a labelled set, returning overall accuracy and
@@ -236,28 +232,37 @@ pub fn predict(net: &Network, x: &Tensor) -> usize {
 pub fn evaluate(net: &Network, x: &[Tensor], y: &[usize]) -> (f64, ConfusionMatrix) {
     assert_eq!(x.len(), y.len(), "one label per sample");
     assert!(!x.is_empty(), "empty evaluation set");
-    let mut replica = net.clone();
-    let n_classes = replica.forward(&x[0], false).len();
+    let n_classes = net.infer(&x[0]).len();
     let mut cm = ConfusionMatrix::new(n_classes);
+    // Micro-batched inference: one weight pass per batch instead of one
+    // per sample (same SIMD path the serving engine uses).
+    const EVAL_BATCH: usize = 32;
     let threads = available_threads();
-    if threads <= 1 || x.len() < 32 {
-        for (xi, &yi) in x.iter().zip(y.iter()) {
-            let pred = replica.forward(xi, false).argmax();
-            cm.add(yi, pred);
+    if threads <= 1 || x.len() < 2 * EVAL_BATCH {
+        for (chunk, ys) in x.chunks(EVAL_BATCH).zip(y.chunks(EVAL_BATCH)) {
+            for (out, &yi) in net.forward_batch(chunk).iter().zip(ys) {
+                cm.add(yi, out.argmax());
+            }
         }
     } else {
-        let shard_size = x.len().div_ceil(threads);
+        let shard_size = x.len().div_ceil(threads).max(EVAL_BATCH);
         let preds: Vec<Vec<(usize, usize)>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..x.len())
-                .collect::<Vec<_>>()
+            let handles: Vec<_> = x
                 .chunks(shard_size)
-                .map(|shard| {
-                    let shard = shard.to_vec();
-                    let mut worker = net.clone();
+                .zip(y.chunks(shard_size))
+                .map(|(xs, ys)| {
+                    let worker = net.clone();
                     scope.spawn(move |_| {
-                        shard
-                            .into_iter()
-                            .map(|i| (y[i], worker.forward(&x[i], false).argmax()))
+                        xs.chunks(EVAL_BATCH)
+                            .zip(ys.chunks(EVAL_BATCH))
+                            .flat_map(|(xc, yc)| {
+                                worker
+                                    .forward_batch(xc)
+                                    .into_iter()
+                                    .zip(yc)
+                                    .map(|(out, &yi)| (yi, out.argmax()))
+                                    .collect::<Vec<_>>()
+                            })
                             .collect::<Vec<_>>()
                     })
                 })

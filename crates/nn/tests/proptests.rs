@@ -29,10 +29,7 @@ fn input_grad_check<L: Layer>(layer: &mut L, x: &Tensor, tol: f32) {
         let fm: f32 = layer.forward(&xm, false).as_slice().iter().sum();
         let want = (fp - fm) / (2.0 * eps);
         let got = gx.as_slice()[i];
-        assert!(
-            (want - got).abs() < tol,
-            "grad[{i}]: fd {want} vs bp {got}"
-        );
+        assert!((want - got).abs() < tol, "grad[{i}]: fd {want} vs bp {got}");
     }
 }
 
@@ -59,7 +56,9 @@ fn conv2d_true_2d_kernel_forward_known_value() {
 fn conv2d_2d_kernel_gradient_check() {
     let mut conv = Conv2d::new(2, 2, (3, 3), 5);
     let x = Tensor::from_vec(
-        (0..2 * 4 * 5).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.2).collect(),
+        (0..2 * 4 * 5)
+            .map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.2)
+            .collect(),
         vec![2, 4, 5],
     );
     input_grad_check(&mut conv, &x, 0.05);
@@ -88,7 +87,9 @@ fn maxpool_2d_kernel() {
 fn attention_two_row_input_gradient_check() {
     let mut att = SpatialAttention::new(3, 9);
     let x = Tensor::from_vec(
-        (0..3 * 2 * 5).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.15).collect(),
+        (0..3 * 2 * 5)
+            .map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.15)
+            .collect(),
         vec![3, 2, 5],
     );
     input_grad_check(&mut att, &x, 0.05);
@@ -177,5 +178,60 @@ proptest! {
         for (s, m) in solo.iter().zip(merged.iter()) {
             prop_assert!((m - 2.0 * s).abs() < 1e-5, "merge not additive");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `Network::forward_batch` must agree element-wise with sequential
+    /// `forward` calls for every batch size — including sizes that are
+    /// not a multiple of any SIMD width or micro-batch target.
+    #[test]
+    fn forward_batch_matches_sequential_forward(
+        xs in proptest::collection::vec(tensor(vec![3, 1, 24]), 1..41),
+    ) {
+        let mut net = Network::new();
+        net.push(Conv2d::new(3, 6, (1, 5), 21));
+        net.push(Selu::new());
+        net.push(MaxPool2d::new((1, 2)));
+        net.push(Conv2d::new(6, 4, (1, 3), 22));
+        net.push(Selu::new());
+        net.push(SpatialAttention::new(3, 23));
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 12, 10, 24));
+        net.push(Selu::new());
+        net.push(AlphaDropout::new(0.4, 25)); // identity at inference
+        net.push(Dense::new(10, 5, 26));
+
+        let batched = net.forward_batch(&xs);
+        prop_assert_eq!(batched.len(), xs.len());
+        for (x, got) in xs.iter().zip(batched.iter()) {
+            let want = net.forward(x, false);
+            prop_assert_eq!(want.shape(), got.shape());
+            for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
+                prop_assert!(
+                    (w - g).abs() <= 1e-6,
+                    "batched inference diverged: {} vs {} (batch of {})",
+                    w, g, xs.len()
+                );
+            }
+        }
+    }
+
+    /// Single-sample `infer` is the batch-of-one special case and must be
+    /// exactly `forward(x, false)`.
+    #[test]
+    fn infer_matches_forward(x in tensor(vec![2, 1, 16])) {
+        let mut net = Network::new();
+        net.push(Conv2d::new(2, 4, (1, 5), 31));
+        net.push(Selu::new());
+        net.push(MaxPool2d::new((1, 2)));
+        net.push(SpatialAttention::new(3, 32));
+        net.push(Flatten::new());
+        net.push(Dense::new(32, 3, 33));
+        let want = net.forward(&x, false);
+        let got = net.infer(&x);
+        prop_assert_eq!(want.as_slice(), got.as_slice());
     }
 }

@@ -1,0 +1,257 @@
+//! `deepcsi-served` — replay a stored (or synthesized) capture through
+//! the streaming authentication engine and report per-device verdicts
+//! plus engine telemetry.
+//!
+//! ```text
+//! deepcsi-served [--dataset PATH] [--model PATH] [--save-model PATH]
+//!                [--modules N] [--snapshots N] [--epochs N]
+//!                [--workers N] [--batch N] [--queue N] [--window N]
+//!                [--repeat N] [--drop] [--garbage N]
+//! ```
+//!
+//! Without `--dataset` a synthetic D1 capture is generated; without
+//! `--model` a fast classifier is trained on it first (and optionally
+//! persisted with `--save-model` for instant start-up next time).
+
+use deepcsi_core::{run_experiment, Authenticator, ExperimentConfig, ModelConfig};
+use deepcsi_data::{d1_split, generate_d1, D1Set, Dataset, GenConfig, InputSpec};
+use deepcsi_nn::TrainConfig;
+use deepcsi_serve::{Backpressure, Engine, EngineConfig, ReplaySource, Verdict, WindowConfig};
+use std::time::Instant;
+
+struct Args {
+    dataset: Option<String>,
+    model: Option<String>,
+    save_model: Option<String>,
+    modules: u32,
+    snapshots: usize,
+    epochs: usize,
+    workers: usize,
+    batch: usize,
+    queue: usize,
+    window: usize,
+    repeat: usize,
+    drop_on_full: bool,
+    garbage: usize,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            dataset: None,
+            model: None,
+            save_model: None,
+            modules: 3,
+            snapshots: 40,
+            epochs: 6,
+            workers: 2,
+            batch: 32,
+            queue: 1024,
+            window: 25,
+            repeat: 1,
+            drop_on_full: false,
+            garbage: 0,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} expects a value"))
+            };
+            match flag.as_str() {
+                "--dataset" => args.dataset = Some(value("--dataset")),
+                "--model" => args.model = Some(value("--model")),
+                "--save-model" => args.save_model = Some(value("--save-model")),
+                "--modules" => args.modules = value("--modules").parse().expect("--modules"),
+                "--snapshots" => {
+                    args.snapshots = value("--snapshots").parse().expect("--snapshots")
+                }
+                "--epochs" => args.epochs = value("--epochs").parse().expect("--epochs"),
+                "--workers" => args.workers = value("--workers").parse().expect("--workers"),
+                "--batch" => args.batch = value("--batch").parse().expect("--batch"),
+                "--queue" => args.queue = value("--queue").parse().expect("--queue"),
+                "--window" => args.window = value("--window").parse().expect("--window"),
+                "--repeat" => args.repeat = value("--repeat").parse().expect("--repeat"),
+                "--drop" => args.drop_on_full = true,
+                "--garbage" => args.garbage = value("--garbage").parse().expect("--garbage"),
+                "--help" | "-h" => {
+                    println!("see the module docs at the top of src/bin/served.rs");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other:?} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn load_or_generate_dataset(args: &Args) -> Dataset {
+    match &args.dataset {
+        Some(path) => {
+            let ds = deepcsi_data::load_dataset(path)
+                .unwrap_or_else(|e| panic!("loading dataset {path}: {e}"));
+            println!(
+                "loaded dataset {path}: {} traces, {} snapshots",
+                ds.traces.len(),
+                ds.num_snapshots()
+            );
+            ds
+        }
+        None => {
+            let t = Instant::now();
+            let ds = generate_d1(&GenConfig {
+                num_modules: args.modules,
+                snapshots_per_trace: args.snapshots,
+                ..GenConfig::default()
+            });
+            println!(
+                "generated synthetic D1: {} modules, {} traces, {} snapshots ({:.1?})",
+                args.modules,
+                ds.traces.len(),
+                ds.num_snapshots(),
+                t.elapsed()
+            );
+            ds
+        }
+    }
+}
+
+fn load_or_train_model(args: &Args, ds: &Dataset) -> Authenticator {
+    if let Some(path) = &args.model {
+        let auth =
+            Authenticator::load(path).unwrap_or_else(|e| panic!("loading model {path}: {e}"));
+        println!("loaded model {path}");
+        return auth;
+    }
+    let spec = InputSpec {
+        stride: 4,
+        ..InputSpec::default()
+    };
+    let split = d1_split(ds, D1Set::S1, &[1, 2], &spec);
+    let classes = ds.modules().len();
+    let model = ModelConfig::demo(classes);
+    let cfg = ExperimentConfig {
+        model: model.clone(),
+        train: TrainConfig {
+            epochs: args.epochs,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            seed: 5,
+            ..TrainConfig::default()
+        },
+    };
+    let t = Instant::now();
+    let result = run_experiment(&cfg, &split);
+    println!(
+        "trained fast classifier: {:.2}% test accuracy over {} classes ({:.1?})",
+        result.accuracy * 100.0,
+        classes,
+        t.elapsed()
+    );
+    let probe = spec.tensor(&ds.traces[0].snapshots[0]);
+    let shape: [usize; 3] = probe.shape().try_into().expect("rank-3 input");
+    let mut auth =
+        Authenticator::with_config(result.network, spec, model, (shape[0], shape[1], shape[2]));
+    if let Some(path) = &args.save_model {
+        auth.save(path)
+            .unwrap_or_else(|e| panic!("saving model {path}: {e}"));
+        println!("saved model to {path}");
+    }
+    auth
+}
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_or_generate_dataset(&args);
+    let auth = load_or_train_model(&args, &ds);
+
+    let replay = ReplaySource::from_dataset(&ds);
+    let registry = ReplaySource::registry(&ds);
+    println!(
+        "replaying {} frames ({:.2} MiB) from {} device streams, ×{}",
+        replay.len(),
+        replay.total_bytes() as f64 / (1024.0 * 1024.0),
+        registry.len(),
+        args.repeat
+    );
+
+    let engine = Engine::start(
+        EngineConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            max_batch: args.batch,
+            backpressure: if args.drop_on_full {
+                Backpressure::DropNewest
+            } else {
+                Backpressure::Block
+            },
+            window: WindowConfig {
+                len: args.window,
+                ..WindowConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+        auth,
+        registry.clone(),
+    );
+
+    let t = Instant::now();
+    for _ in 0..args.repeat {
+        for frame in replay.frames() {
+            engine.ingest_frame(frame);
+        }
+    }
+    // Exercise the decode-error path on demand.
+    for i in 0..args.garbage {
+        engine.ingest_frame(&[i as u8; 11]);
+    }
+    engine.drain();
+    let elapsed = t.elapsed();
+    let report = engine.shutdown();
+
+    println!("\n--- per-device verdicts ---");
+    for d in &report.decisions {
+        let expected = registry
+            .expected(d.source)
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        match &d.decision {
+            Some(w) => println!(
+                "{}  expected {:>3}  decided {:>3}  votes {:>5.1}%  conf {:.2}  n {:>6}  {:?}",
+                d.source,
+                expected,
+                w.module,
+                w.vote_fraction * 100.0,
+                w.confidence_ema,
+                w.observations,
+                d.verdict
+            ),
+            None => println!(
+                "{}  expected {:>3}  (no reports)  {:?}",
+                d.source, expected, d.verdict
+            ),
+        }
+    }
+
+    println!("\n--- engine telemetry ---");
+    println!("{}", report.stats);
+    let rps = report.stats.classified as f64 / elapsed.as_secs_f64();
+    let mibps =
+        (replay.total_bytes() * args.repeat) as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64();
+    println!(
+        "throughput: {rps:.0} reports/s ({mibps:.1} MiB/s of frames) over {:.2?}",
+        elapsed
+    );
+    println!("RESULT serve reports_per_sec {rps:.1}");
+
+    let accepted = report
+        .decisions
+        .iter()
+        .filter(|d| d.verdict == Verdict::Accept)
+        .count();
+    println!("RESULT serve accepted_devices {accepted}");
+    println!("RESULT serve registered_devices {}", registry.len());
+}

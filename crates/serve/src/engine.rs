@@ -1,0 +1,542 @@
+//! The streaming authentication engine.
+//!
+//! ```text
+//!                  ┌─ bounded queue ─ worker 0 ─┐
+//!  ingest ─ parse ─┼─ bounded queue ─ worker 1 ─┼─ shared device state
+//!  (shard by MAC)  └─ bounded queue ─ worker N ─┘   (windows + verdicts)
+//! ```
+//!
+//! * **Sharding** — reports are routed by a hash of their source MAC, so
+//!   all evidence for one device lands on one worker and windows never
+//!   race.
+//! * **Backpressure** — queues are bounded; when a queue is full the
+//!   engine either drops the report (accounted in telemetry) or blocks,
+//!   per [`EngineConfig::backpressure`].
+//! * **Micro-batching** — each worker drains its queue up to
+//!   [`EngineConfig::max_batch`] reports (lingering briefly for
+//!   stragglers) and classifies them with one
+//!   [`deepcsi_nn::Network::forward_batch`] call.
+//! * **Windowed decisions** — per-sample predictions feed per-device
+//!   [`DecisionWindow`]s; verdicts come from the [`DeviceRegistry`].
+
+use crate::registry::{DeviceRegistry, Verdict, VerdictPolicy};
+use crate::telemetry::{EngineStats, Telemetry};
+use crate::window::{DecisionWindow, WindowConfig, WindowedDecision};
+use deepcsi_core::Authenticator;
+use deepcsi_frame::{BeamformingReportFrame, CapturedReport, MacAddr};
+use deepcsi_nn::Tensor;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What to do with a report whose shard queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Drop the newest report and account it (line-rate monitoring: a
+    /// lost sample is cheaper than an unbounded queue).
+    #[default]
+    DropNewest,
+    /// Block the ingest caller until the worker catches up (lossless
+    /// replay).
+    Block,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads (shards).
+    pub workers: usize,
+    /// Bounded queue capacity per worker.
+    pub queue_capacity: usize,
+    /// Micro-batch size cap per inference call.
+    pub max_batch: usize,
+    /// How long a worker lingers for stragglers once a batch is open.
+    pub batch_linger: Duration,
+    /// Full-queue policy.
+    pub backpressure: Backpressure,
+    /// Sliding-window smoothing parameters.
+    pub window: WindowConfig,
+    /// Accept/reject evidence policy.
+    pub policy: VerdictPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            max_batch: 32,
+            batch_linger: Duration::from_millis(1),
+            backpressure: Backpressure::default(),
+            window: WindowConfig::default(),
+            policy: VerdictPolicy::default(),
+        }
+    }
+}
+
+/// Outcome of handing one frame to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Parsed and queued to its shard.
+    Enqueued,
+    /// Parsed but dropped by backpressure.
+    Dropped,
+    /// The bytes did not decode as a beamforming report.
+    DecodeError,
+}
+
+/// The per-device view reported by [`Engine::decisions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceDecision {
+    /// The stream's source address.
+    pub source: MacAddr,
+    /// The windowed decision (present once ≥ 1 report classified).
+    pub decision: Option<WindowedDecision>,
+    /// The registry verdict under the engine's policy.
+    pub verdict: Verdict,
+}
+
+/// Everything the engine leaves behind at shutdown.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Final telemetry.
+    pub stats: EngineStats,
+    /// Final per-device decisions, sorted by source address.
+    pub decisions: Vec<DeviceDecision>,
+}
+
+struct DeviceState {
+    window: DecisionWindow,
+}
+
+/// One shard's device map. Sharding by source MAC means the maps hold
+/// disjoint key sets, so each lock is only ever contended between its
+/// own worker and an occasional snapshot reader — never between
+/// workers.
+type ShardState = Arc<Mutex<HashMap<MacAddr, DeviceState>>>;
+
+/// A running streaming authentication engine.
+pub struct Engine {
+    cfg: EngineConfig,
+    senders: Vec<SyncSender<CapturedReport>>,
+    workers: Vec<JoinHandle<()>>,
+    telemetry: Arc<Telemetry>,
+    state: Vec<ShardState>,
+    registry: Arc<DeviceRegistry>,
+    in_flight: Arc<AtomicI64>,
+}
+
+impl Engine {
+    /// Starts the worker pool around a trained authenticator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero worker count, queue capacity or batch size.
+    pub fn start(cfg: EngineConfig, auth: Authenticator, registry: DeviceRegistry) -> Engine {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        assert!(cfg.max_batch > 0, "batch size must be positive");
+        // Validate the window eagerly on the caller thread: failing here
+        // beats panicking later inside a worker while it holds a shard
+        // lock (which would poison it).
+        drop(DecisionWindow::new(cfg.window));
+        let telemetry = Arc::new(Telemetry::default());
+        let state: Vec<ShardState> = (0..cfg.workers)
+            .map(|_| Arc::new(Mutex::new(HashMap::new())))
+            .collect();
+        let registry = Arc::new(registry);
+        let in_flight = Arc::new(AtomicI64::new(0));
+        // Pin the accepted tensor shape when the model recorded one.
+        // Without a recorded shape the engine never learns shapes from
+        // traffic (each micro-batch group stands on its own), so crafted
+        // frames cannot pin a shape that starves legitimate reports.
+        let expected_shape: Arc<OnceLock<Vec<usize>>> = Arc::new(OnceLock::new());
+        if let Some((c, h, w)) = auth.input_shape() {
+            let _ = expected_shape.set(vec![c, h, w]);
+        }
+        let mut senders = Vec::with_capacity(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for (shard, shard_state) in state.iter().enumerate() {
+            let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_capacity);
+            senders.push(tx);
+            let worker = WorkerCtx {
+                shard,
+                rx,
+                auth: auth.clone(),
+                telemetry: Arc::clone(&telemetry),
+                state: Arc::clone(shard_state),
+                in_flight: Arc::clone(&in_flight),
+                expected_shape: Arc::clone(&expected_shape),
+                window: cfg.window,
+                max_batch: cfg.max_batch,
+                linger: cfg.batch_linger,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("deepcsi-serve-{shard}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker"),
+            );
+        }
+        Engine {
+            cfg,
+            senders,
+            workers,
+            telemetry,
+            state,
+            registry,
+            in_flight,
+        }
+    }
+
+    /// Parses one captured frame and routes it to its shard.
+    pub fn ingest_frame(&self, bytes: &[u8]) -> IngestOutcome {
+        self.telemetry.ingested.fetch_add(1, Ordering::Relaxed);
+        match BeamformingReportFrame::parse(bytes) {
+            Ok(frame) => {
+                let report = CapturedReport {
+                    source: frame.source(),
+                    destination: frame.destination(),
+                    sequence: frame.sequence(),
+                    feedback: frame.into_feedback(),
+                };
+                self.route(report)
+            }
+            Err(_) => {
+                self.telemetry.decode_errors.fetch_add(1, Ordering::Relaxed);
+                IngestOutcome::DecodeError
+            }
+        }
+    }
+
+    /// Routes an already-parsed report to its shard (bypasses the codec;
+    /// `ingested` still counts it).
+    pub fn ingest_report(&self, report: CapturedReport) -> IngestOutcome {
+        self.telemetry.ingested.fetch_add(1, Ordering::Relaxed);
+        self.route(report)
+    }
+
+    fn route(&self, report: CapturedReport) -> IngestOutcome {
+        let shard = shard_of(report.source, self.senders.len());
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let outcome = match self.cfg.backpressure {
+            Backpressure::Block => match self.senders[shard].send(report) {
+                Ok(()) => IngestOutcome::Enqueued,
+                Err(_) => IngestOutcome::Dropped, // worker gone (shutdown race)
+            },
+            Backpressure::DropNewest => match self.senders[shard].try_send(report) {
+                Ok(()) => IngestOutcome::Enqueued,
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    IngestOutcome::Dropped
+                }
+            },
+        };
+        match outcome {
+            IngestOutcome::Enqueued => {
+                self.telemetry.enqueued.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                self.telemetry.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// Blocks until every enqueued report has been classified.
+    pub fn drain(&self) {
+        while self.in_flight.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Current telemetry.
+    pub fn stats(&self) -> EngineStats {
+        self.telemetry.snapshot()
+    }
+
+    /// Current per-device decisions (sorted by source address).
+    pub fn decisions(&self) -> Vec<DeviceDecision> {
+        let mut seen: Vec<DeviceDecision> = Vec::new();
+        let mut have: std::collections::HashSet<MacAddr> = std::collections::HashSet::new();
+        for shard in &self.state {
+            let state = shard
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for (mac, dev) in state.iter() {
+                let decision = dev.window.decision();
+                have.insert(*mac);
+                seen.push(DeviceDecision {
+                    source: *mac,
+                    decision,
+                    verdict: Verdict::evaluate(
+                        &self.registry,
+                        self.cfg.policy,
+                        *mac,
+                        decision.as_ref(),
+                    ),
+                });
+            }
+        }
+        // Registered devices that never produced a report still deserve a
+        // row (verdict: Unknown).
+        for (mac, _) in self.registry.iter() {
+            if !have.contains(&mac) {
+                seen.push(DeviceDecision {
+                    source: mac,
+                    decision: None,
+                    verdict: Verdict::Unknown,
+                });
+            }
+        }
+        seen.sort_by_key(|d| d.source);
+        seen
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Drains, stops the workers and returns the final report.
+    pub fn shutdown(mut self) -> EngineReport {
+        self.drain();
+        let report = EngineReport {
+            stats: self.stats(),
+            decisions: self.decisions(),
+        };
+        self.senders.clear(); // disconnect queues → workers exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        report
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn shard_of(mac: MacAddr, workers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    mac.hash(&mut h);
+    (h.finish() % workers as u64) as usize
+}
+
+struct WorkerCtx {
+    shard: usize,
+    rx: Receiver<CapturedReport>,
+    auth: Authenticator,
+    telemetry: Arc<Telemetry>,
+    state: ShardState,
+    in_flight: Arc<AtomicI64>,
+    /// The model's recorded input shape, when known: reports with any
+    /// other shape are rejected instead of poisoning a batch. Never set
+    /// from observed traffic.
+    expected_shape: Arc<OnceLock<Vec<usize>>>,
+    window: WindowConfig,
+    max_batch: usize,
+    linger: Duration,
+}
+
+impl WorkerCtx {
+    fn run(self) {
+        let _ = self.shard;
+        let mut batch: Vec<CapturedReport> = Vec::with_capacity(self.max_batch);
+        loop {
+            // Block for the batch opener; exit once all senders are gone.
+            match self.rx.recv() {
+                Ok(report) => batch.push(report),
+                Err(_) => return,
+            }
+            // Linger briefly to fill the micro-batch.
+            let deadline = Instant::now() + self.linger;
+            while batch.len() < self.max_batch {
+                if let Ok(report) = self.rx.try_recv() {
+                    batch.push(report);
+                    continue;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match self.rx.recv_timeout(deadline - now) {
+                    Ok(report) => batch.push(report),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            // Safety net: no classification panic may take the worker
+            // down, or `drain()` would wait forever on its queue.
+            // `classify` accounts every report it handles (classified or
+            // rejected) in `accounted`; whatever a panic left unaccounted
+            // is rejected here, so enqueued == classified + rejected
+            // always reconciles.
+            let accounted = std::cell::Cell::new(0u64);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.classify(&batch, &accounted);
+            }));
+            if outcome.is_err() {
+                self.telemetry
+                    .rejected
+                    .fetch_add(batch.len() as u64 - accounted.get(), Ordering::Relaxed);
+            }
+            self.in_flight
+                .fetch_sub(batch.len() as i64, Ordering::AcqRel);
+            batch.clear();
+        }
+    }
+
+    /// Classifies one micro-batch, accounting every report exactly once
+    /// (as classified or rejected) in both telemetry and `accounted`.
+    ///
+    /// A passive monitor sees arbitrary frames, so nothing a frame
+    /// contains may take the engine down or starve other streams:
+    /// feedback that cannot tensorize is rejected up front, and the rest
+    /// is grouped by tensor shape with each group classified
+    /// independently — a crafted foreign-shape report can only ever
+    /// reject itself, never the legitimate reports sharing its batch.
+    fn classify(&self, batch: &[CapturedReport], accounted: &std::cell::Cell<u64>) {
+        let reject = |n: usize| {
+            self.telemetry
+                .rejected
+                .fetch_add(n as u64, Ordering::Relaxed);
+            accounted.set(accounted.get() + n as u64);
+        };
+        struct Group<'a> {
+            shape: Vec<usize>,
+            reports: Vec<&'a CapturedReport>,
+            tensors: Vec<Tensor>,
+        }
+        let mut groups: Vec<Group<'_>> = Vec::new();
+        for report in batch {
+            if !self.auth.spec().compatible(&report.feedback) {
+                reject(1);
+                continue;
+            }
+            // `compatible` should make tensorize infallible, but this is
+            // the adversarial surface: a report that still panics here
+            // rejects itself, not its batch.
+            let t = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.auth.tensorize(&report.feedback)
+            })) {
+                Ok(t) => t,
+                Err(_) => {
+                    reject(1);
+                    continue;
+                }
+            };
+            match groups.iter_mut().find(|g| g.shape[..] == *t.shape()) {
+                Some(g) => {
+                    g.reports.push(report);
+                    g.tensors.push(t);
+                }
+                None => groups.push(Group {
+                    shape: t.shape().to_vec(),
+                    reports: vec![report],
+                    tensors: vec![t],
+                }),
+            }
+        }
+        for group in groups {
+            let group_started = Instant::now();
+            // A shape recorded by the model rejects mismatches outright.
+            // Without one, each group simply stands on its own — shapes
+            // are never "learned" from traffic, so no crafted frame can
+            // pin a shape that starves later legitimate reports.
+            if let Some(expected) = self.expected_shape.get() {
+                if group.shape != *expected {
+                    reject(group.reports.len());
+                    continue;
+                }
+            }
+            // The shape gate plus `compatible` should make this
+            // infallible, but an over-the-air surface warrants defense in
+            // depth: a group the network rejects only rejects itself.
+            let outputs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.auth.network().forward_batch(&group.tensors)
+            }));
+            let Ok(outputs) = outputs else {
+                reject(group.reports.len());
+                continue;
+            };
+            // Recover a poisoned lock: on a caught panic the map is at
+            // worst missing one window push, which is fine to keep
+            // serving.
+            let mut state = self
+                .state
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for (report, logits) in group.reports.iter().zip(outputs.iter()) {
+                let module = logits.argmax();
+                let confidence = softmax_peak(logits.as_slice());
+                state
+                    .entry(report.source)
+                    .or_insert_with(|| DeviceState {
+                        window: DecisionWindow::new(self.window),
+                    })
+                    .window
+                    .push(module, confidence);
+            }
+            drop(state);
+            accounted.set(accounted.get() + group.reports.len() as u64);
+            // One record per inference call, timed from its own start, so
+            // mixed-shape batches neither double-count latency nor skew
+            // the mean batch size.
+            self.telemetry
+                .record_batch(group.reports.len(), group_started.elapsed());
+        }
+    }
+}
+
+/// The softmax probability of the winning logit.
+fn softmax_peak(logits: &[f32]) -> f64 {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let sum: f64 = logits.iter().map(|&v| f64::from(v - max).exp()).sum();
+    1.0 / sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_is_stable_and_in_range() {
+        for workers in 1..8 {
+            for id in 0..100 {
+                let mac = MacAddr::station(id);
+                let a = shard_of(mac, workers);
+                assert_eq!(a, shard_of(mac, workers));
+                assert!(a < workers);
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_spreads_sources() {
+        let workers = 4;
+        let mut hit = vec![false; workers];
+        for id in 0..64 {
+            hit[shard_of(MacAddr::station(id), workers)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "some shard never selected");
+    }
+
+    #[test]
+    fn softmax_peak_is_a_probability() {
+        let p = softmax_peak(&[2.0, 1.0, 0.0]);
+        assert!(p > 1.0 / 3.0 && p < 1.0);
+        let uniform = softmax_peak(&[0.5, 0.5, 0.5, 0.5]);
+        assert!((uniform - 0.25).abs() < 1e-9);
+    }
+}

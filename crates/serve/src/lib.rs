@@ -1,0 +1,67 @@
+//! # deepcsi-serve — the streaming authentication engine
+//!
+//! DeepCSI's deployment story (§III-C, §IV-A) is a passive monitor that
+//! continuously sniffs VHT compressed beamforming frames and fingerprints
+//! the transmitter. This crate turns the one-shot
+//! [`deepcsi_core::Authenticator`] into that online system: a byte
+//! stream of captured frames goes in, per-device identity verdicts come
+//! out, at line rate.
+//!
+//! The engine ([`Engine`]) is built from four pieces:
+//!
+//! * **Sharded ingest** — frames are parsed and routed to a worker ring
+//!   by a hash of the source MAC (the paper's "filter on the packets
+//!   source address"), over bounded queues with explicit
+//!   backpressure/drop accounting ([`Backpressure`]).
+//! * **Micro-batched inference** — workers drain their queue into
+//!   batches and classify them with one
+//!   [`deepcsi_nn::Network::forward_batch`] call, so one pass of every
+//!   weight matrix serves the whole batch.
+//! * **Windowed decisions** — per-report predictions smooth into a
+//!   per-device sliding window ([`DecisionWindow`]): majority vote plus
+//!   a confidence EMA.
+//! * **Registry + telemetry** — [`DeviceRegistry`] holds each stream's
+//!   expected identity and yields [`Verdict::Accept`] /
+//!   [`Verdict::Reject`] / [`Verdict::Unknown`]; [`Telemetry`] tracks
+//!   ingest/decode/drop counts and micro-batch latency (p50/p99).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use deepcsi_serve::{Engine, EngineConfig, ReplaySource};
+//! # fn auth() -> deepcsi_core::Authenticator { unimplemented!() }
+//! # let dataset = deepcsi_data::Dataset::default();
+//! let replay = ReplaySource::from_dataset(&dataset);
+//! let engine = Engine::start(
+//!     EngineConfig::default(),
+//!     auth(),
+//!     ReplaySource::registry(&dataset),
+//! );
+//! for frame in replay.frames() {
+//!     engine.ingest_frame(frame);
+//! }
+//! let report = engine.shutdown();
+//! println!("{}", report.stats);
+//! for d in &report.decisions {
+//!     println!("{}: {:?}", d.source, d.verdict);
+//! }
+//! ```
+//!
+//! The `deepcsi-served` binary wraps exactly this loop around a stored
+//! or synthesized [`deepcsi_data::Dataset`]; `examples/streaming_auth.rs`
+//! in the workspace root is the narrated version.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod registry;
+mod replay;
+mod telemetry;
+mod window;
+
+pub use engine::{Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport, IngestOutcome};
+pub use registry::{DeviceRegistry, Verdict, VerdictPolicy};
+pub use replay::ReplaySource;
+pub use telemetry::{EngineStats, LatencyHistogram, Telemetry};
+pub use window::{DecisionWindow, WindowConfig, WindowedDecision};

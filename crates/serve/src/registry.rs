@@ -1,0 +1,187 @@
+//! The device registry: which module identity each beamformee stream is
+//! expected to present, and the accept/reject/unknown policy.
+
+use crate::window::WindowedDecision;
+use deepcsi_frame::MacAddr;
+use deepcsi_impair::DeviceId;
+use std::collections::HashMap;
+
+/// Expected module identity per registered source address.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceRegistry {
+    expected: HashMap<MacAddr, DeviceId>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or overwrites) the expected module for a source
+    /// address.
+    pub fn register(&mut self, mac: MacAddr, module: DeviceId) {
+        self.expected.insert(mac, module);
+    }
+
+    /// The expected module for a source, if registered.
+    pub fn expected(&self, mac: MacAddr) -> Option<DeviceId> {
+        self.expected.get(&mac).copied()
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.expected.is_empty()
+    }
+
+    /// Iterates over `(source, expected module)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MacAddr, DeviceId)> + '_ {
+        self.expected.iter().map(|(m, d)| (*m, *d))
+    }
+}
+
+/// The verdict policy: how much windowed evidence authentication needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictPolicy {
+    /// Minimum reports observed before any verdict is issued.
+    pub min_observations: u64,
+    /// Minimum majority fraction for an [`Verdict::Accept`] (and for a
+    /// confident [`Verdict::Reject`] of a mismatching majority).
+    pub min_vote_fraction: f64,
+}
+
+impl Default for VerdictPolicy {
+    fn default() -> Self {
+        VerdictPolicy {
+            min_observations: 10,
+            min_vote_fraction: 0.6,
+        }
+    }
+}
+
+/// The authentication outcome for one device stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The stream's windowed identity matches the registration.
+    Accept,
+    /// The stream confidently presents a different identity — a likely
+    /// impersonation.
+    Reject,
+    /// Not enough evidence, an unregistered source, or an unstable
+    /// majority.
+    Unknown,
+}
+
+impl Verdict {
+    /// Applies `policy` to a windowed decision for `mac`.
+    pub fn evaluate(
+        registry: &DeviceRegistry,
+        policy: VerdictPolicy,
+        mac: MacAddr,
+        decision: Option<&WindowedDecision>,
+    ) -> Verdict {
+        let Some(expected) = registry.expected(mac) else {
+            return Verdict::Unknown;
+        };
+        let Some(d) = decision else {
+            return Verdict::Unknown;
+        };
+        if d.observations < policy.min_observations || d.vote_fraction < policy.min_vote_fraction {
+            return Verdict::Unknown;
+        }
+        if d.module == expected.0 as usize {
+            Verdict::Accept
+        } else {
+            Verdict::Reject
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(module: usize, vote_fraction: f64, observations: u64) -> WindowedDecision {
+        WindowedDecision {
+            module,
+            vote_fraction,
+            confidence_ema: 0.9,
+            observations,
+        }
+    }
+
+    #[test]
+    fn unregistered_is_unknown() {
+        let reg = DeviceRegistry::new();
+        let v = Verdict::evaluate(
+            &reg,
+            VerdictPolicy::default(),
+            MacAddr::station(1),
+            Some(&decision(0, 1.0, 100)),
+        );
+        assert_eq!(v, Verdict::Unknown);
+    }
+
+    #[test]
+    fn matching_majority_accepts() {
+        let mut reg = DeviceRegistry::new();
+        reg.register(MacAddr::station(1), DeviceId(3));
+        let v = Verdict::evaluate(
+            &reg,
+            VerdictPolicy::default(),
+            MacAddr::station(1),
+            Some(&decision(3, 0.8, 50)),
+        );
+        assert_eq!(v, Verdict::Accept);
+    }
+
+    #[test]
+    fn mismatching_majority_rejects() {
+        let mut reg = DeviceRegistry::new();
+        reg.register(MacAddr::station(1), DeviceId(3));
+        let v = Verdict::evaluate(
+            &reg,
+            VerdictPolicy::default(),
+            MacAddr::station(1),
+            Some(&decision(5, 0.9, 50)),
+        );
+        assert_eq!(v, Verdict::Reject);
+    }
+
+    #[test]
+    fn thin_evidence_is_unknown() {
+        let mut reg = DeviceRegistry::new();
+        reg.register(MacAddr::station(1), DeviceId(3));
+        let policy = VerdictPolicy::default();
+        // Too few observations.
+        assert_eq!(
+            Verdict::evaluate(
+                &reg,
+                policy,
+                MacAddr::station(1),
+                Some(&decision(3, 0.9, 2))
+            ),
+            Verdict::Unknown
+        );
+        // Unstable majority.
+        assert_eq!(
+            Verdict::evaluate(
+                &reg,
+                policy,
+                MacAddr::station(1),
+                Some(&decision(3, 0.4, 50))
+            ),
+            Verdict::Unknown
+        );
+        // No decision yet.
+        assert_eq!(
+            Verdict::evaluate(&reg, policy, MacAddr::station(1), None),
+            Verdict::Unknown
+        );
+    }
+}

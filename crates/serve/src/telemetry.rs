@@ -1,0 +1,203 @@
+//! Engine-wide counters and batch-latency tracking.
+//!
+//! All counters are lock-free atomics updated from the ingest thread and
+//! every worker; [`Telemetry::snapshot`] renders a plain-data
+//! [`EngineStats`] for reporting. Batch latency goes into a small
+//! power-of-two histogram from which p50/p99 are read without storing
+//! individual observations.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 48;
+
+/// Lock-free log₂ histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().max(1) as u64;
+        let bucket = (63 - nanos.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as a duration, resolved to the
+    /// geometric midpoint of the containing bucket; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                // Bucket i spans [2^i, 2^(i+1)) ns; use its geometric mid.
+                let nanos = (1u64 << i) as f64 * std::f64::consts::SQRT_2;
+                return Some(Duration::from_nanos(nanos as u64));
+            }
+        }
+        None
+    }
+}
+
+/// Shared atomic telemetry for one engine.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Frames handed to ingest (parsed or not).
+    pub ingested: AtomicU64,
+    /// Frames that failed to decode.
+    pub decode_errors: AtomicU64,
+    /// Reports dropped by backpressure (full worker queue).
+    pub dropped: AtomicU64,
+    /// Reports accepted onto a worker queue.
+    pub enqueued: AtomicU64,
+    /// Reports rejected before inference (feedback dimensions
+    /// incompatible with the trained model).
+    pub rejected: AtomicU64,
+    /// Reports classified by workers.
+    pub classified: AtomicU64,
+    /// Micro-batches executed.
+    pub batches: AtomicU64,
+    /// Batch latency distribution (decode → decisions applied).
+    pub batch_latency: LatencyHistogram,
+}
+
+impl Telemetry {
+    /// Records one finished micro-batch.
+    pub fn record_batch(&self, size: usize, latency: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.classified.fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_latency.record(latency);
+    }
+
+    /// A plain-data snapshot of every counter.
+    pub fn snapshot(&self) -> EngineStats {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let classified = self.classified.load(Ordering::Relaxed);
+        EngineStats {
+            ingested: self.ingested.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            classified,
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                classified as f64 / batches as f64
+            },
+            batch_latency_p50: self.batch_latency.quantile(0.50),
+            batch_latency_p99: self.batch_latency.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Frames handed to ingest.
+    pub ingested: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+    /// Reports dropped by backpressure.
+    pub dropped: u64,
+    /// Reports accepted onto worker queues.
+    pub enqueued: u64,
+    /// Reports rejected before inference (incompatible dimensions).
+    pub rejected: u64,
+    /// Reports classified.
+    pub classified: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Mean micro-batch size.
+    pub mean_batch: f64,
+    /// Median micro-batch latency.
+    pub batch_latency_p50: Option<Duration>,
+    /// 99th-percentile micro-batch latency.
+    pub batch_latency_p99: Option<Duration>,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ingested {}  decode errors {}  enqueued {}  dropped {}  rejected {}",
+            self.ingested, self.decode_errors, self.enqueued, self.dropped, self.rejected
+        )?;
+        write!(
+            f,
+            "classified {}  batches {} (mean size {:.1})  batch latency p50 {} p99 {}",
+            self.classified,
+            self.batches,
+            self.mean_batch,
+            fmt_latency(self.batch_latency_p50),
+            fmt_latency(self.batch_latency_p99),
+        )
+    }
+}
+
+fn fmt_latency(d: Option<Duration>) -> String {
+    match d {
+        None => "n/a".to_string(),
+        Some(d) if d < Duration::from_millis(1) => format!("{:.0}µs", d.as_secs_f64() * 1e6),
+        Some(d) => format!("{:.2}ms", d.as_secs_f64() * 1e3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for micros in [10u64, 20, 30, 40, 50, 1000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 6);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= Duration::from_micros(8) && p50 <= Duration::from_micros(64));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= Duration::from_micros(512), "p99 {p99:?}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_aggregates_batches() {
+        let t = Telemetry::default();
+        t.record_batch(8, Duration::from_micros(100));
+        t.record_batch(4, Duration::from_micros(200));
+        let s = t.snapshot();
+        assert_eq!(s.classified, 12);
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch - 6.0).abs() < 1e-9);
+        assert!(s.batch_latency_p50.is_some());
+        assert!(!format!("{s}").is_empty());
+    }
+}

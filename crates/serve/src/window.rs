@@ -1,0 +1,187 @@
+//! Per-device sliding-window decision smoothing.
+//!
+//! One classified report is noisy; DeepCSI-style deployments decide from
+//! many (§IV-A groups feedback per beamformee). A [`DecisionWindow`]
+//! keeps the last `len` per-report predictions and produces a majority
+//! vote plus an exponentially-smoothed confidence, so a device's verdict
+//! reflects the stream, not the latest packet.
+
+use std::collections::VecDeque;
+
+/// Sliding-window configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Number of most-recent reports that vote.
+    pub len: usize,
+    /// EMA coefficient for the confidence track (weight of the newest
+    /// observation, in `(0, 1]`).
+    pub ema_alpha: f64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            len: 25,
+            ema_alpha: 0.2,
+        }
+    }
+}
+
+/// The smoothed state of one device's report stream.
+#[derive(Debug, Clone)]
+pub struct DecisionWindow {
+    cfg: WindowConfig,
+    votes: VecDeque<usize>,
+    counts: Vec<u32>,
+    ema: Option<f64>,
+    observations: u64,
+}
+
+/// A windowed identity decision for one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowedDecision {
+    /// Majority module id over the window (ties resolve to the smaller
+    /// id, deterministically).
+    pub module: usize,
+    /// Fraction of window votes agreeing with `module`, in `(0, 1]`.
+    pub vote_fraction: f64,
+    /// Exponential moving average of per-report classifier confidence.
+    pub confidence_ema: f64,
+    /// Total reports ever observed for this device.
+    pub observations: u64,
+}
+
+impl DecisionWindow {
+    /// Creates an empty window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-length window or an alpha outside `(0, 1]`.
+    pub fn new(cfg: WindowConfig) -> Self {
+        assert!(cfg.len > 0, "window length must be positive");
+        assert!(
+            cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0,
+            "ema_alpha must be in (0, 1]"
+        );
+        DecisionWindow {
+            cfg,
+            votes: VecDeque::with_capacity(cfg.len),
+            counts: Vec::new(),
+            ema: None,
+            observations: 0,
+        }
+    }
+
+    /// Feeds one classified report (predicted module + classifier
+    /// confidence in `[0, 1]`).
+    pub fn push(&mut self, module: usize, confidence: f64) {
+        if module >= self.counts.len() {
+            self.counts.resize(module + 1, 0);
+        }
+        if self.votes.len() == self.cfg.len {
+            let expired = self.votes.pop_front().expect("window non-empty");
+            self.counts[expired] -= 1;
+        }
+        self.votes.push_back(module);
+        self.counts[module] += 1;
+        self.ema = Some(match self.ema {
+            None => confidence,
+            Some(prev) => prev + self.cfg.ema_alpha * (confidence - prev),
+        });
+        self.observations += 1;
+    }
+
+    /// The current decision; `None` before the first report.
+    pub fn decision(&self) -> Option<WindowedDecision> {
+        if self.votes.is_empty() {
+            return None;
+        }
+        let (module, &count) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .expect("counts non-empty");
+        Some(WindowedDecision {
+            module,
+            vote_fraction: f64::from(count) / self.votes.len() as f64,
+            confidence_ema: self.ema.expect("set with first vote"),
+            observations: self.observations,
+        })
+    }
+
+    /// Number of votes currently in the window.
+    pub fn len(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// `true` before the first report.
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(len: usize) -> DecisionWindow {
+        DecisionWindow::new(WindowConfig {
+            len,
+            ema_alpha: 0.5,
+        })
+    }
+
+    #[test]
+    fn empty_window_has_no_decision() {
+        assert!(window(4).decision().is_none());
+    }
+
+    #[test]
+    fn majority_vote_wins() {
+        let mut w = window(5);
+        for m in [1, 1, 2, 1, 2] {
+            w.push(m, 0.9);
+        }
+        let d = w.decision().unwrap();
+        assert_eq!(d.module, 1);
+        assert!((d.vote_fraction - 0.6).abs() < 1e-9);
+        assert_eq!(d.observations, 5);
+    }
+
+    #[test]
+    fn old_votes_expire() {
+        let mut w = window(3);
+        for m in [7, 7, 7, 2, 2, 2] {
+            w.push(m, 0.5);
+        }
+        assert_eq!(w.decision().unwrap().module, 2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.decision().unwrap().observations, 6);
+    }
+
+    #[test]
+    fn ties_resolve_to_smaller_module() {
+        let mut w = window(4);
+        for m in [3, 0, 3, 0] {
+            w.push(m, 0.5);
+        }
+        assert_eq!(w.decision().unwrap().module, 0);
+    }
+
+    #[test]
+    fn ema_tracks_confidence() {
+        let mut w = window(8);
+        w.push(0, 1.0);
+        assert!((w.decision().unwrap().confidence_ema - 1.0).abs() < 1e-9);
+        w.push(0, 0.0);
+        // α = 0.5 → 1.0 + 0.5(0 − 1) = 0.5.
+        assert!((w.decision().unwrap().confidence_ema - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn zero_length_window_panics() {
+        let _ = window(0);
+    }
+}

@@ -13,7 +13,9 @@
 use deepcsi::bfi::{beamforming_matrix, decompose, quantize, v_from_angles, BeamformingFeedback};
 use deepcsi::channel::{AntennaArray, ChannelModel, Environment};
 use deepcsi::frame::{BeamformingReportFrame, MacAddr};
-use deepcsi::impair::{apply_impairments, DeviceId, ImpairmentProfile, LinkState, RadioFingerprint};
+use deepcsi::impair::{
+    apply_impairments, DeviceId, ImpairmentProfile, LinkState, RadioFingerprint,
+};
 use deepcsi::phy::{Codebook, MimoConfig, SubcarrierLayout};
 use rand::SeedableRng;
 
@@ -22,7 +24,11 @@ fn main() {
     let env = Environment::fig6(0);
     let layout = SubcarrierLayout::vht80();
     let tones = layout.indices().to_vec();
-    println!("channel {}: K = {} sounded sub-channels", env.channel, layout.len());
+    println!(
+        "channel {}: K = {} sounded sub-channels",
+        env.channel,
+        layout.len()
+    );
 
     let model = ChannelModel::new(&env, layout);
     let tx = AntennaArray::new(env.ap_home(), 0.0, env.half_wavelength(), 3);
@@ -37,7 +43,10 @@ fn main() {
     let ideal = model.cfr(&tx, &rx, &mut rng);
     let cfr = apply_impairments(&ideal, &tones, &tx_fp, &rx_fp, &profile, &mut link);
     let k_mid = 117; // a mid-band tone
-    println!("\nstep 1 — estimated CFR at tone {} (M×N = 3×2):", tones[k_mid]);
+    println!(
+        "\nstep 1 — estimated CFR at tone {} (M×N = 3×2):",
+        tones[k_mid]
+    );
     println!("{:?}", cfr[k_mid]);
 
     // --- 2. V_k via SVD (Eq. (3)) ----------------------------------------
@@ -48,13 +57,30 @@ fn main() {
     // --- 3. Algorithm 1: Givens angles -----------------------------------
     let dec = decompose(&v);
     println!("step 3 — feedback angles (φ in [0,2π), ψ in [0,π/2]):");
-    println!("  φ = {:?}", dec.angles.phi.iter().map(|a| format!("{a:.4}")).collect::<Vec<_>>());
-    println!("  ψ = {:?}", dec.angles.psi.iter().map(|a| format!("{a:.4}")).collect::<Vec<_>>());
+    println!(
+        "  φ = {:?}",
+        dec.angles
+            .phi
+            .iter()
+            .map(|a| format!("{a:.4}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  ψ = {:?}",
+        dec.angles
+            .psi
+            .iter()
+            .map(|a| format!("{a:.4}"))
+            .collect::<Vec<_>>()
+    );
 
     // --- 4. quantization (Eq. (8)) ----------------------------------------
     let cb = Codebook::MU_HIGH;
     let q = quantize(&dec.angles, cb);
-    println!("step 4 — quantized with {cb}: qφ = {:?}, qψ = {:?}", q.q_phi, q.q_psi);
+    println!(
+        "step 4 — quantized with {cb}: qφ = {:?}, qψ = {:?}",
+        q.q_phi, q.q_psi
+    );
 
     // --- 5. the frame on the air ------------------------------------------
     let mimo = MimoConfig::paper_default();

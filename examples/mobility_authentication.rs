@@ -13,7 +13,9 @@
 //! ```
 
 use deepcsi::core::{run_experiment, Authenticator, ExperimentConfig};
-use deepcsi::data::{d2_split, generate_d2, generate_trace, D2Set, GenConfig, InputSpec, TraceKind, TraceSpec};
+use deepcsi::data::{
+    d2_split, generate_d2, generate_trace, D2Set, GenConfig, InputSpec, TraceKind, TraceSpec,
+};
 use deepcsi::impair::DeviceId;
 
 fn main() {
@@ -32,8 +34,14 @@ fn main() {
         split.train.len() + split.val.len(),
         split.test.len()
     );
-    let result = run_experiment(&ExperimentConfig::fast(gen.num_modules as usize, 11), &split);
-    println!("mobility accuracy (Fig. 17a analogue): {:.2}%\n", result.accuracy * 100.0);
+    let result = run_experiment(
+        &ExperimentConfig::fast(gen.num_modules as usize, 11),
+        &split,
+    );
+    println!(
+        "mobility accuracy (Fig. 17a analogue): {:.2}%\n",
+        result.accuracy * 100.0
+    );
 
     // Continuous authentication of a *new* walk of module 3.
     let auth = Authenticator::new(result.network, spec);

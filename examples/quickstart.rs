@@ -23,9 +23,16 @@ fn main() {
         snapshots_per_trace: 60,
         ..GenConfig::default()
     };
-    println!("generating D1 ({} modules × 9 positions × 2 beamformees)…", gen.num_modules);
+    println!(
+        "generating D1 ({} modules × 9 positions × 2 beamformees)…",
+        gen.num_modules
+    );
     let dataset = deepcsi::data::generate_d1(&gen);
-    println!("  {} traces, {} soundings", dataset.traces.len(), dataset.num_snapshots());
+    println!(
+        "  {} traces, {} soundings",
+        dataset.traces.len(),
+        dataset.num_snapshots()
+    );
 
     // --- 2. Train ------------------------------------------------------------
     let spec = deepcsi::data::InputSpec::fast();

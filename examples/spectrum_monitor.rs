@@ -15,7 +15,9 @@
 //! ```
 
 use deepcsi::core::{run_experiment, Authenticator, ExperimentConfig};
-use deepcsi::data::{d1_split, generate_d1, generate_trace, D1Set, GenConfig, InputSpec, TraceKind, TraceSpec};
+use deepcsi::data::{
+    d1_split, generate_d1, generate_trace, D1Set, GenConfig, InputSpec, TraceKind, TraceSpec,
+};
 use deepcsi::frame::{BeamformingReportFrame, MacAddr, Monitor};
 use deepcsi::impair::DeviceId;
 
@@ -36,7 +38,10 @@ fn main() {
     let spec = InputSpec::fast();
     let split = d1_split(&dataset, D1Set::S1, &[1], &spec);
     let result = run_experiment(&ExperimentConfig::fast(gen.num_modules as usize, 3), &split);
-    println!("enrollment model accuracy: {:.2}%\n", result.accuracy * 100.0);
+    println!(
+        "enrollment model accuracy: {:.2}%\n",
+        result.accuracy * 100.0
+    );
     let auth = Authenticator::new(result.network, spec);
 
     // Live monitoring: frames arrive with *claimed* beamformer MACs.

@@ -1,0 +1,118 @@
+//! Streaming authentication: the `deepcsi-serve` engine end to end.
+//!
+//! 1. Simulate a capture campaign and train a fast classifier.
+//! 2. Start the streaming engine: MAC-sharded workers, bounded queues,
+//!    micro-batched inference, per-device sliding-window verdicts.
+//! 3. Replay the capture as a frame stream — plus one impersonation
+//!    attempt and some over-the-air garbage — and read the verdicts.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example streaming_auth
+//! ```
+
+use deepcsi::core::{run_experiment, Authenticator, ExperimentConfig, ModelConfig};
+use deepcsi::data::{d1_split, D1Set, GenConfig, InputSpec};
+use deepcsi::frame::{BeamformingReportFrame, MacAddr};
+use deepcsi::nn::TrainConfig;
+use deepcsi::serve::{Backpressure, Engine, EngineConfig, ReplaySource, Verdict};
+
+fn main() {
+    // --- 1. Dataset + classifier --------------------------------------------
+    let gen = GenConfig {
+        num_modules: 3,
+        snapshots_per_trace: 40,
+        ..GenConfig::default()
+    };
+    println!("generating D1 capture for {} AP modules…", gen.num_modules);
+    let dataset = deepcsi::data::generate_d1(&gen);
+
+    let spec = InputSpec {
+        stride: 4,
+        ..InputSpec::default()
+    };
+    let split = d1_split(&dataset, D1Set::S1, &[1, 2], &spec);
+    let cfg = ExperimentConfig {
+        model: ModelConfig::demo(3),
+        train: TrainConfig {
+            epochs: 6,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            seed: 5,
+            ..TrainConfig::default()
+        },
+    };
+    println!("training…");
+    let result = run_experiment(&cfg, &split);
+    println!("  per-sample test accuracy {:.1}%", result.accuracy * 100.0);
+    let auth = Authenticator::new(result.network, spec);
+
+    // --- 2. Start the engine -------------------------------------------------
+    let registry = ReplaySource::registry(&dataset);
+    let engine = Engine::start(
+        EngineConfig {
+            workers: 2,
+            backpressure: Backpressure::Block,
+            ..EngineConfig::default()
+        },
+        auth,
+        registry.clone(),
+    );
+
+    // --- 3. Stream frames ----------------------------------------------------
+    let replay = ReplaySource::from_dataset(&dataset);
+    println!(
+        "streaming {} frames from {} registered device streams…",
+        replay.len(),
+        registry.len()
+    );
+    for frame in replay.frames() {
+        engine.ingest_frame(frame);
+    }
+
+    // An impersonation attempt: an unregistered station replays module 0's
+    // feedback under its own MAC — the registry can only call it Unknown,
+    // and registering it against the wrong module would Reject.
+    let intruder = MacAddr::station(0xBAD);
+    for fb in dataset.traces[0].snapshots.iter().take(30) {
+        let bytes = BeamformingReportFrame::new(
+            MacAddr::station(0xAC_CE55),
+            intruder,
+            MacAddr::station(0xAC_CE55),
+            0,
+            fb.clone(),
+        )
+        .encode();
+        engine.ingest_frame(&bytes);
+    }
+
+    // Over-the-air noise that fails to decode.
+    for _ in 0..5 {
+        engine.ingest_frame(&[0x5A; 13]);
+    }
+
+    let report = engine.shutdown();
+
+    // --- 4. Verdicts ----------------------------------------------------------
+    println!("\nper-device verdicts:");
+    for d in &report.decisions {
+        let marker = match d.verdict {
+            Verdict::Accept => "✓",
+            Verdict::Reject => "✗",
+            Verdict::Unknown => "?",
+        };
+        match &d.decision {
+            Some(w) => println!(
+                "  {marker} {}  module {}  votes {:.0}%  conf {:.2}  ({} reports)",
+                d.source,
+                w.module,
+                w.vote_fraction * 100.0,
+                w.confidence_ema,
+                w.observations
+            ),
+            None => println!("  {marker} {}  (silent)", d.source),
+        }
+    }
+    println!("\nengine telemetry:\n{}", report.stats);
+}

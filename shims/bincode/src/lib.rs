@@ -1,0 +1,97 @@
+//! Offline stand-in for `bincode` 1.x, backed by the `serde` shim's
+//! little-endian binary codec.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Serialization/deserialization failure (bincode 1.x boxes its errors;
+/// keeping the alias shape lets call sites treat it identically).
+pub type Error = Box<ErrorKind>;
+
+/// The failure cause.
+#[derive(Debug)]
+pub enum ErrorKind {
+    /// Underlying I/O failure or malformed input.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ErrorKind {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Box::new(ErrorKind::Io(e))
+    }
+}
+
+/// Serializes `value` into `writer`.
+///
+/// # Errors
+///
+/// I/O failures from the writer.
+pub fn serialize_into<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    value.serialize(&mut writer)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one `T` from `reader`.
+///
+/// # Errors
+///
+/// I/O failures or malformed data.
+pub fn deserialize_from<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    Ok(T::deserialize(&mut reader)?)
+}
+
+/// Serializes `value` to an owned byte vector.
+///
+/// # Errors
+///
+/// Never fails in practice (in-memory writer), but keeps bincode's shape.
+pub fn serialize<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::new();
+    serialize_into(&mut out, value)?;
+    Ok(out)
+}
+
+/// Deserializes one `T` from a byte slice.
+///
+/// # Errors
+///
+/// Malformed or truncated data.
+pub fn deserialize<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    deserialize_from(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_buffers() {
+        let v = vec![(1u32, -2.5f64), (3, 4.5)];
+        let bytes = serialize(&v).unwrap();
+        let back: Vec<(u32, f64)> = deserialize(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn truncated_input_reports_error() {
+        let bytes = serialize(&12345u64).unwrap();
+        let res: Result<u64, Error> = deserialize(&bytes[..3]);
+        let err = res.unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::thread::scope`
+//! with `std::thread::scope` underneath. Spawn closures receive a unit
+//! placeholder instead of the nested-scope handle (every in-repo caller
+//! ignores the argument).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Handle for spawning threads inside a [`scope`].
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure's argument is a unit
+        /// placeholder for crossbeam's nested-scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.0.spawn(move || f(())))
+        }
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        ///
+        /// # Errors
+        ///
+        /// The thread's panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all spawned threads are joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Never errs (std scopes propagate panics), but keeps crossbeam's
+    /// `Result` shape so call sites can `.expect(...)` identically.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| scope.spawn(move |_| c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .expect("scope");
+            assert_eq!(total, 10);
+        }
+    }
+}

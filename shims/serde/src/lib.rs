@@ -1,0 +1,315 @@
+//! Offline stand-in for `serde`.
+//!
+//! A compact little-endian binary codec with the same *spelling* as serde
+//! (`Serialize`/`Deserialize` traits plus `#[derive(...)]`), sufficient
+//! for the persistence this workspace does (datasets, trained models).
+//! Derived impls write fields in declaration order; lengths are `u64`,
+//! enum tags `u32`. See `shims/README.md`.
+
+// Lets the derive's generated `::serde::...` paths resolve when the
+// derive is used inside this crate (its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::io::{self, Read, Write};
+
+/// Serializes `self` into a byte stream.
+pub trait Serialize {
+    /// Writes the binary encoding of `self` to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    fn serialize(&self, out: &mut dyn Write) -> io::Result<()>;
+}
+
+/// Reconstructs a value from the byte stream produced by [`Serialize`].
+pub trait Deserialize: Sized {
+    /// Reads one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` when the stream does not decode.
+    fn deserialize(r: &mut dyn Read) -> io::Result<Self>;
+}
+
+#[inline]
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+macro_rules! impl_le_primitive {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+                out.write_all(&self.to_le_bytes())
+            }
+        }
+        impl Deserialize for $t {
+            #[inline]
+            fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+                let mut buf = [0u8; std::mem::size_of::<$t>()];
+                r.read_exact(&mut buf)?;
+                Ok(<$t>::from_le_bytes(buf))
+            }
+        }
+    )*};
+}
+
+impl_le_primitive!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl Serialize for usize {
+    #[inline]
+    fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+        (*self as u64).serialize(out)
+    }
+}
+
+impl Deserialize for usize {
+    #[inline]
+    fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+        usize::try_from(u64::deserialize(r)?).map_err(|_| bad_data("usize overflow"))
+    }
+}
+
+impl Serialize for isize {
+    #[inline]
+    fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+        (*self as i64).serialize(out)
+    }
+}
+
+impl Deserialize for isize {
+    #[inline]
+    fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+        isize::try_from(i64::deserialize(r)?).map_err(|_| bad_data("isize overflow"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+        (u8::from(*self)).serialize(out)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+        match u8::deserialize(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(bad_data("invalid bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+        (*self as u32).serialize(out)
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+        char::from_u32(u32::deserialize(r)?).ok_or_else(|| bad_data("invalid char"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+        (self.len() as u64).serialize(out)?;
+        out.write_all(self.as_bytes())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+        let len = u64::deserialize(r)? as usize;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| bad_data("invalid utf-8"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+        (self.len() as u64).serialize(out)?;
+        for v in self {
+            v.serialize(out)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+        let len = u64::deserialize(r)? as usize;
+        // Grow incrementally so a corrupt length cannot pre-allocate GBs.
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::deserialize(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+        match self {
+            None => 0u8.serialize(out),
+            Some(v) => {
+                1u8.serialize(out)?;
+                v.serialize(out)
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+        match u8::deserialize(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(r)?)),
+            _ => Err(bad_data("invalid option tag")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+        for v in self {
+            v.serialize(out)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+        let mut out = [T::default(); N];
+        for v in out.iter_mut() {
+            *v = T::deserialize(r)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, out: &mut dyn Write) -> io::Result<()> {
+                $(self.$n.serialize(out)?;)+
+                Ok(())
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(r: &mut dyn Read) -> io::Result<Self> {
+                Ok(($($t::deserialize(r)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.serialize(&mut buf).unwrap();
+        let mut r = buf.as_slice();
+        let back = T::deserialize(&mut (&mut r as &mut dyn Read)).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(42u8);
+        roundtrip(-7i64);
+        roundtrip(3.25f32);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip('λ');
+        roundtrip("hello Ṽ".to_string());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1.0f32, -2.0, 3.5]);
+        roundtrip(Some(vec![1u16, 2, 3]));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u8, 2.0f64, String::from("x")));
+        roundtrip([5u32; 4]);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut buf = Vec::new();
+        12345u64.serialize(&mut buf).unwrap();
+        buf.truncate(3);
+        let mut r = buf.as_slice();
+        assert!(u64::deserialize(&mut (&mut r as &mut dyn Read)).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_is_invalid_data() {
+        let buf = [7u8];
+        let mut r = buf.as_slice();
+        let err = bool::deserialize(&mut (&mut r as &mut dyn Read)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+    struct Named {
+        a: u32,
+        b: Vec<f32>,
+        c: Option<String>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone, Copy)]
+    struct Tup(u8, i32);
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+    enum Mixed {
+        Unit,
+        Pair(u8, u8),
+        Rec { x: f64, y: Vec<u16> },
+    }
+
+    #[test]
+    fn derived_struct_roundtrips() {
+        roundtrip(Named {
+            a: 9,
+            b: vec![1.0, 2.0],
+            c: Some("z".into()),
+        });
+        roundtrip(Tup(3, -4));
+    }
+
+    #[test]
+    fn derived_enum_roundtrips() {
+        roundtrip(Mixed::Unit);
+        roundtrip(Mixed::Pair(1, 2));
+        roundtrip(Mixed::Rec {
+            x: 0.5,
+            y: vec![7, 8],
+        });
+    }
+
+    #[test]
+    fn derived_enum_rejects_bad_tag() {
+        let buf = 99u32.to_le_bytes();
+        let mut r = buf.as_slice();
+        assert!(Mixed::deserialize(&mut (&mut r as &mut dyn Read)).is_err());
+    }
+}

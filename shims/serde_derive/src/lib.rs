@@ -1,0 +1,317 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline `serde` shim.
+//!
+//! A dependency-free derive (no `syn`/`quote`): the input token stream is
+//! walked directly. Supported shapes — everything this workspace derives:
+//!
+//! * structs with named fields, tuple structs, unit structs
+//! * enums with unit, tuple and struct variants (tagged with a `u32`)
+//!
+//! Generics are intentionally unsupported and panic at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(t) if is_punct(t, '#') => {
+                // '#' then the bracketed attribute group.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advances `i` past a type, stopping after the `,` that ends the field
+/// (or at end of stream). Tracks `<...>` nesting; `(...)`/`[...]` arrive
+/// as single groups so they need no tracking.
+fn skip_type_and_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            *i += 1;
+            return;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("serde shim derive: expected field name");
+        fields.push(name);
+        i += 1;
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde shim derive: expected ':' after field name"
+        );
+        i += 1;
+        skip_type_and_comma(&toks, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        skip_type_and_comma(&toks, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("serde shim derive: expected variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(t) = toks.get(i) {
+            assert!(
+                is_punct(t, ','),
+                "serde shim derive: expected ',' between variants (discriminants unsupported)"
+            );
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_of(&toks[i]).expect("serde shim derive: expected struct/enum");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("serde shim derive: expected type name");
+    i += 1;
+    if toks.get(i).map(|t| is_punct(t, '<')).unwrap_or(false) {
+        panic!("serde shim derive: generic types are unsupported");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Shape::UnitStruct,
+            _ => panic!("serde shim derive: unrecognized struct body"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde shim derive: unrecognized enum body"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => fields
+            .iter()
+            .map(|f| format!("::serde::Serialize::serialize(&self.{f}, out)?;"))
+            .collect::<String>(),
+        Shape::TupleStruct(n) => (0..*n)
+            .map(|k| format!("::serde::Serialize::serialize(&self.{k}, out)?;"))
+            .collect::<String>(),
+        Shape::UnitStruct => String::new(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => {{ ::serde::Serialize::serialize(&{tag}u32, out)?; }}"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let sers: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b}, out)?;"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {{ ::serde::Serialize::serialize(&{tag}u32, out)?; {sers} }}",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let sers: String = fields
+                                .iter()
+                                .map(|f| format!("::serde::Serialize::serialize({f}, out)?;"))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => {{ ::serde::Serialize::serialize(&{tag}u32, out)?; {sers} }}",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize(&self, out: &mut dyn ::std::io::Write) -> ::std::io::Result<()> {{\n\
+             {body}\n\
+             Ok(())\n\
+           }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde shim derive: generated impl must parse")
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(r)?,"))
+                .collect();
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|_| "::serde::Deserialize::deserialize(r)?".to_string())
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!("{tag}u32 => {name}::{vn},"),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|_| "::serde::Deserialize::deserialize(r)?".to_string())
+                                .collect();
+                            format!("{tag}u32 => {name}::{vn}({}),", inits.join(", "))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(r)?,"))
+                                .collect();
+                            format!("{tag}u32 => {name}::{vn} {{ {inits} }},")
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let __tag: u32 = ::serde::Deserialize::deserialize(r)?;\n\
+                 Ok(match __tag {{\n\
+                   {arms}\n\
+                   _ => return Err(::std::io::Error::new(\n\
+                     ::std::io::ErrorKind::InvalidData,\n\
+                     format!(\"invalid enum tag {{__tag}} for {name}\"),\n\
+                   )),\n\
+                 }})"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn deserialize(r: &mut dyn ::std::io::Read) -> ::std::io::Result<Self> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde shim derive: generated impl must parse")
+}

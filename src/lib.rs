@@ -17,6 +17,7 @@
 //! | [`nn`] | `deepcsi-nn` | from-scratch CNN/attention deep-learning substrate |
 //! | [`data`] | `deepcsi-data` | synthetic D1/D2 datasets, S1–S6 splits, input tensors |
 //! | [`core`] | `deepcsi-core` | the classifier, training harness, authenticator, baseline |
+//! | [`serve`] | `deepcsi-serve` | streaming auth engine: sharded ingest, micro-batches, windowed verdicts |
 //!
 //! ## Quickstart
 //!
@@ -39,3 +40,4 @@ pub use deepcsi_impair as impair;
 pub use deepcsi_linalg as linalg;
 pub use deepcsi_nn as nn;
 pub use deepcsi_phy as phy;
+pub use deepcsi_serve as serve;

@@ -3,9 +3,7 @@
 
 use deepcsi::bfi::VSeries;
 use deepcsi::core::{run_experiment, Authenticator, ExperimentConfig, ModelConfig};
-use deepcsi::data::{
-    d1_split, generate_trace, D1Set, GenConfig, InputSpec, TraceKind, TraceSpec,
-};
+use deepcsi::data::{d1_split, generate_trace, D1Set, GenConfig, InputSpec, TraceKind, TraceSpec};
 use deepcsi::frame::{BeamformingReportFrame, MacAddr, Monitor};
 use deepcsi::impair::DeviceId;
 use deepcsi::nn::TrainConfig;

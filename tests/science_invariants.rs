@@ -7,7 +7,7 @@ use deepcsi::data::clean_phase_offsets;
 use deepcsi::impair::{
     apply_impairments, DeviceId, ImpairmentProfile, LinkState, RadioFingerprint,
 };
-use deepcsi::linalg::{C64, CMatrix};
+use deepcsi::linalg::{CMatrix, C64};
 use deepcsi::phy::{Codebook, MimoConfig, SubcarrierLayout};
 use rand::SeedableRng;
 
@@ -78,7 +78,10 @@ fn quantization_error_grows_with_stream_order() {
     let exact = VSeries::exact_from_cfr(&cfr, &tones, mimo);
     let quant = BeamformingFeedback::from_cfr(&cfr, &tones, mimo, Codebook::MU_LOW).reconstruct();
     let col_err = |c: usize| -> f64 {
-        (0..3).map(|m| quant.element_error(&exact, m, c)).sum::<f64>() / 3.0
+        (0..3)
+            .map(|m| quant.element_error(&exact, m, c))
+            .sum::<f64>()
+            / 3.0
     };
     assert!(
         col_err(1) > col_err(0),
@@ -112,7 +115,7 @@ fn finer_codebook_reduces_reconstruction_error() {
 /// Fig. 16's mechanism: offset cleaning must measurably shrink the
 /// between-device distance in Ṽ space (it removes fingerprint).
 #[test]
-fn cleaning_reduces_device_separation()  {
+fn cleaning_reduces_device_separation() {
     let (cfr, tones) = small_cfr();
     let profile = ImpairmentProfile::default();
     let rx = RadioFingerprint::generate_rx(1, 2, &profile);
@@ -165,12 +168,11 @@ fn v_tilde_depends_on_beamformee_position() {
     };
     let a = series_at(1);
     let b = series_at(9);
-    let d: f64 = a
-        .v
-        .iter()
-        .zip(b.v.iter())
-        .map(|(x, y)| x.sub(y).fro_norm())
-        .sum::<f64>()
-        / a.len() as f64;
+    let d: f64 =
+        a.v.iter()
+            .zip(b.v.iter())
+            .map(|(x, y)| x.sub(y).fro_norm())
+            .sum::<f64>()
+            / a.len() as f64;
     assert!(d > 0.05, "position change barely moved Ṽ: {d}");
 }
