@@ -1,7 +1,8 @@
 //! Runs every figure binary in sequence and collects the `RESULT` lines
 //! into `bench_results/summary.txt` — the data behind EXPERIMENTS.md.
-//! Also runs the serving throughput bench (`serve_throughput`) and emits
-//! its numbers as `BENCH_serve.json`.
+//! Also runs the serving and capture throughput benches
+//! (`serve_throughput`, `capture_throughput`) and emits their numbers as
+//! `BENCH_serve.json` / `BENCH_capture.json`.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -62,14 +63,27 @@ fn main() {
         summary.lines().count()
     );
 
-    run_serve_bench(&exe_dir, &forwarded, &out_dir);
+    run_result_bench(&exe_dir, &forwarded, &out_dir, "serve_throughput", "serve");
+    run_result_bench(
+        &exe_dir,
+        &forwarded,
+        &out_dir,
+        "capture_throughput",
+        "capture",
+    );
 }
 
-/// Runs `serve_throughput` and writes its `RESULT serve <key> <value>`
-/// lines to `BENCH_serve.json`.
-fn run_serve_bench(exe_dir: &Path, forwarded: &[String], out_dir: &Path) {
-    let bin = exe_dir.join("serve_throughput");
-    println!("\n================ serve_throughput ================");
+/// Runs one bench binary and writes its `RESULT <tag> <key> <value>`
+/// lines to `BENCH_<tag>.json`.
+fn run_result_bench(
+    exe_dir: &Path,
+    forwarded: &[String],
+    out_dir: &Path,
+    bin_name: &str,
+    tag: &str,
+) {
+    let bin = exe_dir.join(bin_name);
+    println!("\n================ {bin_name} ================");
     let start = std::time::Instant::now();
     let output = Command::new(&bin)
         .args(forwarded)
@@ -79,18 +93,18 @@ fn run_serve_bench(exe_dir: &Path, forwarded: &[String], out_dir: &Path) {
     print!("{stdout}");
     if !output.status.success() {
         eprintln!(
-            "serve_throughput FAILED: {}",
+            "{bin_name} FAILED: {}",
             String::from_utf8_lossy(&output.stderr)
         );
     }
-    std::fs::write(out_dir.join("serve_throughput.txt"), stdout.as_bytes())
-        .expect("write serve log");
+    std::fs::write(out_dir.join(format!("{bin_name}.txt")), stdout.as_bytes())
+        .expect("write bench log");
 
     let mut entries = Vec::new();
     for line in stdout.lines() {
-        // RESULT serve <key> <value>
+        // RESULT <tag> <key> <value>
         let mut parts = line.split_whitespace();
-        if parts.next() != Some("RESULT") || parts.next() != Some("serve") {
+        if parts.next() != Some("RESULT") || parts.next() != Some(tag) {
             continue;
         }
         if let (Some(key), Some(value)) = (parts.next(), parts.next()) {
@@ -102,8 +116,8 @@ fn run_serve_bench(exe_dir: &Path, forwarded: &[String], out_dir: &Path) {
         }
     }
     let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
-    let path = out_dir.join("BENCH_serve.json");
-    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    let path = out_dir.join(format!("BENCH_{tag}.json"));
+    std::fs::write(&path, &json).expect("write bench json");
     println!(
         "wrote {} ({} metrics) [{:.1?}]",
         path.display(),

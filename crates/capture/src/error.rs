@@ -1,0 +1,67 @@
+//! The capture-layer error type.
+
+use std::fmt;
+use std::io;
+
+/// Largest packet record the capture layer will materialise. Far above
+/// any 802.11 MPDU (11454 bytes with A-MSDU), so only lying length
+/// fields ever trip it — and they trip it *before* any allocation.
+pub const MAX_PACKET: u32 = 256 * 1024;
+
+/// Largest pcapng block the streaming decoder will buffer. Blocks carry
+/// one packet plus bounded options, so anything beyond this is a lying
+/// block length, not data worth waiting for.
+pub const MAX_BLOCK: u32 = MAX_PACKET + 4 * 1024;
+
+/// Errors produced while decoding or tailing a capture.
+#[derive(Debug)]
+pub enum CaptureError {
+    /// An I/O failure on the underlying file.
+    Io(io::Error),
+    /// The stream does not start with a known pcap/pcapng magic number.
+    BadMagic(u32),
+    /// Structurally invalid capture data; the message names the spot.
+    Malformed(&'static str),
+    /// A length field exceeds the bound the layer is willing to honour
+    /// ([`MAX_PACKET`] / [`MAX_BLOCK`]); decoding stops without
+    /// allocating.
+    Oversize {
+        /// The claimed length.
+        claimed: u64,
+        /// The enforced cap.
+        cap: u32,
+    },
+    /// The capture's link type is not 802.11 (105) or radiotap (127).
+    UnsupportedLinkType(u32),
+}
+
+impl fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureError::Io(e) => write!(f, "capture I/O error: {e}"),
+            CaptureError::BadMagic(m) => write!(f, "not a pcap/pcapng stream (magic {m:#010x})"),
+            CaptureError::Malformed(what) => write!(f, "malformed capture: {what}"),
+            CaptureError::Oversize { claimed, cap } => {
+                write!(f, "length field claims {claimed} bytes (cap {cap})")
+            }
+            CaptureError::UnsupportedLinkType(lt) => {
+                write!(f, "unsupported link type {lt} (need 105 or 127)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CaptureError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CaptureError {
+    fn from(e: io::Error) -> Self {
+        CaptureError::Io(e)
+    }
+}

@@ -1,0 +1,68 @@
+//! Cheap 802.11 pre-filter: drop everything that cannot be a VHT
+//! compressed beamforming report before paying for full frame parsing.
+//!
+//! A monitor-mode interface sees *all* traffic — beacons, data, control
+//! frames — of which beamforming reports are a sliver. This filter looks
+//! at exactly three bytes (Frame Control, category, action) so the full
+//! `BeamformingReportFrame::parse` only ever runs on real candidates.
+
+/// Frame Control byte 0: management / Action (subtype 1101), version 0.
+const FC_ACTION: u8 = 0xD0;
+/// Frame Control byte 0: management / Action No Ack (subtype 1110).
+const FC_ACTION_NO_ACK: u8 = 0xE0;
+/// 802.11 category code for VHT action frames.
+const CATEGORY_VHT: u8 = 21;
+/// VHT action id for Compressed Beamforming.
+const ACTION_COMPRESSED_BF: u8 = 0;
+/// MAC header (24) + category + action: the minimum a candidate needs.
+const MIN_CANDIDATE_LEN: usize = 26;
+
+/// `true` when `mpdu` could be a VHT Compressed Beamforming report —
+/// an Action / Action No Ack management frame carrying the VHT
+/// category and Compressed Beamforming action.
+///
+/// False positives are fine (the full parser re-checks everything);
+/// false negatives are not — the constants mirror the accepted set of
+/// `deepcsi_frame::BeamformingReportFrame::parse` exactly.
+pub fn is_beamforming_candidate(mpdu: &[u8]) -> bool {
+    mpdu.len() >= MIN_CANDIDATE_LEN
+        && matches!(mpdu[0], FC_ACTION | FC_ACTION_NO_ACK)
+        && mpdu[24] == CATEGORY_VHT
+        && mpdu[25] == ACTION_COMPRESSED_BF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate() -> Vec<u8> {
+        let mut f = vec![0u8; 32];
+        f[0] = FC_ACTION_NO_ACK;
+        f[24] = CATEGORY_VHT;
+        f[25] = ACTION_COMPRESSED_BF;
+        f
+    }
+
+    #[test]
+    fn accepts_both_action_subtypes() {
+        let mut f = candidate();
+        assert!(is_beamforming_candidate(&f));
+        f[0] = FC_ACTION;
+        assert!(is_beamforming_candidate(&f));
+    }
+
+    #[test]
+    fn rejects_other_frames() {
+        let mut beacon = candidate();
+        beacon[0] = 0x80;
+        assert!(!is_beamforming_candidate(&beacon));
+        let mut public_action = candidate();
+        public_action[24] = 4;
+        assert!(!is_beamforming_candidate(&public_action));
+        let mut other_vht_action = candidate();
+        other_vht_action[25] = 1; // Group ID Management
+        assert!(!is_beamforming_candidate(&other_vht_action));
+        assert!(!is_beamforming_candidate(&candidate()[..20]));
+        assert!(!is_beamforming_candidate(&[]));
+    }
+}

@@ -1,0 +1,81 @@
+//! # deepcsi-capture — capture-file ingestion for the serving engine
+//!
+//! DeepCSI's observer is "any Wi-Fi compliant device … in monitor mode"
+//! (§III-C): the beamforming reports it fingerprints arrive as packets
+//! in a capture — a pcap/pcapng file written by `tcpdump`, Wireshark or
+//! a rotating sniffer daemon. This crate is that I/O boundary:
+//!
+//! * **Containers** — zero-copy readers *and* writers for classic pcap
+//!   (all four variants: little/big endian × µs/ns timestamps —
+//!   [`PcapReader`]/[`PcapWriter`]) and pcapng (SHB/IDB/EPB/SPB blocks,
+//!   per-section byte order, `if_tsresol` — [`PcapngReader`]/
+//!   [`PcapngWriter`]), plus an incremental [`CaptureDecoder`] that
+//!   accepts bytes in arbitrary chunks.
+//! * **Link layer** — a [`Radiotap`] parser for link types 105/127 that
+//!   walks the variable-length preamble with correct per-field
+//!   alignment and surfaces RSSI, channel and FCS flags, and a
+//!   [`RadiotapBuilder`] for synthesising fixtures.
+//! * **Pre-filter** — [`is_beamforming_candidate`] drops
+//!   non-Action/non-VHT-beamforming frames on three bytes, so the full
+//!   `deepcsi_frame::BeamformingReportFrame::parse` only runs on real
+//!   candidates.
+//! * **Sources** — the [`FrameSource`] trait pulls candidate frames
+//!   from any backing: [`PcapFileSource`] for finite files,
+//!   [`FollowSource`] for growing files with truncation/rotation
+//!   recovery (`tail -f` for captures).
+//!
+//! Every length field is validated *before* allocation
+//! ([`MAX_PACKET`]/[`MAX_BLOCK`]) and every decode path returns
+//! [`CaptureError`] instead of panicking — this crate fronts arbitrary
+//! on-disk bytes.
+//!
+//! ```
+//! use deepcsi_capture::{PcapFileSource, FrameSource, SourcePoll, PcapWriter, RadiotapBuilder};
+//!
+//! // Write a one-packet radiotap capture: a stand-in Action No Ack
+//! // MPDU carrying the VHT category + Compressed Beamforming action,
+//! // so it passes the pre-filter.
+//! let mut w = PcapWriter::new(Vec::new(), deepcsi_capture::LINKTYPE_RADIOTAP)?;
+//! let mut pkt = RadiotapBuilder::new().antenna_signal(-40).build();
+//! let mut mpdu = [0u8; 40];
+//! mpdu[0] = 0xE0; // Action No Ack
+//! mpdu[24] = 21;  // category: VHT
+//! mpdu[25] = 0;   // action: Compressed Beamforming
+//! pkt.extend_from_slice(&mpdu);
+//! w.write_packet(0, &pkt)?;
+//!
+//! // …and pull candidate frames back out.
+//! let mut source = PcapFileSource::from_bytes(w.finish()?);
+//! let mut frames = 0;
+//! while let SourcePoll::Frame(f) = source.poll_frame()? {
+//!     println!("{} byte MPDU at {} ns", f.mpdu.len(), f.ts_nanos);
+//!     frames += 1;
+//! }
+//! assert_eq!(frames, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod filter;
+mod packet;
+mod pcap;
+mod pcapng;
+mod radiotap;
+mod source;
+mod stream;
+
+pub use error::{CaptureError, MAX_BLOCK, MAX_PACKET};
+pub use filter::is_beamforming_candidate;
+pub use packet::PacketRecord;
+pub use pcap::{PcapHeader, PcapReader, PcapWriter, MAGIC_MICROS, MAGIC_NANOS};
+pub use pcapng::{PcapngReader, PcapngWriter, BLOCK_EPB, BLOCK_IDB, BLOCK_SHB, BLOCK_SPB};
+pub use radiotap::{
+    dot11_payload, Radiotap, RadiotapBuilder, LINKTYPE_IEEE802_11, LINKTYPE_RADIOTAP,
+};
+pub use source::{
+    CandidateFrame, CaptureCounters, FollowSource, FrameSource, PcapFileSource, SourcePoll,
+};
+pub use stream::{CaptureDecoder, OwnedPacket};

@@ -1,0 +1,46 @@
+//! The packet record shared by both container formats, plus the
+//! byte-order helpers their parsers share.
+
+/// One captured packet, borrowed straight from the container's buffer
+/// (zero-copy — `data` points into the bytes handed to the reader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord<'a> {
+    /// Link type of the interface the packet was captured on
+    /// (105 = raw 802.11, 127 = radiotap).
+    pub link_type: u32,
+    /// Capture timestamp in nanoseconds since the epoch (best effort:
+    /// converted from the container's native resolution).
+    pub ts_nanos: u64,
+    /// Original on-air length; ≥ `data.len()` when the snaplen clipped
+    /// the capture.
+    pub orig_len: u32,
+    /// The captured bytes.
+    pub data: &'a [u8],
+}
+
+/// Reads a `u16` at `off` in the given byte order. Caller guarantees
+/// bounds.
+pub(crate) fn rd_u16(d: &[u8], off: usize, big_endian: bool) -> u16 {
+    let b = [d[off], d[off + 1]];
+    if big_endian {
+        u16::from_be_bytes(b)
+    } else {
+        u16::from_le_bytes(b)
+    }
+}
+
+/// Reads a `u32` at `off` in the given byte order. Caller guarantees
+/// bounds.
+pub(crate) fn rd_u32(d: &[u8], off: usize, big_endian: bool) -> u32 {
+    let b = [d[off], d[off + 1], d[off + 2], d[off + 3]];
+    if big_endian {
+        u32::from_be_bytes(b)
+    } else {
+        u32::from_le_bytes(b)
+    }
+}
+
+/// `n` rounded up to the next multiple of 4 (pcapng block padding).
+pub(crate) fn pad4(n: usize) -> usize {
+    n.div_ceil(4) * 4
+}

@@ -1,0 +1,324 @@
+//! Classic pcap container: zero-copy reader and writer covering all four
+//! on-disk variants (little/big endian × microsecond/nanosecond
+//! timestamps).
+
+use crate::error::{CaptureError, MAX_PACKET};
+use crate::packet::{rd_u16, rd_u32, PacketRecord};
+use std::io::{self, Write};
+
+/// Microsecond-timestamp magic (`0xA1B2C3D4` in file byte order).
+pub const MAGIC_MICROS: u32 = 0xA1B2_C3D4;
+/// Nanosecond-timestamp magic (`0xA1B23C4D` in file byte order).
+pub const MAGIC_NANOS: u32 = 0xA1B2_3C4D;
+
+/// Global header length.
+const HEADER_LEN: usize = 24;
+/// Per-record header length.
+const RECORD_LEN: usize = 16;
+
+/// A decoded pcap global header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcapHeader {
+    /// File byte order.
+    pub big_endian: bool,
+    /// `true` when timestamps carry nanoseconds, `false` for
+    /// microseconds.
+    pub nanos: bool,
+    /// Declared capture length cap. Informational only — records are
+    /// bounded by [`MAX_PACKET`], never by this (files lie).
+    pub snaplen: u32,
+    /// The link type every record shares.
+    pub link_type: u32,
+}
+
+impl PcapHeader {
+    /// Parses the 24-byte global header. `Ok(None)` means more bytes are
+    /// needed; a recognisable-but-wrong magic is an error.
+    pub fn parse(d: &[u8]) -> Result<Option<(PcapHeader, usize)>, CaptureError> {
+        if d.len() < 4 {
+            return Ok(None);
+        }
+        let le = u32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+        let be = u32::from_be_bytes([d[0], d[1], d[2], d[3]]);
+        let (big_endian, nanos) = match (le, be) {
+            (MAGIC_MICROS, _) => (false, false),
+            (MAGIC_NANOS, _) => (false, true),
+            (_, MAGIC_MICROS) => (true, false),
+            (_, MAGIC_NANOS) => (true, true),
+            _ => return Err(CaptureError::BadMagic(le)),
+        };
+        if d.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let major = rd_u16(d, 4, big_endian);
+        if major != 2 {
+            return Err(CaptureError::Malformed("unknown pcap major version"));
+        }
+        Ok(Some((
+            PcapHeader {
+                big_endian,
+                nanos,
+                snaplen: rd_u32(d, 16, big_endian),
+                link_type: rd_u32(d, 20, big_endian),
+            },
+            HEADER_LEN,
+        )))
+    }
+
+    /// Parses the record at the start of `d`. `Ok(None)` means the
+    /// record is still incomplete (more bytes needed).
+    pub fn parse_record<'a>(
+        &self,
+        d: &'a [u8],
+    ) -> Result<Option<(PacketRecord<'a>, usize)>, CaptureError> {
+        if d.len() < RECORD_LEN {
+            return Ok(None);
+        }
+        let caplen = rd_u32(d, 8, self.big_endian);
+        if caplen > MAX_PACKET {
+            return Err(CaptureError::Oversize {
+                claimed: u64::from(caplen),
+                cap: MAX_PACKET,
+            });
+        }
+        let end = RECORD_LEN + caplen as usize;
+        if d.len() < end {
+            return Ok(None);
+        }
+        let sec = rd_u32(d, 0, self.big_endian);
+        let frac = rd_u32(d, 4, self.big_endian);
+        let ts_nanos =
+            u64::from(sec) * 1_000_000_000 + u64::from(frac) * if self.nanos { 1 } else { 1_000 };
+        Ok(Some((
+            PacketRecord {
+                link_type: self.link_type,
+                ts_nanos,
+                orig_len: rd_u32(d, 12, self.big_endian),
+                data: &d[RECORD_LEN..end],
+            },
+            end,
+        )))
+    }
+}
+
+/// Zero-copy iterator over a complete in-memory pcap file.
+///
+/// Yields every record borrowed from the input buffer; a truncated tail
+/// (bytes that do not form a whole record) is reported as one final
+/// error.
+#[derive(Debug)]
+pub struct PcapReader<'a> {
+    header: PcapHeader,
+    data: &'a [u8],
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> PcapReader<'a> {
+    /// Wraps a complete pcap file image.
+    pub fn new(data: &'a [u8]) -> Result<Self, CaptureError> {
+        match PcapHeader::parse(data)? {
+            Some((header, consumed)) => Ok(PcapReader {
+                header,
+                data,
+                pos: consumed,
+                failed: false,
+            }),
+            None => Err(CaptureError::Malformed("truncated pcap global header")),
+        }
+    }
+
+    /// The decoded global header.
+    pub fn header(&self) -> &PcapHeader {
+        &self.header
+    }
+}
+
+impl<'a> Iterator for PcapReader<'a> {
+    type Item = Result<PacketRecord<'a>, CaptureError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos >= self.data.len() {
+            return None;
+        }
+        match self.header.parse_record(&self.data[self.pos..]) {
+            Ok(Some((rec, consumed))) => {
+                self.pos += consumed;
+                Some(Ok(rec))
+            }
+            Ok(None) => {
+                // Finite input: an incomplete record is a truncated file.
+                self.failed = true;
+                Some(Err(CaptureError::Malformed("truncated pcap record")))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Streaming pcap writer.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    w: W,
+    big_endian: bool,
+    nanos: bool,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Starts a little-endian, microsecond-resolution capture — the
+    /// variant every reader in the wild accepts.
+    pub fn new(w: W, link_type: u32) -> io::Result<Self> {
+        Self::with_format(w, link_type, false, false)
+    }
+
+    /// Starts a capture in an explicit variant (byte order × timestamp
+    /// resolution) — the writer-side counterpart of the reader's
+    /// four-variant support, and the round-trip test's lever.
+    pub fn with_format(w: W, link_type: u32, big_endian: bool, nanos: bool) -> io::Result<Self> {
+        let mut pw = PcapWriter {
+            w,
+            big_endian,
+            nanos,
+        };
+        let magic = if nanos { MAGIC_NANOS } else { MAGIC_MICROS };
+        pw.u32(magic)?;
+        pw.u16(2)?; // version 2.4
+        pw.u16(4)?;
+        pw.u32(0)?; // thiszone
+        pw.u32(0)?; // sigfigs
+        pw.u32(MAX_PACKET)?; // snaplen
+        pw.u32(link_type)?;
+        Ok(pw)
+    }
+
+    /// Appends one packet record.
+    ///
+    /// # Errors
+    ///
+    /// Besides write failures: a packet over [`MAX_PACKET`] bytes, or a
+    /// timestamp whose whole seconds overflow the format's 32-bit
+    /// counter (year 2106) — refusing beats silently wrapping it.
+    pub fn write_packet(&mut self, ts_nanos: u64, data: &[u8]) -> io::Result<()> {
+        if data.len() as u64 > u64::from(MAX_PACKET) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "packet exceeds MAX_PACKET",
+            ));
+        }
+        let sec = u32::try_from(ts_nanos / 1_000_000_000).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "timestamp seconds overflow the 32-bit pcap field",
+            )
+        })?;
+        let frac = if self.nanos {
+            (ts_nanos % 1_000_000_000) as u32
+        } else {
+            (ts_nanos % 1_000_000_000 / 1_000) as u32
+        };
+        self.u32(sec)?;
+        self.u32(frac)?;
+        self.u32(data.len() as u32)?;
+        self.u32(data.len() as u32)?;
+        self.w.write_all(data)
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+
+    fn u16(&mut self, v: u16) -> io::Result<()> {
+        let b = if self.big_endian {
+            v.to_be_bytes()
+        } else {
+            v.to_le_bytes()
+        };
+        self.w.write_all(&b)
+    }
+
+    fn u32(&mut self, v: u32) -> io::Result<()> {
+        let b = if self.big_endian {
+            v.to_be_bytes()
+        } else {
+            v.to_le_bytes()
+        };
+        self.w.write_all(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(big_endian: bool, nanos: bool) {
+        let mut w =
+            PcapWriter::with_format(Vec::new(), crate::LINKTYPE_RADIOTAP, big_endian, nanos)
+                .unwrap();
+        w.write_packet(1_700_000_000_123_456_789, &[1, 2, 3, 4, 5])
+            .unwrap();
+        w.write_packet(1_700_000_001_000_000_000, &[]).unwrap();
+        let bytes = w.finish().unwrap();
+
+        let reader = PcapReader::new(&bytes).unwrap();
+        assert_eq!(reader.header().big_endian, big_endian);
+        assert_eq!(reader.header().nanos, nanos);
+        let recs: Vec<_> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].data, &[1, 2, 3, 4, 5]);
+        assert_eq!(recs[0].link_type, crate::LINKTYPE_RADIOTAP);
+        let expect = if nanos {
+            1_700_000_000_123_456_789
+        } else {
+            1_700_000_000_123_456_000 // truncated to µs
+        };
+        assert_eq!(recs[0].ts_nanos, expect);
+        assert_eq!(recs[1].data.len(), 0);
+    }
+
+    #[test]
+    fn all_four_variants_roundtrip() {
+        for be in [false, true] {
+            for ns in [false, true] {
+                roundtrip(be, ns);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        assert!(matches!(
+            PcapReader::new(&[0u8; 64]),
+            Err(CaptureError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_tail_is_one_error() {
+        let mut w = PcapWriter::new(Vec::new(), 127).unwrap();
+        w.write_packet(0, &[9; 40]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.truncate(bytes.len() - 10);
+        let mut reader = PcapReader::new(&bytes).unwrap();
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn lying_caplen_errors_without_allocating() {
+        let mut w = PcapWriter::new(Vec::new(), 127).unwrap();
+        w.write_packet(0, &[0; 4]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        // Rewrite incl_len to an absurd value.
+        bytes[24 + 8..24 + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = PcapReader::new(&bytes).unwrap();
+        assert!(matches!(
+            reader.next().unwrap(),
+            Err(CaptureError::Oversize { .. })
+        ));
+    }
+}

@@ -1,0 +1,479 @@
+//! pcapng container: zero-copy reader and writer over the block types a
+//! packet capture needs — Section Header (SHB), Interface Description
+//! (IDB) and Enhanced/Simple Packet (EPB/SPB). Unknown block types are
+//! skipped; per-section byte order and per-interface timestamp
+//! resolution are honoured.
+
+use crate::error::{CaptureError, MAX_BLOCK, MAX_PACKET};
+use crate::packet::{pad4, rd_u16, rd_u32, PacketRecord};
+use std::io::{self, Write};
+
+/// Section Header Block type (palindromic, so readable before the byte
+/// order is known).
+pub const BLOCK_SHB: u32 = 0x0A0D_0D0A;
+/// Interface Description Block type.
+pub const BLOCK_IDB: u32 = 0x0000_0001;
+/// Simple Packet Block type.
+pub const BLOCK_SPB: u32 = 0x0000_0003;
+/// Enhanced Packet Block type.
+pub const BLOCK_EPB: u32 = 0x0000_0006;
+
+/// SHB byte-order magic.
+const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+/// Size cap for blocks that are skipped rather than decoded (NRB, DSB,
+/// vendor blocks): large TLS keylogs etc. are legitimate, but the
+/// streaming decoder buffers a block to skip it, so a bound remains.
+const MAX_SKIPPED_BLOCK: u32 = 16 * 1024 * 1024;
+/// `if_tsresol` option code.
+const OPT_IF_TSRESOL: u16 = 9;
+
+/// Per-interface timestamp resolution (`if_tsresol`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolution {
+    /// Ticks are `10^-r` seconds.
+    Pow10(u8),
+    /// Ticks are `2^-r` seconds.
+    Pow2(u8),
+}
+
+impl Resolution {
+    const DEFAULT: Resolution = Resolution::Pow10(6); // microseconds
+
+    fn to_nanos(self, ticks: u64) -> u64 {
+        let wide = match self {
+            Resolution::Pow10(r) if r <= 9 => u128::from(ticks) * 10u128.pow(u32::from(9 - r)),
+            Resolution::Pow10(r) => u128::from(ticks) / 10u128.pow(u32::from(r.min(28) - 9)),
+            Resolution::Pow2(r) if r < 64 => (u128::from(ticks) * 1_000_000_000) >> r,
+            Resolution::Pow2(_) => 0,
+        };
+        u64::try_from(wide).unwrap_or(u64::MAX)
+    }
+}
+
+/// One declared capture interface.
+#[derive(Debug, Clone, Copy)]
+struct Interface {
+    link_type: u32,
+    snaplen: u32,
+    tsresol: Resolution,
+}
+
+/// Decoder state for one pcapng stream: current section byte order and
+/// its interface table. Shared by the zero-copy reader and the
+/// incremental [`crate::CaptureDecoder`].
+#[derive(Debug, Default)]
+pub(crate) struct SectionState {
+    started: bool,
+    big_endian: bool,
+    interfaces: Vec<Interface>,
+}
+
+/// What one block parse produced.
+pub(crate) enum BlockItem<'a> {
+    /// A packet record.
+    Packet(PacketRecord<'a>),
+    /// A structural block (SHB/IDB) or an unknown type — consumed, no
+    /// packet.
+    Control,
+}
+
+impl SectionState {
+    /// Parses the block at the start of `d`. `Ok(None)` means the block
+    /// is still incomplete (more bytes needed).
+    pub(crate) fn parse_block<'a>(
+        &mut self,
+        d: &'a [u8],
+    ) -> Result<Option<(BlockItem<'a>, usize)>, CaptureError> {
+        if d.len() < 12 {
+            return Ok(None);
+        }
+        // The SHB type is a palindrome, so it is recognisable (and must
+        // come first) before any byte order is established.
+        let raw_type = u32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+        let is_shb = raw_type == BLOCK_SHB;
+        if !self.started && !is_shb {
+            return Err(CaptureError::BadMagic(raw_type));
+        }
+        let big_endian = if is_shb {
+            match rd_u32(d, 8, false) {
+                BYTE_ORDER_MAGIC => false,
+                m if m.swap_bytes() == BYTE_ORDER_MAGIC => true,
+                _ => return Err(CaptureError::Malformed("bad SHB byte-order magic")),
+            }
+        } else {
+            self.big_endian
+        };
+        let block_type = rd_u32(d, 0, big_endian);
+        let total_len = rd_u32(d, 4, big_endian);
+        // Blocks we decode are packet-sized; blocks we merely skip
+        // (name resolution, decryption secrets, vendor blocks) are
+        // legitimately large in real Wireshark captures, so they get a
+        // roomier cap — still bounded, the streaming decoder buffers a
+        // block before skipping it.
+        let cap = match block_type {
+            BLOCK_SHB | BLOCK_IDB | BLOCK_EPB | BLOCK_SPB => MAX_BLOCK,
+            _ => MAX_SKIPPED_BLOCK,
+        };
+        if total_len > cap {
+            return Err(CaptureError::Oversize {
+                claimed: u64::from(total_len),
+                cap,
+            });
+        }
+        if total_len < 12 || !total_len.is_multiple_of(4) {
+            return Err(CaptureError::Malformed("bad pcapng block length"));
+        }
+        let total = total_len as usize;
+        if d.len() < total {
+            return Ok(None);
+        }
+        if rd_u32(d, total - 4, big_endian) != total_len {
+            return Err(CaptureError::Malformed("block trailer length mismatch"));
+        }
+        let body = &d[8..total - 4];
+        let item = if is_shb {
+            self.big_endian = big_endian;
+            self.started = true;
+            self.interfaces.clear();
+            if body.len() < 16 {
+                return Err(CaptureError::Malformed("SHB too short"));
+            }
+            if rd_u16(body, 4, big_endian) != 1 {
+                return Err(CaptureError::Malformed("unknown pcapng major version"));
+            }
+            BlockItem::Control
+        } else {
+            match block_type {
+                BLOCK_IDB => {
+                    self.parse_idb(body)?;
+                    BlockItem::Control
+                }
+                BLOCK_EPB => BlockItem::Packet(self.parse_epb(body)?),
+                BLOCK_SPB => BlockItem::Packet(self.parse_spb(body)?),
+                _ => BlockItem::Control,
+            }
+        };
+        Ok(Some((item, total)))
+    }
+
+    fn iface(&self, id: u32) -> Result<&Interface, CaptureError> {
+        self.interfaces
+            .get(id as usize)
+            .ok_or(CaptureError::Malformed(
+                "packet references unknown interface",
+            ))
+    }
+
+    fn parse_idb(&mut self, body: &[u8]) -> Result<(), CaptureError> {
+        if body.len() < 8 {
+            return Err(CaptureError::Malformed("IDB too short"));
+        }
+        let link_type = u32::from(rd_u16(body, 0, self.big_endian));
+        let snaplen = rd_u32(body, 4, self.big_endian);
+        let mut tsresol = Resolution::DEFAULT;
+        // Options: (code u16, len u16, value padded to 4)*, terminated by
+        // opt_endofopt or the end of the block body.
+        let mut opts = &body[8..];
+        while opts.len() >= 4 {
+            let code = rd_u16(opts, 0, self.big_endian);
+            let len = rd_u16(opts, 2, self.big_endian) as usize;
+            if code == 0 {
+                break;
+            }
+            let end = 4 + pad4(len);
+            if 4 + len > opts.len() {
+                return Err(CaptureError::Malformed("IDB option overruns block"));
+            }
+            if code == OPT_IF_TSRESOL && len == 1 {
+                let v = opts[4];
+                tsresol = if v & 0x80 != 0 {
+                    Resolution::Pow2(v & 0x7F)
+                } else {
+                    Resolution::Pow10(v)
+                };
+            }
+            opts = &opts[end.min(opts.len())..];
+        }
+        self.interfaces.push(Interface {
+            link_type,
+            snaplen,
+            tsresol,
+        });
+        Ok(())
+    }
+
+    fn parse_epb<'a>(&self, body: &'a [u8]) -> Result<PacketRecord<'a>, CaptureError> {
+        if body.len() < 20 {
+            return Err(CaptureError::Malformed("EPB too short"));
+        }
+        let be = self.big_endian;
+        let iface = self.iface(rd_u32(body, 0, be))?;
+        let ticks = u64::from(rd_u32(body, 4, be)) << 32 | u64::from(rd_u32(body, 8, be));
+        let caplen = rd_u32(body, 12, be);
+        if caplen > MAX_PACKET {
+            return Err(CaptureError::Oversize {
+                claimed: u64::from(caplen),
+                cap: MAX_PACKET,
+            });
+        }
+        let end = 20 + caplen as usize;
+        if end > body.len() {
+            return Err(CaptureError::Malformed("EPB capture length overruns block"));
+        }
+        Ok(PacketRecord {
+            link_type: iface.link_type,
+            ts_nanos: iface.tsresol.to_nanos(ticks),
+            orig_len: rd_u32(body, 16, be),
+            data: &body[20..end],
+        })
+    }
+
+    fn parse_spb<'a>(&self, body: &'a [u8]) -> Result<PacketRecord<'a>, CaptureError> {
+        if body.len() < 4 {
+            return Err(CaptureError::Malformed("SPB too short"));
+        }
+        // SPBs implicitly use interface 0 and carry no timestamp. The
+        // data length is not stored: it is min(orig_len, snaplen), and
+        // the block body may carry up to 3 extra pad bytes that must
+        // not be delivered as packet data.
+        let iface = self.iface(0)?;
+        let orig_len = rd_u32(body, 0, self.big_endian);
+        let snaplen = if iface.snaplen == 0 {
+            usize::MAX // 0 = unlimited, per the spec
+        } else {
+            iface.snaplen as usize
+        };
+        let caplen = (body.len() - 4).min(orig_len as usize).min(snaplen);
+        Ok(PacketRecord {
+            link_type: iface.link_type,
+            ts_nanos: 0,
+            orig_len,
+            data: &body[4..4 + caplen],
+        })
+    }
+}
+
+/// Zero-copy iterator over a complete in-memory pcapng file.
+#[derive(Debug)]
+pub struct PcapngReader<'a> {
+    state: SectionState,
+    data: &'a [u8],
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> PcapngReader<'a> {
+    /// Wraps a complete pcapng file image. The first block is validated
+    /// to be an SHB.
+    pub fn new(data: &'a [u8]) -> Result<Self, CaptureError> {
+        if data.len() >= 4 && u32::from_le_bytes([data[0], data[1], data[2], data[3]]) != BLOCK_SHB
+        {
+            return Err(CaptureError::BadMagic(u32::from_le_bytes([
+                data[0], data[1], data[2], data[3],
+            ])));
+        }
+        Ok(PcapngReader {
+            state: SectionState::default(),
+            data,
+            pos: 0,
+            failed: false,
+        })
+    }
+}
+
+impl<'a> Iterator for PcapngReader<'a> {
+    type Item = Result<PacketRecord<'a>, CaptureError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.failed || self.pos >= self.data.len() {
+                return None;
+            }
+            match self.state.parse_block(&self.data[self.pos..]) {
+                Ok(Some((item, consumed))) => {
+                    self.pos += consumed;
+                    if let BlockItem::Packet(rec) = item {
+                        return Some(Ok(rec));
+                    }
+                }
+                Ok(None) => {
+                    self.failed = true;
+                    return Some(Err(CaptureError::Malformed("truncated pcapng block")));
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Streaming pcapng writer: one section, one interface, nanosecond
+/// timestamps (`if_tsresol = 9`), little-endian.
+#[derive(Debug)]
+pub struct PcapngWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> PcapngWriter<W> {
+    /// Writes the SHB + IDB preamble for a single-interface capture.
+    pub fn new(mut w: W, link_type: u32) -> io::Result<Self> {
+        // SHB: type, len, magic, version 1.0, section length -1, len.
+        w.write_all(&BLOCK_SHB.to_le_bytes())?;
+        w.write_all(&28u32.to_le_bytes())?;
+        w.write_all(&BYTE_ORDER_MAGIC.to_le_bytes())?;
+        w.write_all(&1u16.to_le_bytes())?;
+        w.write_all(&0u16.to_le_bytes())?;
+        w.write_all(&(-1i64).to_le_bytes())?;
+        w.write_all(&28u32.to_le_bytes())?;
+        // IDB: linktype, reserved, snaplen, if_tsresol=9 option, end.
+        w.write_all(&BLOCK_IDB.to_le_bytes())?;
+        w.write_all(&32u32.to_le_bytes())?;
+        w.write_all(&(link_type as u16).to_le_bytes())?;
+        w.write_all(&0u16.to_le_bytes())?;
+        w.write_all(&MAX_PACKET.to_le_bytes())?;
+        w.write_all(&OPT_IF_TSRESOL.to_le_bytes())?;
+        w.write_all(&1u16.to_le_bytes())?;
+        w.write_all(&[9, 0, 0, 0])?; // value + pad
+        w.write_all(&0u32.to_le_bytes())?; // opt_endofopt
+        w.write_all(&32u32.to_le_bytes())?;
+        Ok(PcapngWriter { w })
+    }
+
+    /// Appends one Enhanced Packet Block on interface 0.
+    pub fn write_packet(&mut self, ts_nanos: u64, data: &[u8]) -> io::Result<()> {
+        if data.len() as u64 > u64::from(MAX_PACKET) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "packet exceeds MAX_PACKET",
+            ));
+        }
+        let padded = pad4(data.len());
+        let total = (8 + 20 + padded + 4) as u32;
+        self.w.write_all(&BLOCK_EPB.to_le_bytes())?;
+        self.w.write_all(&total.to_le_bytes())?;
+        self.w.write_all(&0u32.to_le_bytes())?; // interface 0
+        self.w.write_all(&((ts_nanos >> 32) as u32).to_le_bytes())?;
+        self.w.write_all(&(ts_nanos as u32).to_le_bytes())?;
+        self.w.write_all(&(data.len() as u32).to_le_bytes())?;
+        self.w.write_all(&(data.len() as u32).to_le_bytes())?;
+        self.w.write_all(data)?;
+        self.w.write_all(&[0u8; 3][..padded - data.len()])?;
+        self.w.write_all(&total.to_le_bytes())
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_nanosecond_timestamps() {
+        let mut w = PcapngWriter::new(Vec::new(), crate::LINKTYPE_RADIOTAP).unwrap();
+        w.write_packet(1_700_000_000_123_456_789, &[7; 13]).unwrap();
+        w.write_packet(u64::from(u32::MAX) + 5, &[]).unwrap();
+        let bytes = w.finish().unwrap();
+        let recs: Vec<_> = PcapngReader::new(&bytes)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ts_nanos, 1_700_000_000_123_456_789);
+        assert_eq!(recs[0].data, &[7; 13]);
+        assert_eq!(recs[0].link_type, crate::LINKTYPE_RADIOTAP);
+        assert_eq!(recs[1].ts_nanos, u64::from(u32::MAX) + 5);
+    }
+
+    #[test]
+    fn lying_block_length_is_an_error() {
+        let mut w = PcapngWriter::new(Vec::new(), 127).unwrap();
+        w.write_packet(0, &[1; 8]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        // Corrupt the EPB's leading length (not a multiple of 4).
+        bytes[60 + 4] ^= 0x01;
+        assert!(PcapngReader::new(&bytes).unwrap().any(|r| r.is_err()));
+    }
+
+    #[test]
+    fn trailer_mismatch_is_an_error() {
+        let mut w = PcapngWriter::new(Vec::new(), 127).unwrap();
+        w.write_packet(0, &[1; 8]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        let n = bytes.len();
+        bytes[n - 4] ^= 0xFF; // trailing total_length of the EPB
+        assert!(PcapngReader::new(&bytes).unwrap().any(|r| r.is_err()));
+    }
+
+    #[test]
+    fn large_skipped_blocks_are_tolerated() {
+        // A 1 MiB vendor/secrets-style block between the IDB and the
+        // packets must be skipped, not rejected as oversized.
+        let mut w = PcapngWriter::new(Vec::new(), 127).unwrap();
+        w.write_packet(7, &[9; 5]).unwrap();
+        let image = w.finish().unwrap();
+        let (preamble, epb) = image.split_at(28 + 32);
+        let mut with_big = preamble.to_vec();
+        let payload_len = 1024 * 1024;
+        let total = (8 + payload_len + 4) as u32;
+        with_big.extend_from_slice(&0x0000_0BADu32.to_le_bytes()); // unknown type
+        with_big.extend_from_slice(&total.to_le_bytes());
+        with_big.extend_from_slice(&vec![0x55u8; payload_len]);
+        with_big.extend_from_slice(&total.to_le_bytes());
+        with_big.extend_from_slice(epb);
+
+        let recs: Vec<_> = PcapngReader::new(&with_big)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].data, &[9; 5]);
+    }
+
+    #[test]
+    fn spb_is_clipped_to_the_interface_snaplen() {
+        // Hand-built section (our writer never emits SPBs): IDB with
+        // snaplen 6, then an SPB whose 1000-byte packet was clipped to
+        // 6 data bytes + 2 pad bytes. The pad must not be delivered.
+        let mut image = Vec::new();
+        image.extend_from_slice(&BLOCK_SHB.to_le_bytes());
+        image.extend_from_slice(&28u32.to_le_bytes());
+        image.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
+        image.extend_from_slice(&1u16.to_le_bytes());
+        image.extend_from_slice(&0u16.to_le_bytes());
+        image.extend_from_slice(&(-1i64).to_le_bytes());
+        image.extend_from_slice(&28u32.to_le_bytes());
+        image.extend_from_slice(&BLOCK_IDB.to_le_bytes());
+        image.extend_from_slice(&20u32.to_le_bytes());
+        image.extend_from_slice(&127u16.to_le_bytes());
+        image.extend_from_slice(&0u16.to_le_bytes());
+        image.extend_from_slice(&6u32.to_le_bytes()); // snaplen
+        image.extend_from_slice(&20u32.to_le_bytes());
+        image.extend_from_slice(&BLOCK_SPB.to_le_bytes());
+        image.extend_from_slice(&24u32.to_le_bytes());
+        image.extend_from_slice(&1000u32.to_le_bytes()); // orig_len
+        image.extend_from_slice(&[1, 2, 3, 4, 5, 6, 0xAA, 0xBB]); // data + pad
+        image.extend_from_slice(&24u32.to_le_bytes());
+
+        let recs: Vec<_> = PcapngReader::new(&image)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].data, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(recs[0].orig_len, 1000);
+    }
+
+    #[test]
+    fn tsresol_pow2_converts() {
+        assert_eq!(Resolution::Pow2(1).to_nanos(3), 1_500_000_000);
+        assert_eq!(Resolution::Pow10(3).to_nanos(2), 2_000_000);
+        assert_eq!(Resolution::Pow10(12).to_nanos(5_000), 5);
+    }
+}

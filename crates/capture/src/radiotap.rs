@@ -1,0 +1,323 @@
+//! Radiotap pseudo-header parsing (link type 127) and the minimal
+//! encoder used to synthesise round-trip fixtures.
+//!
+//! The radiotap header is a little-endian TLV-ish preamble: an 8-byte
+//! fixed part, a chain of 32-bit `it_present` words (bit 31 extends the
+//! chain), then the fields for every set bit in declaration order, each
+//! **naturally aligned relative to the start of the header**. Skipping
+//! it correctly therefore needs the per-field size *and* alignment
+//! table below — `it_len` alone locates the MPDU, but the fields we
+//! surface (RSSI, channel, FCS flags) need the walk.
+
+use crate::error::CaptureError;
+
+/// Link type: raw 802.11 frames, no pseudo-header.
+pub const LINKTYPE_IEEE802_11: u32 = 105;
+/// Link type: radiotap pseudo-header followed by the 802.11 frame.
+pub const LINKTYPE_RADIOTAP: u32 = 127;
+
+/// `Flags` field bit: the MPDU includes a trailing 4-byte FCS.
+const FLAG_FCS_AT_END: u8 = 0x10;
+/// `Flags` field bit: the frame failed its FCS check.
+const FLAG_BAD_FCS: u8 = 0x40;
+
+/// (size, alignment) of the radiotap fields we can walk past, indexed by
+/// present bit. `None` marks bits whose layout this parser does not
+/// know — the walk stops there (every field we surface comes earlier).
+const FIELD_LAYOUT: [Option<(usize, usize)>; 22] = [
+    Some((8, 8)),  // 0 TSFT
+    Some((1, 1)),  // 1 Flags
+    Some((1, 1)),  // 2 Rate
+    Some((4, 2)),  // 3 Channel (freq u16 + flags u16)
+    Some((2, 2)),  // 4 FHSS
+    Some((1, 1)),  // 5 dBm antenna signal
+    Some((1, 1)),  // 6 dBm antenna noise
+    Some((2, 2)),  // 7 Lock quality
+    Some((2, 2)),  // 8 TX attenuation
+    Some((2, 2)),  // 9 dB TX attenuation
+    Some((1, 1)),  // 10 dBm TX power
+    Some((1, 1)),  // 11 Antenna
+    Some((1, 1)),  // 12 dB antenna signal
+    Some((1, 1)),  // 13 dB antenna noise
+    Some((2, 2)),  // 14 RX flags
+    Some((2, 2)),  // 15 TX flags
+    None,          // 16 (unassigned / vendor use)
+    None,          // 17
+    Some((8, 4)),  // 18 XChannel
+    Some((3, 1)),  // 19 MCS
+    Some((8, 4)),  // 20 A-MPDU status
+    Some((12, 2)), // 21 VHT
+];
+
+/// The link-layer facts a radiotap header surfaces about one frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Radiotap {
+    /// Total pseudo-header length; the 802.11 MPDU starts here.
+    pub header_len: usize,
+    /// The `Flags` field, when present.
+    pub flags: Option<u8>,
+    /// Channel centre frequency in MHz, when present.
+    pub channel_mhz: Option<u16>,
+    /// Channel flags (band/modulation bits), when present.
+    pub channel_flags: Option<u16>,
+    /// Received signal strength in dBm, when present.
+    pub antenna_signal_dbm: Option<i8>,
+}
+
+impl Radiotap {
+    /// `true` when the captured MPDU carries a trailing 4-byte FCS that
+    /// must be stripped before MAC-layer parsing.
+    pub fn fcs_at_end(&self) -> bool {
+        self.flags.is_some_and(|f| f & FLAG_FCS_AT_END != 0)
+    }
+
+    /// `true` when the capture hardware flagged a failed FCS check.
+    pub fn fcs_bad(&self) -> bool {
+        self.flags.is_some_and(|f| f & FLAG_BAD_FCS != 0)
+    }
+
+    /// Parses the radiotap header at the start of `d`.
+    ///
+    /// # Errors
+    ///
+    /// [`CaptureError::Malformed`] on a bad version, an `it_len` that
+    /// does not fit the packet, or a present chain / field walk that
+    /// overruns `it_len`.
+    pub fn parse(d: &[u8]) -> Result<Radiotap, CaptureError> {
+        if d.len() < 8 {
+            return Err(CaptureError::Malformed(
+                "radiotap header shorter than 8 bytes",
+            ));
+        }
+        if d[0] != 0 {
+            return Err(CaptureError::Malformed("unknown radiotap version"));
+        }
+        let it_len = usize::from(u16::from_le_bytes([d[2], d[3]]));
+        if it_len < 8 || it_len > d.len() {
+            return Err(CaptureError::Malformed("radiotap it_len out of range"));
+        }
+        // Present-word chain: bit 31 of each word announces another.
+        // Only the first word's standard fields are surfaced (extension
+        // words belong to vendor/extended namespaces), so the rest of
+        // the chain is walked just to find where field data starts.
+        let mut present = 0u32;
+        let mut word_count = 0usize;
+        let mut off = 4;
+        loop {
+            if off + 4 > it_len {
+                return Err(CaptureError::Malformed(
+                    "radiotap present chain overruns it_len",
+                ));
+            }
+            let w = u32::from_le_bytes([d[off], d[off + 1], d[off + 2], d[off + 3]]);
+            if word_count == 0 {
+                present = w;
+            }
+            word_count += 1;
+            off += 4;
+            if w & (1 << 31) == 0 {
+                break;
+            }
+            if word_count >= 8 {
+                return Err(CaptureError::Malformed("radiotap present chain too long"));
+            }
+        }
+        let mut out = Radiotap {
+            header_len: it_len,
+            ..Radiotap::default()
+        };
+        let mut cursor = off;
+        for (bit, layout) in FIELD_LAYOUT.iter().enumerate() {
+            if present & (1 << bit) == 0 {
+                continue;
+            }
+            let Some((size, align)) = layout else {
+                break; // unknown layout: cannot walk further
+            };
+            cursor = cursor.div_ceil(*align) * *align;
+            if cursor + size > it_len {
+                return Err(CaptureError::Malformed("radiotap field overruns it_len"));
+            }
+            match bit {
+                1 => out.flags = Some(d[cursor]),
+                3 => {
+                    out.channel_mhz = Some(u16::from_le_bytes([d[cursor], d[cursor + 1]]));
+                    out.channel_flags = Some(u16::from_le_bytes([d[cursor + 2], d[cursor + 3]]));
+                }
+                5 => out.antenna_signal_dbm = Some(d[cursor] as i8),
+                _ => {}
+            }
+            cursor += size;
+        }
+        Ok(out)
+    }
+}
+
+/// Builds radiotap headers for synthetic captures (the `write_pcap`
+/// export path): always little-endian, fields emitted with the same
+/// alignment rules the parser enforces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RadiotapBuilder {
+    flags: Option<u8>,
+    channel: Option<(u16, u16)>,
+    antenna_signal_dbm: Option<i8>,
+}
+
+impl RadiotapBuilder {
+    /// An empty header (version + length + empty present word).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the `Flags` field.
+    pub fn flags(mut self, flags: u8) -> Self {
+        self.flags = Some(flags);
+        self
+    }
+
+    /// Sets the channel field (centre frequency MHz, channel flags).
+    pub fn channel(mut self, mhz: u16, ch_flags: u16) -> Self {
+        self.channel = Some((mhz, ch_flags));
+        self
+    }
+
+    /// Sets the dBm antenna-signal (RSSI) field.
+    pub fn antenna_signal(mut self, dbm: i8) -> Self {
+        self.antenna_signal_dbm = Some(dbm);
+        self
+    }
+
+    /// Encodes the header bytes (to be prepended to an 802.11 MPDU).
+    pub fn build(self) -> Vec<u8> {
+        let mut present = 0u32;
+        let mut body: Vec<u8> = Vec::new();
+        let base = 8; // version/pad/len + one present word
+        if let Some(f) = self.flags {
+            present |= 1 << 1;
+            body.push(f);
+        }
+        if let Some((mhz, fl)) = self.channel {
+            present |= 1 << 3;
+            while !(base + body.len()).is_multiple_of(2) {
+                body.push(0);
+            }
+            body.extend_from_slice(&mhz.to_le_bytes());
+            body.extend_from_slice(&fl.to_le_bytes());
+        }
+        if let Some(dbm) = self.antenna_signal_dbm {
+            present |= 1 << 5;
+            body.push(dbm as u8);
+        }
+        let it_len = base + body.len();
+        let mut out = Vec::with_capacity(it_len);
+        out.push(0); // version
+        out.push(0); // pad
+        out.extend_from_slice(&(it_len as u16).to_le_bytes());
+        out.extend_from_slice(&present.to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// Strips the link-layer framing off one captured packet, returning the
+/// 802.11 MPDU plus the radiotap facts (empty for link type 105).
+///
+/// A trailing FCS announced by the radiotap `Flags` field is removed so
+/// downstream MAC parsing sees exactly the frame body.
+pub fn dot11_payload(link_type: u32, data: &[u8]) -> Result<(&[u8], Radiotap), CaptureError> {
+    match link_type {
+        LINKTYPE_IEEE802_11 => Ok((data, Radiotap::default())),
+        LINKTYPE_RADIOTAP => {
+            let rt = Radiotap::parse(data)?;
+            let mut mpdu = &data[rt.header_len..];
+            if rt.fcs_at_end() && mpdu.len() >= 4 {
+                mpdu = &mpdu[..mpdu.len() - 4];
+            }
+            Ok((mpdu, rt))
+        }
+        other => Err(CaptureError::UnsupportedLinkType(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_output_parses_back() {
+        let hdr = RadiotapBuilder::new()
+            .flags(FLAG_FCS_AT_END)
+            .channel(5180, 0x0140)
+            .antenna_signal(-42)
+            .build();
+        let rt = Radiotap::parse(&hdr).unwrap();
+        assert_eq!(rt.header_len, hdr.len());
+        assert_eq!(rt.channel_mhz, Some(5180));
+        assert_eq!(rt.channel_flags, Some(0x0140));
+        assert_eq!(rt.antenna_signal_dbm, Some(-42));
+        assert!(rt.fcs_at_end());
+        assert!(!rt.fcs_bad());
+    }
+
+    #[test]
+    fn alignment_is_honoured_after_odd_prefix() {
+        // Flags (1 byte at offset 8) forces a pad before Channel, which
+        // must land 2-aligned at offset 10.
+        let hdr = RadiotapBuilder::new()
+            .flags(0)
+            .channel(2412, 0x00A0)
+            .build();
+        assert_eq!(hdr.len(), 14);
+        assert_eq!(u16::from_le_bytes([hdr[10], hdr[11]]), 2412);
+        let rt = Radiotap::parse(&hdr).unwrap();
+        assert_eq!(rt.channel_mhz, Some(2412));
+    }
+
+    #[test]
+    fn tsft_forces_8_alignment() {
+        // Hand-built: present = TSFT | dBm signal. TSFT must start at
+        // offset 8 (already aligned); signal follows at 16.
+        let mut hdr = vec![0u8, 0, 18, 0];
+        hdr.extend_from_slice(&((1u32 << 0) | (1 << 5)).to_le_bytes());
+        hdr.extend_from_slice(&777u64.to_le_bytes());
+        hdr.push((-55i8) as u8);
+        hdr.push(0); // pad to it_len 18
+        let rt = Radiotap::parse(&hdr).unwrap();
+        assert_eq!(rt.antenna_signal_dbm, Some(-55));
+        assert_eq!(rt.header_len, 18);
+    }
+
+    #[test]
+    fn corrupt_it_len_is_an_error() {
+        let mut hdr = RadiotapBuilder::new().antenna_signal(-30).build();
+        hdr[2] = 200; // it_len way past the buffer
+        hdr[3] = 0;
+        assert!(Radiotap::parse(&hdr).is_err());
+        let mut short = RadiotapBuilder::new().build();
+        short[2] = 4; // it_len below the fixed part
+        assert!(Radiotap::parse(&short).is_err());
+    }
+
+    #[test]
+    fn fcs_is_stripped_from_mpdu() {
+        let hdr = RadiotapBuilder::new().flags(FLAG_FCS_AT_END).build();
+        let mut pkt = hdr.clone();
+        pkt.extend_from_slice(&[0xE0, 0, 1, 2, 3, 4, 5, 6, 0xAA, 0xBB, 0xCC, 0xDD]);
+        let (mpdu, rt) = dot11_payload(LINKTYPE_RADIOTAP, &pkt).unwrap();
+        assert_eq!(mpdu.len(), 8);
+        assert_eq!(mpdu[0], 0xE0);
+        assert!(rt.fcs_at_end());
+    }
+
+    #[test]
+    fn linktype_105_passes_through() {
+        let raw = [0xD0u8, 0, 1, 2];
+        let (mpdu, rt) = dot11_payload(LINKTYPE_IEEE802_11, &raw).unwrap();
+        assert_eq!(mpdu, &raw);
+        assert_eq!(rt, Radiotap::default());
+        assert!(matches!(
+            dot11_payload(1, &raw),
+            Err(CaptureError::UnsupportedLinkType(1))
+        ));
+    }
+}

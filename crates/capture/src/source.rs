@@ -1,0 +1,417 @@
+//! Frame sources: the pull interface between a capture container and
+//! the serving engine, with a finite file reader and a
+//! `tail -f`-style follower that survives truncation and rotation.
+
+use crate::error::CaptureError;
+use crate::filter::is_beamforming_candidate;
+use crate::radiotap::dot11_payload;
+use crate::stream::{CaptureDecoder, OwnedPacket};
+use std::fs::File;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// One candidate frame delivered by a source: the raw 802.11 MPDU
+/// (link-layer framing and FCS already stripped) plus link metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateFrame {
+    /// The 802.11 MPDU bytes, ready for MAC-layer parsing.
+    pub mpdu: Vec<u8>,
+    /// Capture timestamp, nanoseconds.
+    pub ts_nanos: u64,
+    /// Received signal strength, when the capture recorded it.
+    pub rssi_dbm: Option<i8>,
+    /// Channel centre frequency in MHz, when recorded.
+    pub channel_mhz: Option<u16>,
+}
+
+/// The result of polling a source for its next frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourcePoll {
+    /// A beamforming candidate, ready for the engine.
+    Frame(CandidateFrame),
+    /// Nothing available right now; a live source may yield more later.
+    Pending,
+    /// The source is exhausted (finite sources only).
+    End,
+}
+
+/// Capture-layer accounting, kept by every source so the serving layer
+/// can reconcile `enqueued == seen − skipped − errored` end to end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureCounters {
+    /// Container bytes consumed.
+    pub bytes_read: u64,
+    /// Packets decoded out of the container.
+    pub packets_seen: u64,
+    /// Packets dropped by the 802.11 pre-filter (not beamforming
+    /// candidates).
+    pub prefilter_skipped: u64,
+    /// Packets whose link layer (radiotap) failed to decode, or frames
+    /// the capture hardware flagged as FCS-bad.
+    pub decode_errors: u64,
+}
+
+/// A pull-based stream of beamforming-candidate frames.
+///
+/// Implementations exist for finite captures ([`PcapFileSource`]), live
+/// growing files ([`FollowSource`]) and in-memory replays
+/// (`deepcsi_serve::ReplaySource`).
+pub trait FrameSource {
+    /// Delivers the next candidate frame, [`SourcePoll::Pending`] when
+    /// a live source has nothing yet, or [`SourcePoll::End`].
+    ///
+    /// # Errors
+    ///
+    /// A [`CaptureError`] means the container is structurally broken
+    /// (or the file unreadable); per-packet radiotap problems are
+    /// counted and skipped, not raised.
+    fn poll_frame(&mut self) -> Result<SourcePoll, CaptureError>;
+
+    /// Cumulative capture-layer accounting.
+    fn counters(&self) -> CaptureCounters;
+}
+
+/// Runs one decoded packet through link-layer stripping and the
+/// pre-filter, updating `counters`. `None` means skipped or errored
+/// (already accounted).
+fn process_packet(pkt: &OwnedPacket, counters: &mut CaptureCounters) -> Option<CandidateFrame> {
+    counters.packets_seen += 1;
+    let (mpdu, rt) = match dot11_payload(pkt.link_type, &pkt.data) {
+        Ok(x) => x,
+        Err(_) => {
+            counters.decode_errors += 1;
+            return None;
+        }
+    };
+    if rt.fcs_bad() {
+        counters.decode_errors += 1;
+        return None;
+    }
+    if !is_beamforming_candidate(mpdu) {
+        counters.prefilter_skipped += 1;
+        return None;
+    }
+    Some(CandidateFrame {
+        mpdu: mpdu.to_vec(),
+        ts_nanos: pkt.ts_nanos,
+        rssi_dbm: rt.antenna_signal_dbm,
+        channel_mhz: rt.channel_mhz,
+    })
+}
+
+/// A finite capture file (pcap or pcapng, auto-detected).
+#[derive(Debug)]
+pub struct PcapFileSource {
+    decoder: CaptureDecoder,
+    counters: CaptureCounters,
+    tail_reported: bool,
+}
+
+impl PcapFileSource {
+    /// Reads the whole file up front; decoding is then pull-driven.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, CaptureError> {
+        Ok(Self::from_bytes(std::fs::read(path)?))
+    }
+
+    /// Wraps an in-memory capture image (taken by value — the image
+    /// becomes the decode buffer, no copy).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let bytes_read = bytes.len() as u64;
+        PcapFileSource {
+            decoder: CaptureDecoder::with_bytes(bytes),
+            counters: CaptureCounters {
+                bytes_read,
+                ..CaptureCounters::default()
+            },
+            tail_reported: false,
+        }
+    }
+}
+
+impl FrameSource for PcapFileSource {
+    fn poll_frame(&mut self) -> Result<SourcePoll, CaptureError> {
+        loop {
+            match self.decoder.next_packet()? {
+                Some(pkt) => {
+                    if let Some(frame) = process_packet(&pkt, &mut self.counters) {
+                        return Ok(SourcePoll::Frame(frame));
+                    }
+                }
+                None => {
+                    // Finite input: leftover bytes are a truncated tail
+                    // — one partial packet that was seen but failed to
+                    // decode (counting both keeps the conservation law
+                    // `seen == skipped + errored + delivered` intact).
+                    if self.decoder.buffered() > 0 && !self.tail_reported {
+                        self.tail_reported = true;
+                        self.counters.packets_seen += 1;
+                        self.counters.decode_errors += 1;
+                    }
+                    return Ok(SourcePoll::End);
+                }
+            }
+        }
+    }
+
+    fn counters(&self) -> CaptureCounters {
+        self.counters
+    }
+}
+
+/// A `tail -f` source over a growing capture file — the reconnect /
+/// rotation story for long-lived monitor deployments.
+///
+/// * **Growth** — appended bytes are decoded incrementally; a record the
+///   writer has only half-flushed stays buffered until complete.
+/// * **Truncation** — if the file shrinks below what was already read,
+///   the follower starts over from the new beginning.
+/// * **Rotation** — if the path is replaced by a new file (different
+///   inode, or the file vanishes and reappears), the follower reopens
+///   and decodes the fresh capture from its header.
+/// * **Structural errors** — a truncate-and-regrow race the length and
+///   inode checks cannot see leaves the decoder mid-stream in foreign
+///   bytes; the resulting [`CaptureError`] triggers one restart from
+///   the (presumed fresh) beginning. Only failing again at the same
+///   file position is treated as persistent corruption and surfaced.
+///   A restart re-reads the file, so frames before the damage may be
+///   delivered twice — tailing trades exactly-once for liveness.
+///
+/// Counters are cumulative across reopens.
+#[derive(Debug)]
+pub struct FollowSource {
+    path: PathBuf,
+    file: Option<File>,
+    read_offset: u64,
+    #[cfg(unix)]
+    inode: u64,
+    decoder: CaptureDecoder,
+    counters: CaptureCounters,
+    /// `(inode, read_offset)` of the last structural decode failure —
+    /// hitting the same spot again means the file itself is corrupt
+    /// (kept across successful frames: a retry that re-delivers the
+    /// frames before the damage must still recognise the damage).
+    last_failure: Option<(u64, u64)>,
+}
+
+impl FollowSource {
+    /// Largest number of bytes ingested per [`FrameSource::poll_frame`]
+    /// call, so one poll cannot stall on an unboundedly fast writer.
+    const READ_BUDGET: usize = 1 << 20;
+
+    /// Starts following `path`. The file does not need to exist yet —
+    /// polls report [`SourcePoll::Pending`] until it appears.
+    pub fn open<P: AsRef<Path>>(path: P) -> Self {
+        FollowSource {
+            path: path.as_ref().to_path_buf(),
+            file: None,
+            read_offset: 0,
+            #[cfg(unix)]
+            inode: 0,
+            decoder: CaptureDecoder::new(),
+            counters: CaptureCounters::default(),
+            last_failure: None,
+        }
+    }
+
+    /// The current file's inode (0 when unknown or off-unix) — the
+    /// stable half of the failure signature.
+    fn current_inode(&self) -> u64 {
+        #[cfg(unix)]
+        {
+            self.inode
+        }
+        #[cfg(not(unix))]
+        {
+            0
+        }
+    }
+
+    /// Drops the current file handle and decoder state so the next poll
+    /// starts from scratch (rotation/truncation recovery).
+    fn restart(&mut self) {
+        self.file = None;
+        self.read_offset = 0;
+        self.decoder.reset();
+    }
+
+    /// Ensures a file handle positioned at `read_offset`, detecting
+    /// truncation and rotation. `false` when the file is not available.
+    fn sync_file(&mut self) -> Result<bool, CaptureError> {
+        let meta = match std::fs::metadata(&self.path) {
+            Ok(m) => m,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Rotated away; wait for the new file.
+                self.restart();
+                return Ok(false);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if meta.len() < self.read_offset {
+            self.restart(); // truncated below our read point
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::MetadataExt;
+            if self.file.is_some() && meta.ino() != self.inode {
+                self.restart(); // replaced by a new file at the same path
+            }
+        }
+        if self.file.is_none() {
+            let file = File::open(&self.path)?;
+            #[cfg(unix)]
+            {
+                use std::os::unix::fs::MetadataExt;
+                self.inode = file.metadata()?.ino();
+            }
+            self.file = Some(file);
+            self.read_offset = 0;
+        }
+        Ok(true)
+    }
+
+    /// Reads up to `budget` newly appended bytes into the decoder.
+    /// Returns how many bytes arrived.
+    fn ingest_new_bytes(&mut self, budget: usize) -> Result<usize, CaptureError> {
+        if !self.sync_file()? {
+            return Ok(0);
+        }
+        let file = self.file.as_mut().expect("sync_file opened it");
+        let mut total = 0usize;
+        let mut chunk = [0u8; 64 * 1024];
+        while total < budget {
+            let n = file.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            self.decoder.push(&chunk[..n]);
+            self.read_offset += n as u64;
+            self.counters.bytes_read += n as u64;
+            total += n;
+        }
+        Ok(total)
+    }
+}
+
+impl FrameSource for FollowSource {
+    fn poll_frame(&mut self) -> Result<SourcePoll, CaptureError> {
+        // The budget bounds the *whole* poll: a writer producing pure
+        // non-candidate traffic at least as fast as we read must not be
+        // able to keep one poll spinning forever. Budget exhausted ⇒
+        // `Pending`, and the caller polls again.
+        let mut budget = Self::READ_BUDGET;
+        loop {
+            // Drain already-buffered packets first.
+            loop {
+                match self.decoder.next_packet() {
+                    Ok(Some(pkt)) => {
+                        if let Some(frame) = process_packet(&pkt, &mut self.counters) {
+                            return Ok(SourcePoll::Frame(frame));
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Likely a truncate-and-regrow race: restart
+                        // from the top once; the same failure at the
+                        // same spot is real corruption.
+                        let signature = (self.current_inode(), self.read_offset);
+                        if self.last_failure == Some(signature) {
+                            return Err(e);
+                        }
+                        self.last_failure = Some(signature);
+                        self.restart();
+                        return Ok(SourcePoll::Pending);
+                    }
+                }
+            }
+            if budget == 0 {
+                return Ok(SourcePoll::Pending);
+            }
+            let arrived = self.ingest_new_bytes(budget)?;
+            if arrived == 0 {
+                return Ok(SourcePoll::Pending);
+            }
+            budget -= arrived.min(budget);
+        }
+    }
+
+    fn counters(&self) -> CaptureCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap::PcapWriter;
+    use crate::radiotap::{RadiotapBuilder, LINKTYPE_RADIOTAP};
+
+    fn candidate_mpdu(tag: u8) -> Vec<u8> {
+        let mut f = vec![0u8; 40];
+        f[0] = 0xE0;
+        f[24] = 21;
+        f[25] = 0;
+        f[26] = tag;
+        f
+    }
+
+    fn capture_with(frames: &[Vec<u8>]) -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+        for (i, mpdu) in frames.iter().enumerate() {
+            let mut pkt = RadiotapBuilder::new().antenna_signal(-40).build();
+            pkt.extend_from_slice(mpdu);
+            w.write_packet(i as u64 * 1_000_000, &pkt).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn file_source_filters_and_counts() {
+        let mut beacon = vec![0u8; 40];
+        beacon[0] = 0x80;
+        let image = capture_with(&[candidate_mpdu(1), beacon, candidate_mpdu(2)]);
+        let mut src = PcapFileSource::from_bytes(image.clone());
+        let mut frames = Vec::new();
+        loop {
+            match src.poll_frame().unwrap() {
+                SourcePoll::Frame(f) => frames.push(f),
+                SourcePoll::End => break,
+                SourcePoll::Pending => unreachable!("finite source"),
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].mpdu[26], 1);
+        assert_eq!(frames[0].rssi_dbm, Some(-40));
+        let c = src.counters();
+        assert_eq!(c.packets_seen, 3);
+        assert_eq!(c.prefilter_skipped, 1);
+        assert_eq!(c.decode_errors, 0);
+        assert_eq!(c.bytes_read, image.len() as u64);
+        // Repeated polls stay at End without re-counting.
+        assert_eq!(src.poll_frame().unwrap(), SourcePoll::End);
+        assert_eq!(src.counters(), c);
+    }
+
+    #[test]
+    fn bad_fcs_frames_are_counted_as_errors() {
+        let mut w = PcapWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+        let mut pkt = RadiotapBuilder::new().flags(0x40).build(); // bad FCS
+        pkt.extend_from_slice(&candidate_mpdu(9));
+        w.write_packet(0, &pkt).unwrap();
+        let mut src = PcapFileSource::from_bytes(w.finish().unwrap());
+        assert_eq!(src.poll_frame().unwrap(), SourcePoll::End);
+        assert_eq!(src.counters().decode_errors, 1);
+    }
+
+    #[test]
+    fn truncated_tail_counts_one_error() {
+        let mut image = capture_with(&[candidate_mpdu(1), candidate_mpdu(2)]);
+        image.truncate(image.len() - 7);
+        let mut src = PcapFileSource::from_bytes(image);
+        assert!(matches!(src.poll_frame().unwrap(), SourcePoll::Frame(_)));
+        assert_eq!(src.poll_frame().unwrap(), SourcePoll::End);
+        assert_eq!(src.counters().decode_errors, 1);
+        // The partial tail packet is seen *and* errored, so the
+        // conservation law still balances.
+        assert_eq!(src.counters().packets_seen, 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! `FollowSource` behaviour against a file that grows, is truncated,
+//! and is rotated — the reconnect story a long-lived monitor needs.
+
+use deepcsi_capture::{
+    FollowSource, FrameSource, PcapWriter, RadiotapBuilder, SourcePoll, LINKTYPE_RADIOTAP,
+};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique temp path per test (no tempfile crate in the workspace).
+fn temp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "deepcsi-follow-{}-{tag}-{seq}.pcap",
+        std::process::id()
+    ))
+}
+
+/// A pcap image holding `n` beamforming-candidate MPDUs tagged
+/// `start..start + n`.
+fn capture_image(start: u8, n: u8) -> Vec<u8> {
+    let mut w = PcapWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+    for i in 0..n {
+        let mut pkt = RadiotapBuilder::new().antenna_signal(-45).build();
+        let mut mpdu = vec![0u8; 40];
+        mpdu[0] = 0xE0;
+        mpdu[24] = 21;
+        mpdu[26] = start + i;
+        pkt.extend_from_slice(&mpdu);
+        w.write_packet(u64::from(i) * 1_000, &pkt).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+/// Polls until `Pending`, returning the tags of the frames delivered.
+fn drain_tags(src: &mut FollowSource) -> Vec<u8> {
+    let mut tags = Vec::new();
+    loop {
+        match src.poll_frame().expect("follow poll") {
+            SourcePoll::Frame(f) => tags.push(f.mpdu[26]),
+            SourcePoll::Pending => return tags,
+            SourcePoll::End => panic!("follow sources never end"),
+        }
+    }
+}
+
+#[test]
+fn growing_file_is_tailed_across_partial_writes() {
+    let path = temp_path("grow");
+    let image = capture_image(0, 4);
+    let mut src = FollowSource::open(&path);
+
+    // File does not exist yet.
+    assert_eq!(drain_tags(&mut src), vec![]);
+
+    // Header + first record + *half* of the second record.
+    let split = 24 + (16 + record_len(&image, 0)) + 10;
+    std::fs::write(&path, &image[..split]).unwrap();
+    assert_eq!(drain_tags(&mut src), vec![0]);
+
+    // The rest arrives: the buffered half-record completes.
+    append(&path, &image[split..]);
+    assert_eq!(drain_tags(&mut src), vec![1, 2, 3]);
+    assert_eq!(src.counters().bytes_read, image.len() as u64);
+    assert_eq!(src.counters().packets_seen, 4);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncation_restarts_from_the_new_beginning() {
+    let path = temp_path("trunc");
+    std::fs::write(&path, capture_image(0, 3)).unwrap();
+    let mut src = FollowSource::open(&path);
+    assert_eq!(drain_tags(&mut src), vec![0, 1, 2]);
+
+    // The file shrinks to a fresh, shorter capture (e.g. logrotate's
+    // copytruncate): the follower must restart from the new header.
+    std::fs::write(&path, capture_image(10, 2)).unwrap();
+    assert_eq!(drain_tags(&mut src), vec![10, 11]);
+    assert_eq!(src.counters().packets_seen, 5);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn rotation_to_a_new_file_is_followed() {
+    let path = temp_path("rotate");
+    std::fs::write(&path, capture_image(0, 2)).unwrap();
+    let mut src = FollowSource::open(&path);
+    assert_eq!(drain_tags(&mut src), vec![0, 1]);
+
+    // Classic rotation: the file is moved away and a new capture starts
+    // at the same path (new inode).
+    let rotated = temp_path("rotated-away");
+    std::fs::rename(&path, &rotated).unwrap();
+    assert_eq!(drain_tags(&mut src), vec![]); // gap tolerated
+    std::fs::write(&path, capture_image(20, 3)).unwrap();
+    assert_eq!(drain_tags(&mut src), vec![20, 21, 22]);
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&rotated).ok();
+}
+
+#[test]
+fn structural_error_triggers_one_restart_then_recovers() {
+    let path = temp_path("poisoned-then-rotated");
+    std::fs::write(&path, capture_image(0, 2)).unwrap();
+    let mut src = FollowSource::open(&path);
+    assert_eq!(drain_tags(&mut src), vec![0, 1]);
+
+    // A mid-stream writer glitch: 16 bytes of 0xFF parse as a record
+    // header with an absurd caplen — a structural error the follower
+    // must treat as a possible truncate/regrow race, not a fatality.
+    append(&path, &[0xFF; 16]);
+    assert_eq!(drain_tags(&mut src), vec![]); // error → silent restart
+
+    // Before the next poll the path is replaced by a fresh capture: the
+    // restart decodes it from its header.
+    std::fs::write(&path, capture_image(50, 3)).unwrap();
+    assert_eq!(drain_tags(&mut src), vec![50, 51, 52]);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn persistent_corruption_is_surfaced_not_retried_forever() {
+    let path = temp_path("corrupt");
+    let mut image = capture_image(0, 2);
+    image.extend_from_slice(&[0xFF; 16]); // poison tail
+    std::fs::write(&path, &image).unwrap();
+    let mut src = FollowSource::open(&path);
+
+    // First pass: frames, then the poison → one silent restart.
+    assert_eq!(drain_tags(&mut src), vec![0, 1]);
+    // Second pass re-reads the unchanged file and hits the same spot:
+    // now it is an error, not an infinite rescan loop.
+    let mut polls = 0;
+    let err = loop {
+        polls += 1;
+        assert!(polls < 10, "corrupt file never surfaced an error");
+        match src.poll_frame() {
+            Ok(_) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(
+        err,
+        deepcsi_capture::CaptureError::Oversize { .. }
+    ));
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// Length of the packet data of record `idx` (walks the file image).
+fn record_len(image: &[u8], idx: usize) -> usize {
+    let mut off = 24;
+    for _ in 0..idx {
+        let caplen = u32::from_le_bytes(image[off + 8..off + 12].try_into().unwrap()) as usize;
+        off += 16 + caplen;
+    }
+    u32::from_le_bytes(image[off + 8..off + 12].try_into().unwrap()) as usize
+}
+
+fn append(path: &PathBuf, bytes: &[u8]) {
+    std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .unwrap()
+        .write_all(bytes)
+        .unwrap();
+}

@@ -1,0 +1,299 @@
+//! Property tests for the capture layer: write→read round-trips over
+//! arbitrary packet lengths/timestamps/endianness, chunked streaming
+//! equivalence, and a malformed-capture corpus that must produce errors
+//! — never a panic, never an absurd allocation.
+
+use deepcsi_capture::{
+    CaptureDecoder, CaptureError, FrameSource, PcapFileSource, PcapReader, PcapWriter,
+    PcapngReader, PcapngWriter, Radiotap, SourcePoll, LINKTYPE_RADIOTAP, MAX_PACKET,
+};
+use proptest::prelude::*;
+
+/// Arbitrary packet payloads + timestamps (bounded so second counters
+/// fit the classic pcap u32 field).
+fn packets() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            0u64..4_000_000_000_000_000_000,
+            proptest::collection::vec(any::<u8>(), 0..600),
+        ),
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pcap_roundtrip_all_variants(
+        pkts in packets(),
+        big_endian in any::<bool>(),
+        nanos in any::<bool>(),
+    ) {
+        let mut w =
+            PcapWriter::with_format(Vec::new(), LINKTYPE_RADIOTAP, big_endian, nanos).unwrap();
+        for (ts, data) in &pkts {
+            w.write_packet(*ts, data).unwrap();
+        }
+        let image = w.finish().unwrap();
+        let got: Vec<_> = PcapReader::new(&image)
+            .unwrap()
+            .map(|r| r.expect("own output reads back"))
+            .collect();
+        prop_assert_eq!(got.len(), pkts.len());
+        for ((ts, data), rec) in pkts.iter().zip(&got) {
+            prop_assert_eq!(rec.data, &data[..]);
+            prop_assert_eq!(rec.link_type, LINKTYPE_RADIOTAP);
+            // µs files truncate sub-microsecond digits; ns files are exact.
+            let expect = if nanos { *ts } else { ts / 1_000 * 1_000 };
+            prop_assert_eq!(rec.ts_nanos, expect);
+        }
+    }
+
+    #[test]
+    fn pcapng_roundtrip_is_nanosecond_exact(pkts in packets()) {
+        let mut w = PcapngWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+        for (ts, data) in &pkts {
+            w.write_packet(*ts, data).unwrap();
+        }
+        let image = w.finish().unwrap();
+        let got: Vec<_> = PcapngReader::new(&image)
+            .unwrap()
+            .map(|r| r.expect("own output reads back"))
+            .collect();
+        prop_assert_eq!(got.len(), pkts.len());
+        for ((ts, data), rec) in pkts.iter().zip(&got) {
+            prop_assert_eq!(rec.data, &data[..]);
+            prop_assert_eq!(rec.ts_nanos, *ts);
+        }
+    }
+
+    /// Feeding the stream in arbitrary chunk sizes must decode the same
+    /// packets as one-shot reading.
+    #[test]
+    fn chunked_decoding_matches_oneshot(
+        pkts in packets(),
+        chunk in 1usize..97,
+        ng in any::<bool>(),
+    ) {
+        let image = if ng {
+            let mut w = PcapngWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+            for (ts, data) in &pkts {
+                w.write_packet(*ts, data).unwrap();
+            }
+            w.finish().unwrap()
+        } else {
+            let mut w = PcapWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+            for (ts, data) in &pkts {
+                w.write_packet(*ts, data).unwrap();
+            }
+            w.finish().unwrap()
+        };
+        let mut dec = CaptureDecoder::new();
+        let mut got = Vec::new();
+        for piece in image.chunks(chunk) {
+            dec.push(piece);
+            while let Some(p) = dec.next_packet().unwrap() {
+                got.push(p);
+            }
+        }
+        prop_assert_eq!(got.len(), pkts.len());
+        for ((_, data), pkt) in pkts.iter().zip(&got) {
+            prop_assert_eq!(&pkt.data, data);
+        }
+    }
+
+    /// Arbitrary bytes must never panic any reader — error or clean end
+    /// only.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(r) = PcapReader::new(&bytes) {
+            for rec in r {
+                let _ = rec;
+            }
+        }
+        if let Ok(r) = PcapngReader::new(&bytes) {
+            for rec in r {
+                let _ = rec;
+            }
+        }
+        let mut dec = CaptureDecoder::new();
+        dec.push(&bytes);
+        while let Ok(Some(_)) = dec.next_packet() {}
+        let _ = Radiotap::parse(&bytes);
+        let mut src = PcapFileSource::from_bytes(bytes);
+        loop {
+            match src.poll_frame() {
+                Ok(SourcePoll::End) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    /// Corrupting any single bit of a valid capture must never panic —
+    /// and the reader must either finish or stop at one error.
+    #[test]
+    fn bit_flipped_captures_never_panic(
+        pkts in packets(),
+        flip in 0usize..100_000,
+        bit in 0u8..8,
+        ng in any::<bool>(),
+    ) {
+        let mut image = if ng {
+            let mut w = PcapngWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+            for (ts, data) in &pkts {
+                w.write_packet(*ts, data).unwrap();
+            }
+            w.finish().unwrap()
+        } else {
+            let mut w = PcapWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+            for (ts, data) in &pkts {
+                w.write_packet(*ts, data).unwrap();
+            }
+            w.finish().unwrap()
+        };
+        let idx = flip % image.len();
+        image[idx] ^= 1 << bit;
+        let mut src = PcapFileSource::from_bytes(image);
+        loop {
+            match src.poll_frame() {
+                Ok(SourcePoll::End) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    /// Truncating a valid capture at any point must never panic and
+    /// never yield more packets than were written.
+    #[test]
+    fn truncation_never_panics(pkts in packets(), cut in 0usize..100_000) {
+        let mut w = PcapWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+        for (ts, data) in &pkts {
+            w.write_packet(*ts, data).unwrap();
+        }
+        let mut image = w.finish().unwrap();
+        image.truncate(cut % (image.len() + 1));
+        if let Ok(r) = PcapReader::new(&image) {
+            let n = r.filter(|r| r.is_ok()).count();
+            prop_assert!(n <= pkts.len());
+        }
+    }
+}
+
+/// The corpus of specific structural lies, each of which must produce a
+/// `CaptureError` (not a panic, not a giant allocation).
+mod malformed_corpus {
+    use super::*;
+
+    fn valid_pcap() -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+        w.write_packet(1_000, &[0xE0; 64]).unwrap();
+        w.write_packet(2_000, &[0xD0; 32]).unwrap();
+        w.finish().unwrap()
+    }
+
+    fn valid_pcapng() -> Vec<u8> {
+        let mut w = PcapngWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+        w.write_packet(1_000, &[0xE0; 64]).unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn truncated_pcap_global_header() {
+        let image = valid_pcap();
+        for cut in 0..24 {
+            assert!(
+                PcapReader::new(&image[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse as a header"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_caplen_errors_before_allocating() {
+        let mut image = valid_pcap();
+        // First record's incl_len → just past the cap; the 16 bytes of
+        // record header sit right after the 24-byte global header.
+        image[24 + 8..24 + 12].copy_from_slice(&(MAX_PACKET + 1).to_le_bytes());
+        let err = PcapReader::new(&image).unwrap().next().unwrap();
+        assert!(matches!(err, Err(CaptureError::Oversize { .. })), "{err:?}");
+
+        // The streaming decoder must refuse it too — *before* waiting
+        // for (or buffering) gigabytes that will never come.
+        let mut dec = CaptureDecoder::new();
+        dec.push(&image[..40]);
+        assert!(matches!(
+            dec.next_packet(),
+            Err(CaptureError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_snaplen_in_header_is_harmless() {
+        // A lying *snaplen* (global header) must not pre-allocate
+        // anything or reject the file — records are bounded per-record.
+        let mut image = valid_pcap();
+        image[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let recs: Vec<_> = PcapReader::new(&image).unwrap().collect();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn pcapng_lying_block_lengths() {
+        let image = valid_pcapng();
+        let epb_start = 28 + 32; // SHB + IDB
+
+        // Leading length not a multiple of 4.
+        let mut bad = image.clone();
+        bad[epb_start + 4] ^= 0x02;
+        assert!(PcapngReader::new(&bad).unwrap().any(|r| r.is_err()));
+
+        // Leading length beyond the cap.
+        let mut bad = image.clone();
+        bad[epb_start + 4..epb_start + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            PcapngReader::new(&bad).unwrap().next(),
+            Some(Err(CaptureError::Oversize { .. }))
+        ));
+
+        // Trailer disagreeing with the leading length.
+        let mut bad = image.clone();
+        let n = bad.len();
+        bad[n - 4..].copy_from_slice(&12u32.to_le_bytes());
+        assert!(PcapngReader::new(&bad).unwrap().any(|r| r.is_err()));
+
+        // EPB caplen overrunning its block.
+        let mut bad = image.clone();
+        bad[epb_start + 20..epb_start + 24].copy_from_slice(&10_000u32.to_le_bytes());
+        assert!(PcapngReader::new(&bad).unwrap().any(|r| r.is_err()));
+    }
+
+    #[test]
+    fn pcapng_packet_before_any_interface() {
+        // SHB directly followed by an EPB referencing interface 0: the
+        // reference must error, not index out of bounds.
+        let mut w = PcapngWriter::new(Vec::new(), LINKTYPE_RADIOTAP).unwrap();
+        w.write_packet(0, &[1, 2, 3]).unwrap();
+        let image = w.finish().unwrap();
+        let mut no_idb = image[..28].to_vec(); // SHB only
+        no_idb.extend_from_slice(&image[28 + 32..]); // skip the IDB
+        assert!(PcapngReader::new(&no_idb).unwrap().any(|r| r.is_err()));
+    }
+
+    #[test]
+    fn corrupt_radiotap_it_len_is_an_error() {
+        // it_len pointing past the packet.
+        let mut hdr = vec![0u8, 0, 0xFF, 0x7F];
+        hdr.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Radiotap::parse(&hdr).is_err());
+        // it_len below the fixed 8-byte prefix.
+        let mut hdr = vec![0u8, 0, 7, 0];
+        hdr.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Radiotap::parse(&hdr).is_err());
+        // Present chain longer than it_len admits.
+        let mut hdr = vec![0u8, 0, 8, 0];
+        hdr.extend_from_slice(&(1u32 << 31).to_le_bytes());
+        assert!(Radiotap::parse(&hdr).is_err());
+    }
+}

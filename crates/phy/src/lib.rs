@@ -39,5 +39,5 @@ mod subcarrier;
 
 pub use band::{Band, WifiChannel, SPEED_OF_LIGHT, SUBCARRIER_SPACING_HZ, SYMBOL_PERIOD_S};
 pub use codebook::Codebook;
-pub use mimo::MimoConfig;
+pub use mimo::{InvalidMimoConfig, MimoConfig};
 pub use subcarrier::SubcarrierLayout;

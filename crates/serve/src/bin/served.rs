@@ -7,17 +7,33 @@
 //!                [--modules N] [--snapshots N] [--epochs N]
 //!                [--workers N] [--batch N] [--queue N] [--window N]
 //!                [--repeat N] [--drop] [--garbage N]
+//!                [--export-pcap PATH] [--pcap PATH] [--follow]
+//!                [--idle-exit SECS]
 //! ```
 //!
 //! Without `--dataset` a synthetic D1 capture is generated; without
 //! `--model` a fast classifier is trained on it first (and optionally
 //! persisted with `--save-model` for instant start-up next time).
+//!
+//! Capture-file modes:
+//!
+//! * `--export-pcap PATH` writes the (loaded or synthesized) dataset as
+//!   a radiotap pcap (`.pcapng` extension selects pcapng) and exits —
+//!   the fixture generator for the modes below.
+//! * `--pcap PATH` serves frames from a capture file instead of the
+//!   in-memory replay.
+//! * `--follow` tails the capture as it grows, surviving truncation and
+//!   rotation; `--idle-exit SECS` stops after that long without a new
+//!   frame (default: follow forever).
 
+use deepcsi_capture::{FollowSource, FrameSource, PcapFileSource};
 use deepcsi_core::{run_experiment, Authenticator, ExperimentConfig, ModelConfig};
 use deepcsi_data::{d1_split, generate_d1, D1Set, Dataset, GenConfig, InputSpec};
 use deepcsi_nn::TrainConfig;
-use deepcsi_serve::{Backpressure, Engine, EngineConfig, ReplaySource, Verdict, WindowConfig};
-use std::time::Instant;
+use deepcsi_serve::{
+    Backpressure, Engine, EngineConfig, ReplaySource, SourceStatus, Verdict, WindowConfig,
+};
+use std::time::{Duration, Instant};
 
 struct Args {
     dataset: Option<String>,
@@ -33,6 +49,10 @@ struct Args {
     repeat: usize,
     drop_on_full: bool,
     garbage: usize,
+    export_pcap: Option<String>,
+    pcap: Option<String>,
+    follow: bool,
+    idle_exit: Option<u64>,
 }
 
 impl Args {
@@ -51,6 +71,10 @@ impl Args {
             repeat: 1,
             drop_on_full: false,
             garbage: 0,
+            export_pcap: None,
+            pcap: None,
+            follow: false,
+            idle_exit: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -74,6 +98,12 @@ impl Args {
                 "--repeat" => args.repeat = value("--repeat").parse().expect("--repeat"),
                 "--drop" => args.drop_on_full = true,
                 "--garbage" => args.garbage = value("--garbage").parse().expect("--garbage"),
+                "--export-pcap" => args.export_pcap = Some(value("--export-pcap")),
+                "--pcap" => args.pcap = Some(value("--pcap")),
+                "--follow" => args.follow = true,
+                "--idle-exit" => {
+                    args.idle_exit = Some(value("--idle-exit").parse().expect("--idle-exit"))
+                }
                 "--help" | "-h" => {
                     println!("see the module docs at the top of src/bin/served.rs");
                     std::process::exit(0);
@@ -83,6 +113,20 @@ impl Args {
                     std::process::exit(2);
                 }
             }
+        }
+        // Surface flag combinations that would otherwise be silently
+        // ignored.
+        if args.pcap.is_some() && args.repeat > 1 {
+            eprintln!("warning: --repeat only applies to the in-memory replay; ignored");
+        }
+        if args.pcap.is_some() && args.garbage > 0 {
+            eprintln!("warning: --garbage only applies to the in-memory replay; ignored");
+        }
+        if args.follow && args.pcap.is_none() {
+            eprintln!("warning: --follow requires --pcap; ignored");
+        }
+        if args.idle_exit.is_some() && !args.follow {
+            eprintln!("warning: --idle-exit only applies with --follow; ignored");
         }
         args
     }
@@ -163,20 +207,105 @@ fn load_or_train_model(args: &Args, ds: &Dataset) -> Authenticator {
     auth
 }
 
+/// Writes the dataset's replay capture to a pcap/pcapng file (chosen by
+/// extension) — the `--export-pcap` mode.
+fn export_capture(ds: &Dataset, path: &str) {
+    let replay = ReplaySource::from_dataset(ds);
+    let file = std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {path}: {e}"));
+    let w = std::io::BufWriter::new(file);
+    if path.ends_with(".pcapng") {
+        replay.write_pcapng(w)
+    } else {
+        replay.write_pcap(w)
+    }
+    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "exported {} frames ({:.2} MiB of MPDUs) to {path}",
+        replay.len(),
+        replay.total_bytes() as f64 / (1024.0 * 1024.0),
+    );
+}
+
+/// Feeds the engine from a capture file — finite (`--pcap`) or tailed
+/// (`--follow`, until `--idle-exit` seconds pass without a frame).
+fn serve_from_capture(engine: &Engine, args: &Args, path: &str) {
+    if args.follow {
+        let mut source = FollowSource::open(path);
+        let idle_exit = args.idle_exit.map(Duration::from_secs);
+        let mut last_progress = Instant::now();
+        let mut last_seen = 0u64;
+        let mut last_bytes = 0u64;
+        loop {
+            match engine.ingest_available(&mut source) {
+                Ok(SourceStatus::Pending) => {
+                    let c = source.counters();
+                    if c.packets_seen != last_seen {
+                        last_seen = c.packets_seen;
+                        last_progress = Instant::now();
+                    } else if idle_exit.is_some_and(|d| last_progress.elapsed() >= d) {
+                        println!("no new frames for {}s, stopping", args.idle_exit.unwrap());
+                        return;
+                    }
+                    // Only sleep when the file truly stopped growing — a
+                    // `Pending` with byte progress is just the per-poll
+                    // read budget, and a backlog should drain at speed.
+                    if c.bytes_read == last_bytes {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    last_bytes = c.bytes_read;
+                }
+                Ok(SourceStatus::End) => unreachable!("follow sources never end"),
+                Err(e) => {
+                    eprintln!("following {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else {
+        let mut source =
+            PcapFileSource::open(path).unwrap_or_else(|e| panic!("opening capture {path}: {e}"));
+        match engine.ingest_available(&mut source) {
+            Ok(SourceStatus::End) => {}
+            Ok(SourceStatus::Pending) => unreachable!("file sources never pend"),
+            Err(e) => {
+                eprintln!("reading capture {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let ds = load_or_generate_dataset(&args);
+
+    if let Some(path) = &args.export_pcap {
+        export_capture(&ds, path);
+        return;
+    }
+
     let auth = load_or_train_model(&args, &ds);
 
     let replay = ReplaySource::from_dataset(&ds);
     let registry = ReplaySource::registry(&ds);
-    println!(
-        "replaying {} frames ({:.2} MiB) from {} device streams, ×{}",
-        replay.len(),
-        replay.total_bytes() as f64 / (1024.0 * 1024.0),
-        registry.len(),
-        args.repeat
-    );
+    match &args.pcap {
+        Some(path) => println!(
+            "serving capture {path} ({}){}",
+            if args.follow { "follow" } else { "finite" },
+            if args.follow {
+                " — ^C or --idle-exit to stop"
+            } else {
+                ""
+            },
+        ),
+        None => println!(
+            "replaying {} frames ({:.2} MiB) from {} device streams, ×{}",
+            replay.len(),
+            replay.total_bytes() as f64 / (1024.0 * 1024.0),
+            registry.len(),
+            args.repeat
+        ),
+    }
 
     let engine = Engine::start(
         EngineConfig {
@@ -199,14 +328,21 @@ fn main() {
     );
 
     let t = Instant::now();
-    for _ in 0..args.repeat {
-        for frame in replay.frames() {
-            engine.ingest_frame(frame);
+    match &args.pcap {
+        Some(path) => serve_from_capture(&engine, &args, path),
+        None => {
+            for _ in 0..args.repeat {
+                for frame in replay.frames() {
+                    engine.ingest_frame(frame);
+                }
+            }
+            // Exercise the decode-error path on demand. Replay mode
+            // only: out-of-band garbage would (correctly) break the
+            // capture-layer reconciliation a file source reports.
+            for i in 0..args.garbage {
+                engine.ingest_frame(&[i as u8; 11]);
+            }
         }
-    }
-    // Exercise the decode-error path on demand.
-    for i in 0..args.garbage {
-        engine.ingest_frame(&[i as u8; 11]);
     }
     engine.drain();
     let elapsed = t.elapsed();
@@ -239,8 +375,12 @@ fn main() {
     println!("\n--- engine telemetry ---");
     println!("{}", report.stats);
     let rps = report.stats.classified as f64 / elapsed.as_secs_f64();
-    let mibps =
-        (replay.total_bytes() * args.repeat) as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64();
+    let stream_bytes = if args.pcap.is_some() {
+        report.stats.capture_bytes as usize
+    } else {
+        replay.total_bytes() * args.repeat
+    };
+    let mibps = stream_bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64();
     println!(
         "throughput: {rps:.0} reports/s ({mibps:.1} MiB/s of frames) over {:.2?}",
         elapsed

@@ -22,6 +22,7 @@
 use crate::registry::{DeviceRegistry, Verdict, VerdictPolicy};
 use crate::telemetry::{EngineStats, Telemetry};
 use crate::window::{DecisionWindow, WindowConfig, WindowedDecision};
+use deepcsi_capture::{CaptureError, FrameSource, SourcePoll};
 use deepcsi_core::Authenticator;
 use deepcsi_frame::{BeamformingReportFrame, CapturedReport, MacAddr};
 use deepcsi_nn::Tensor;
@@ -30,7 +31,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -79,6 +80,16 @@ impl Default for EngineConfig {
     }
 }
 
+/// Why [`Engine::ingest_available`] stopped pulling from its source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// The source has nothing more right now (a live follow source may
+    /// grow); poll again later.
+    Pending,
+    /// The source is exhausted.
+    End,
+}
+
 /// Outcome of handing one frame to the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestOutcome {
@@ -114,6 +125,51 @@ struct DeviceState {
     window: DecisionWindow,
 }
 
+/// Count of reports enqueued but not yet classified/rejected, with a
+/// [`Condvar`] so [`Engine::drain`] wakes the instant the last one
+/// lands instead of sleep-polling.
+///
+/// The count itself stays a lock-free atomic — ingest and workers touch
+/// it once per report. The mutex exists only for the condvar protocol
+/// and is taken solely on the idle transition and by waiters, so the
+/// hot path pays a `fetch_add`, never a lock.
+#[derive(Debug, Default)]
+struct InFlight {
+    count: AtomicI64,
+    gate: Mutex<()>,
+    idle: Condvar,
+}
+
+impl InFlight {
+    /// Locks the condvar gate, recovering from poisoning (workers catch
+    /// their own panics, but defense in depth is cheap here).
+    fn lock(&self) -> MutexGuard<'_, ()> {
+        self.gate.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn add(&self, n: i64) {
+        self.count.fetch_add(n, Ordering::AcqRel);
+    }
+
+    fn sub(&self, n: i64) {
+        if self.count.fetch_sub(n, Ordering::AcqRel) - n <= 0 {
+            // Take the gate before notifying: a waiter that observed a
+            // positive count cannot miss this wake-up, because we can
+            // only get the lock once it is inside `wait`.
+            drop(self.lock());
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until the count reaches zero.
+    fn wait_idle(&self) {
+        let mut gate = self.lock();
+        while self.count.load(Ordering::Acquire) > 0 {
+            gate = self.idle.wait(gate).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
 /// One shard's device map. Sharding by source MAC means the maps hold
 /// disjoint key sets, so each lock is only ever contended between its
 /// own worker and an occasional snapshot reader — never between
@@ -128,7 +184,7 @@ pub struct Engine {
     telemetry: Arc<Telemetry>,
     state: Vec<ShardState>,
     registry: Arc<DeviceRegistry>,
-    in_flight: Arc<AtomicI64>,
+    in_flight: Arc<InFlight>,
 }
 
 impl Engine {
@@ -150,7 +206,7 @@ impl Engine {
             .map(|_| Arc::new(Mutex::new(HashMap::new())))
             .collect();
         let registry = Arc::new(registry);
-        let in_flight = Arc::new(AtomicI64::new(0));
+        let in_flight = Arc::new(InFlight::default());
         // Pin the accepted tensor shape when the model recorded one.
         // Without a recorded shape the engine never learns shapes from
         // traffic (each micro-batch group stands on its own), so crafted
@@ -214,6 +270,38 @@ impl Engine {
         }
     }
 
+    /// Pulls every currently available candidate frame out of a capture
+    /// source and ingests it, keeping the capture-layer telemetry
+    /// (bytes/packets/skips/errors) in sync with the source's counters.
+    ///
+    /// Returns [`SourceStatus::End`] for an exhausted finite source and
+    /// [`SourceStatus::Pending`] when a live source has nothing more
+    /// *yet* — the caller owns the retry cadence (and any sleep), so
+    /// the engine never blocks on I/O it does not control.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the source's fatal [`CaptureError`]s (structurally
+    /// broken container, unreadable file). Telemetry is synced before
+    /// returning, so everything decoded up to the error is accounted.
+    pub fn ingest_available(
+        &self,
+        source: &mut dyn FrameSource,
+    ) -> Result<SourceStatus, CaptureError> {
+        let outcome = loop {
+            match source.poll_frame() {
+                Ok(SourcePoll::Frame(frame)) => {
+                    self.ingest_frame(&frame.mpdu);
+                }
+                Ok(SourcePoll::Pending) => break Ok(SourceStatus::Pending),
+                Ok(SourcePoll::End) => break Ok(SourceStatus::End),
+                Err(e) => break Err(e),
+            }
+        };
+        self.telemetry.set_capture(&source.counters());
+        outcome
+    }
+
     /// Routes an already-parsed report to its shard (bypasses the codec;
     /// `ingested` still counts it).
     pub fn ingest_report(&self, report: CapturedReport) -> IngestOutcome {
@@ -223,7 +311,7 @@ impl Engine {
 
     fn route(&self, report: CapturedReport) -> IngestOutcome {
         let shard = shard_of(report.source, self.senders.len());
-        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.in_flight.add(1);
         let outcome = match self.cfg.backpressure {
             Backpressure::Block => match self.senders[shard].send(report) {
                 Ok(()) => IngestOutcome::Enqueued,
@@ -241,7 +329,7 @@ impl Engine {
                 self.telemetry.enqueued.fetch_add(1, Ordering::Relaxed);
             }
             _ => {
-                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                self.in_flight.sub(1);
                 self.telemetry.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -249,10 +337,12 @@ impl Engine {
     }
 
     /// Blocks until every enqueued report has been classified.
+    ///
+    /// Workers signal a [`Condvar`] when their shard goes idle, so this
+    /// returns the moment the last in-flight report lands — latency is
+    /// a thread wake-up, not a multiple of a polling interval.
     pub fn drain(&self) {
-        while self.in_flight.load(Ordering::Acquire) > 0 {
-            std::thread::sleep(Duration::from_micros(200));
-        }
+        self.in_flight.wait_idle();
     }
 
     /// Current telemetry.
@@ -339,7 +429,7 @@ struct WorkerCtx {
     auth: Authenticator,
     telemetry: Arc<Telemetry>,
     state: ShardState,
-    in_flight: Arc<AtomicI64>,
+    in_flight: Arc<InFlight>,
     /// The model's recorded input shape, when known: reports with any
     /// other shape are rejected instead of poisoning a batch. Never set
     /// from observed traffic.
@@ -391,8 +481,7 @@ impl WorkerCtx {
                     .rejected
                     .fetch_add(batch.len() as u64 - accounted.get(), Ordering::Relaxed);
             }
-            self.in_flight
-                .fetch_sub(batch.len() as i64, Ordering::AcqRel);
+            self.in_flight.sub(batch.len() as i64);
             batch.clear();
         }
     }

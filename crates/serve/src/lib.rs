@@ -25,6 +25,15 @@
 //!   [`Verdict::Reject`] / [`Verdict::Unknown`]; [`Telemetry`] tracks
 //!   ingest/decode/drop counts and micro-batch latency (p50/p99).
 //!
+//! Frames can come from memory ([`ReplaySource`]) or from capture files
+//! via `deepcsi_capture`: [`Engine::ingest_available`] pulls from any
+//! [`deepcsi_capture::FrameSource`] (finite pcap/pcapng files, or a
+//! `tail -f` follow source), mirroring the capture layer's
+//! bytes/packets/skips/errors counters into the engine telemetry so
+//! `enqueued` reconciles against what the monitor actually saw.
+//! [`ReplaySource::write_pcap`] closes the loop by exporting any
+//! synthetic dataset as a valid radiotap capture.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -60,7 +69,9 @@ mod replay;
 mod telemetry;
 mod window;
 
-pub use engine::{Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport, IngestOutcome};
+pub use engine::{
+    Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport, IngestOutcome, SourceStatus,
+};
 pub use registry::{DeviceRegistry, Verdict, VerdictPolicy};
 pub use replay::ReplaySource;
 pub use telemetry::{EngineStats, LatencyHistogram, Telemetry};

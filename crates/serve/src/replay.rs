@@ -2,8 +2,17 @@
 //! stream — the offline stand-in for a monitor-mode capture interface.
 
 use crate::registry::DeviceRegistry;
+use deepcsi_capture::{
+    CandidateFrame, CaptureCounters, FrameSource, PcapWriter, PcapngWriter, RadiotapBuilder,
+    SourcePoll, LINKTYPE_RADIOTAP,
+};
 use deepcsi_data::{Dataset, Trace};
 use deepcsi_frame::{BeamformingReportFrame, MacAddr};
+use std::io::{self, Write};
+
+/// Synthetic inter-frame spacing in the exported captures: 1 ms, a
+/// typical MU-MIMO sounding cadence.
+const TS_STEP_NANOS: u64 = 1_000_000;
 
 /// An encoded multi-device capture: every trace of a dataset re-framed as
 /// VHT compressed beamforming reports and interleaved round-robin, the
@@ -11,6 +20,8 @@ use deepcsi_frame::{BeamformingReportFrame, MacAddr};
 #[derive(Debug, Clone, Default)]
 pub struct ReplaySource {
     frames: Vec<Vec<u8>>,
+    /// Read position for the [`FrameSource`] view.
+    cursor: usize,
 }
 
 impl ReplaySource {
@@ -53,7 +64,7 @@ impl ReplaySource {
                 );
             }
         }
-        ReplaySource { frames }
+        ReplaySource { frames, cursor: 0 }
     }
 
     /// The encoded frames, in arrival order.
@@ -74,6 +85,107 @@ impl ReplaySource {
     /// Total encoded bytes (for line-rate reporting).
     pub fn total_bytes(&self) -> usize {
         self.frames.iter().map(Vec::len).sum()
+    }
+
+    /// The deterministic RSSI frame `k` is exported with — shared by
+    /// the pcap export and the in-memory [`FrameSource`] view, which
+    /// must present identical metadata.
+    fn rssi_for(k: usize) -> i8 {
+        -40 - (k % 20) as i8
+    }
+
+    /// The channel (MHz) every exported frame advertises.
+    const CHANNEL_MHZ: u16 = 5180;
+
+    /// The deterministic radiotap preamble frame `k` is exported with:
+    /// no FCS, 5 GHz channel, and a per-frame RSSI so reader-side
+    /// metadata is testable.
+    fn radiotap_for(k: usize) -> Vec<u8> {
+        RadiotapBuilder::new()
+            .flags(0)
+            .channel(Self::CHANNEL_MHZ, 0x0140) // 5 GHz, OFDM
+            .antenna_signal(Self::rssi_for(k))
+            .build()
+    }
+
+    /// The timestamp frame `k` is exported with.
+    fn ts_for(k: usize) -> u64 {
+        k as u64 * TS_STEP_NANOS
+    }
+
+    /// Exports the capture as a classic pcap file (link type 127): every
+    /// frame is prepended with a radiotap header, 1 ms apart. Any
+    /// synthetic dataset thereby becomes a valid monitor-mode capture —
+    /// round-trip fixtures without hardware.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from `w`.
+    pub fn write_pcap<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut pw = PcapWriter::new(w, LINKTYPE_RADIOTAP)?;
+        for (k, mpdu) in self.frames.iter().enumerate() {
+            let mut pkt = Self::radiotap_for(k);
+            pkt.extend_from_slice(mpdu);
+            pw.write_packet(Self::ts_for(k), &pkt)?;
+        }
+        pw.finish()?;
+        Ok(())
+    }
+
+    /// Exports the capture as a pcapng file (SHB + IDB + EPBs,
+    /// nanosecond timestamps); otherwise identical to
+    /// [`ReplaySource::write_pcap`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from `w`.
+    pub fn write_pcapng<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut pw = PcapngWriter::new(w, LINKTYPE_RADIOTAP)?;
+        for (k, mpdu) in self.frames.iter().enumerate() {
+            let mut pkt = Self::radiotap_for(k);
+            pkt.extend_from_slice(mpdu);
+            pw.write_packet(Self::ts_for(k), &pkt)?;
+        }
+        pw.finish()?;
+        Ok(())
+    }
+
+    /// Resets the [`FrameSource`] read position to the first frame.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// The in-memory capture viewed through the engine's source interface:
+/// frames come out in arrival order with the same timestamps the pcap
+/// export writes, so both paths see an identical stream.
+impl FrameSource for ReplaySource {
+    fn poll_frame(&mut self) -> Result<SourcePoll, deepcsi_capture::CaptureError> {
+        match self.frames.get(self.cursor) {
+            Some(mpdu) => {
+                let frame = CandidateFrame {
+                    mpdu: mpdu.clone(),
+                    ts_nanos: Self::ts_for(self.cursor),
+                    rssi_dbm: Some(Self::rssi_for(self.cursor)),
+                    channel_mhz: Some(Self::CHANNEL_MHZ),
+                };
+                self.cursor += 1;
+                Ok(SourcePoll::Frame(frame))
+            }
+            None => Ok(SourcePoll::End),
+        }
+    }
+
+    fn counters(&self) -> CaptureCounters {
+        CaptureCounters {
+            bytes_read: self.frames[..self.cursor]
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>() as u64,
+            packets_seen: self.cursor as u64,
+            prefilter_skipped: 0,
+            decode_errors: 0,
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //! power-of-two histogram from which p50/p99 are read without storing
 //! individual observations.
 
+use deepcsi_capture::CaptureCounters;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -80,9 +81,31 @@ pub struct Telemetry {
     pub batches: AtomicU64,
     /// Batch latency distribution (decode → decisions applied).
     pub batch_latency: LatencyHistogram,
+    /// Capture-layer: container bytes read by the frame source.
+    pub capture_bytes: AtomicU64,
+    /// Capture-layer: packets decoded out of the container.
+    pub capture_packets: AtomicU64,
+    /// Capture-layer: packets dropped by the 802.11 pre-filter.
+    pub capture_skipped: AtomicU64,
+    /// Capture-layer: radiotap/pcap per-packet decode errors.
+    pub capture_errors: AtomicU64,
 }
 
 impl Telemetry {
+    /// Publishes the frame source's cumulative capture-layer counters.
+    ///
+    /// Counters are cumulative on the source side, so this *stores*
+    /// rather than adds — the telemetry mirrors the engine's (single)
+    /// attached source.
+    pub fn set_capture(&self, c: &CaptureCounters) {
+        self.capture_bytes.store(c.bytes_read, Ordering::Relaxed);
+        self.capture_packets
+            .store(c.packets_seen, Ordering::Relaxed);
+        self.capture_skipped
+            .store(c.prefilter_skipped, Ordering::Relaxed);
+        self.capture_errors
+            .store(c.decode_errors, Ordering::Relaxed);
+    }
     /// Records one finished micro-batch.
     pub fn record_batch(&self, size: usize, latency: Duration) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -109,6 +132,10 @@ impl Telemetry {
             },
             batch_latency_p50: self.batch_latency.quantile(0.50),
             batch_latency_p99: self.batch_latency.quantile(0.99),
+            capture_bytes: self.capture_bytes.load(Ordering::Relaxed),
+            capture_packets: self.capture_packets.load(Ordering::Relaxed),
+            capture_skipped: self.capture_skipped.load(Ordering::Relaxed),
+            capture_errors: self.capture_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -136,10 +163,48 @@ pub struct EngineStats {
     pub batch_latency_p50: Option<Duration>,
     /// 99th-percentile micro-batch latency.
     pub batch_latency_p99: Option<Duration>,
+    /// Capture-layer container bytes read (0 without a frame source).
+    pub capture_bytes: u64,
+    /// Capture-layer packets seen.
+    pub capture_packets: u64,
+    /// Capture-layer pre-filter skips.
+    pub capture_skipped: u64,
+    /// Capture-layer radiotap/pcap decode errors.
+    pub capture_errors: u64,
+}
+
+impl EngineStats {
+    /// Checks the end-to-end conservation law when a frame source fed
+    /// the engine: every packet the capture layer saw is either skipped,
+    /// errored (capture- or MAC-level), dropped by backpressure, or
+    /// enqueued.
+    pub fn capture_reconciles(&self) -> bool {
+        self.capture_packets
+            == self.capture_skipped
+                + self.capture_errors
+                + self.decode_errors
+                + self.dropped
+                + self.enqueued
+    }
 }
 
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.capture_packets > 0 {
+            writeln!(
+                f,
+                "capture: {} bytes  {} packets  {} pre-filtered  {} decode errors  ({})",
+                self.capture_bytes,
+                self.capture_packets,
+                self.capture_skipped,
+                self.capture_errors,
+                if self.capture_reconciles() {
+                    "reconciled"
+                } else {
+                    "NOT RECONCILED"
+                },
+            )?;
+        }
         writeln!(
             f,
             "ingested {}  decode errors {}  enqueued {}  dropped {}  rejected {}",

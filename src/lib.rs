@@ -14,6 +14,7 @@
 //! | [`impair`] | `deepcsi-impair` | per-device RF impairments — the fingerprint source |
 //! | [`bfi`] | `deepcsi-bfi` | SVD → Givens angles → quantization → Ṽ (Alg. 1, Eqs. 3–8) |
 //! | [`frame`] | `deepcsi-frame` | VHT Compressed Beamforming frame codec + monitor |
+//! | [`capture`] | `deepcsi-capture` | pcap/pcapng + radiotap ingestion: readers, writers, follow sources |
 //! | [`nn`] | `deepcsi-nn` | from-scratch CNN/attention deep-learning substrate |
 //! | [`data`] | `deepcsi-data` | synthetic D1/D2 datasets, S1–S6 splits, input tensors |
 //! | [`core`] | `deepcsi-core` | the classifier, training harness, authenticator, baseline |
@@ -32,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub use deepcsi_bfi as bfi;
+pub use deepcsi_capture as capture;
 pub use deepcsi_channel as channel;
 pub use deepcsi_core as core;
 pub use deepcsi_data as data;
