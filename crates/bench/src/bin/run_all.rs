@@ -1,8 +1,10 @@
 //! Runs every figure binary in sequence and collects the `RESULT` lines
 //! into `bench_results/summary.txt` — the data behind EXPERIMENTS.md.
-//! Also runs the serving and capture throughput benches
-//! (`serve_throughput`, `capture_throughput`) and emits their numbers as
-//! `BENCH_serve.json` / `BENCH_capture.json`.
+//! Also runs the serving/capture throughput benches and the
+//! decision-policy comparison (`serve_throughput`, `capture_throughput`,
+//! `policy_bench`) and emits their numbers as `BENCH_serve.json` /
+//! `BENCH_capture.json` / `BENCH_policy.json` (schema documented in
+//! `crates/bench/README.md`).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -71,6 +73,7 @@ fn main() {
         "capture_throughput",
         "capture",
     );
+    run_result_bench(&exe_dir, &forwarded, &out_dir, "policy_bench", "policy");
 }
 
 /// Runs one bench binary and writes its `RESULT <tag> <key> <value>`

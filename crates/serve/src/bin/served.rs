@@ -6,6 +6,8 @@
 //! deepcsi-served [--dataset PATH] [--model PATH] [--save-model PATH]
 //!                [--modules N] [--snapshots N] [--epochs N]
 //!                [--workers N] [--batch N] [--queue N] [--window N]
+//!                [--policy fixed|confidence|adaptive]
+//!                [--accept-threshold MASS] [--calibration N]
 //!                [--repeat N] [--drop] [--garbage N]
 //!                [--export-pcap PATH] [--pcap PATH] [--follow]
 //!                [--idle-exit SECS]
@@ -25,13 +27,23 @@
 //! * `--follow` tails the capture as it grows, surviving truncation and
 //!   rotation; `--idle-exit SECS` stops after that long without a new
 //!   frame (default: follow forever).
+//!
+//! Decision-policy knobs (see the crate docs for the semantics):
+//!
+//! * `--policy fixed|confidence|adaptive` selects the verdict policy
+//!   (default `fixed`, the classic majority window).
+//! * `--accept-threshold MASS` sets the confidence policy's posterior
+//!   mass gate, in `(0.5, 1]` (default 0.9).
+//! * `--calibration N` sets the adaptive policy's warm-up length in
+//!   reports (default 20).
 
 use deepcsi_capture::{FollowSource, FrameSource, PcapFileSource};
 use deepcsi_core::{run_experiment, Authenticator, ExperimentConfig, ModelConfig};
 use deepcsi_data::{d1_split, generate_d1, D1Set, Dataset, GenConfig, InputSpec};
 use deepcsi_nn::TrainConfig;
 use deepcsi_serve::{
-    Backpressure, Engine, EngineConfig, ReplaySource, SourceStatus, Verdict, WindowConfig,
+    Backpressure, DecisionPolicyConfig, Engine, EngineConfig, PolicyKind, ReplaySource,
+    SourceStatus, Verdict, WindowConfig,
 };
 use std::time::{Duration, Instant};
 
@@ -46,6 +58,9 @@ struct Args {
     batch: usize,
     queue: usize,
     window: usize,
+    policy: PolicyKind,
+    accept_threshold: Option<f64>,
+    calibration: Option<u64>,
     repeat: usize,
     drop_on_full: bool,
     garbage: usize,
@@ -68,6 +83,9 @@ impl Args {
             batch: 32,
             queue: 1024,
             window: 25,
+            policy: PolicyKind::default(),
+            accept_threshold: None,
+            calibration: None,
             repeat: 1,
             drop_on_full: false,
             garbage: 0,
@@ -95,6 +113,21 @@ impl Args {
                 "--batch" => args.batch = value("--batch").parse().expect("--batch"),
                 "--queue" => args.queue = value("--queue").parse().expect("--queue"),
                 "--window" => args.window = value("--window").parse().expect("--window"),
+                "--policy" => {
+                    args.policy = value("--policy")
+                        .parse()
+                        .unwrap_or_else(|e: String| panic!("--policy: {e}"))
+                }
+                "--accept-threshold" => {
+                    args.accept_threshold = Some(
+                        value("--accept-threshold")
+                            .parse()
+                            .expect("--accept-threshold"),
+                    )
+                }
+                "--calibration" => {
+                    args.calibration = Some(value("--calibration").parse().expect("--calibration"))
+                }
                 "--repeat" => args.repeat = value("--repeat").parse().expect("--repeat"),
                 "--drop" => args.drop_on_full = true,
                 "--garbage" => args.garbage = value("--garbage").parse().expect("--garbage"),
@@ -128,7 +161,40 @@ impl Args {
         if args.idle_exit.is_some() && !args.follow {
             eprintln!("warning: --idle-exit only applies with --follow; ignored");
         }
+        if args.accept_threshold.is_some() && args.policy != PolicyKind::ConfidenceWeighted {
+            eprintln!("warning: --accept-threshold only applies with --policy confidence");
+        }
+        if args.calibration.is_some() && args.policy != PolicyKind::AdaptiveThreshold {
+            eprintln!("warning: --calibration only applies with --policy adaptive");
+        }
+        // Range-check the policy knobs here, before the expensive
+        // dataset/training work — the engine would assert the same
+        // bounds, but only minutes later.
+        if let Some(mass) = args.accept_threshold {
+            assert!(
+                mass > 0.5 && mass <= 1.0,
+                "--accept-threshold must be in (0.5, 1], got {mass}"
+            );
+        }
+        if args.calibration == Some(0) {
+            panic!("--calibration must be positive");
+        }
         args
+    }
+
+    /// The decision-policy configuration the flags describe.
+    fn decision(&self) -> DecisionPolicyConfig {
+        let mut decision = DecisionPolicyConfig {
+            kind: self.policy,
+            ..DecisionPolicyConfig::default()
+        };
+        if let Some(mass) = self.accept_threshold {
+            decision.posterior_mass = mass;
+        }
+        if let Some(warmup) = self.calibration {
+            decision.warmup = warmup;
+        }
+        decision
     }
 }
 
@@ -321,11 +387,13 @@ fn main() {
                 len: args.window,
                 ..WindowConfig::default()
             },
+            decision: args.decision(),
             ..EngineConfig::default()
         },
         auth,
         registry.clone(),
     );
+    println!("decision policy: {}", args.policy);
 
     let t = Instant::now();
     match &args.pcap {
@@ -356,13 +424,17 @@ fn main() {
             .unwrap_or_else(|| "-".to_string());
         match &d.decision {
             Some(w) => println!(
-                "{}  expected {:>3}  decided {:>3}  votes {:>5.1}%  conf {:.2}  n {:>6}  {:?}",
+                "{}  expected {:>3}  decided {:>3}  votes {:>5.1}%  conf {:.2}  n {:>6}  {}  {:?}",
                 d.source,
                 expected,
                 w.module,
                 w.vote_fraction * 100.0,
                 w.confidence_ema,
                 w.observations,
+                match d.decided_at {
+                    Some(n) => format!("verdict@{n:<4}"),
+                    None => "undecided   ".to_string(),
+                },
                 d.verdict
             ),
             None => println!(

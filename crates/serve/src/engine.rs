@@ -3,7 +3,7 @@
 //! ```text
 //!                  ┌─ bounded queue ─ worker 0 ─┐
 //!  ingest ─ parse ─┼─ bounded queue ─ worker 1 ─┼─ shared device state
-//!  (shard by MAC)  └─ bounded queue ─ worker N ─┘   (windows + verdicts)
+//!  (shard by MAC)  └─ bounded queue ─ worker N ─┘   (policy states + verdicts)
 //! ```
 //!
 //! * **Sharding** — reports are routed by a hash of their source MAC, so
@@ -16,12 +16,15 @@
 //!   [`EngineConfig::max_batch`] reports (lingering briefly for
 //!   stragglers) and classifies them with one
 //!   [`deepcsi_nn::Network::forward_batch`] call.
-//! * **Windowed decisions** — per-sample predictions feed per-device
-//!   [`DecisionWindow`]s; verdicts come from the [`DeviceRegistry`].
+//! * **Policy decisions** — per-sample predictions feed one
+//!   [`PolicyState`] per device (built by the configured
+//!   [`DecisionPolicy`]); verdicts come from the policy judged against
+//!   the [`DeviceRegistry`]'s expected identities.
 
+use crate::policy::{DecisionPolicy, DecisionPolicyConfig, PolicyState};
 use crate::registry::{DeviceRegistry, Verdict, VerdictPolicy};
 use crate::telemetry::{EngineStats, Telemetry};
-use crate::window::{DecisionWindow, WindowConfig, WindowedDecision};
+use crate::window::{WindowConfig, WindowedDecision};
 use deepcsi_capture::{CaptureError, FrameSource, SourcePoll};
 use deepcsi_core::Authenticator;
 use deepcsi_frame::{BeamformingReportFrame, CapturedReport, MacAddr};
@@ -60,10 +63,17 @@ pub struct EngineConfig {
     pub batch_linger: Duration,
     /// Full-queue policy.
     pub backpressure: Backpressure,
-    /// Sliding-window smoothing parameters.
+    /// Sliding-window smoothing parameters (shared by every decision
+    /// policy).
     pub window: WindowConfig,
-    /// Accept/reject evidence policy.
+    /// Accept/reject evidence gates (shared by every decision policy).
     pub policy: VerdictPolicy,
+    /// Which decision policy turns smoothed evidence into verdicts, and
+    /// its knobs. Defaults to [`PolicyKind::FixedMajority`], which is
+    /// verdict-identical to the pre-policy engine.
+    ///
+    /// [`PolicyKind::FixedMajority`]: crate::PolicyKind::FixedMajority
+    pub decision: DecisionPolicyConfig,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +86,7 @@ impl Default for EngineConfig {
             backpressure: Backpressure::default(),
             window: WindowConfig::default(),
             policy: VerdictPolicy::default(),
+            decision: DecisionPolicyConfig::default(),
         }
     }
 }
@@ -110,6 +121,10 @@ pub struct DeviceDecision {
     pub decision: Option<WindowedDecision>,
     /// The registry verdict under the engine's policy.
     pub verdict: Verdict,
+    /// Classified reports this stream needed before its verdict first
+    /// left [`Verdict::Unknown`] — the stream's decision latency in
+    /// reports (`None` while undecided).
+    pub decided_at: Option<u64>,
 }
 
 /// Everything the engine leaves behind at shutdown.
@@ -122,7 +137,10 @@ pub struct EngineReport {
 }
 
 struct DeviceState {
-    window: DecisionWindow,
+    /// The policy's accumulated evidence for this stream.
+    state: Box<dyn PolicyState>,
+    /// Observations at the stream's first decisive verdict.
+    decided_at: Option<u64>,
 }
 
 /// Count of reports enqueued but not yet classified/rejected, with a
@@ -177,6 +195,25 @@ impl InFlight {
 type ShardState = Arc<Mutex<HashMap<MacAddr, DeviceState>>>;
 
 /// A running streaming authentication engine.
+///
+/// ```no_run
+/// use deepcsi_serve::{Engine, EngineConfig, PolicyKind, ReplaySource};
+///
+/// # fn auth() -> deepcsi_core::Authenticator { unimplemented!() }
+/// # let dataset = deepcsi_data::Dataset::default();
+/// // Pick a decision policy; the default is the fixed majority window.
+/// let mut cfg = EngineConfig::default();
+/// cfg.decision.kind = PolicyKind::ConfidenceWeighted;
+///
+/// let engine = Engine::start(cfg, auth(), ReplaySource::registry(&dataset));
+/// for frame in ReplaySource::from_dataset(&dataset).frames() {
+///     engine.ingest_frame(frame);
+/// }
+/// let report = engine.shutdown();
+/// for d in &report.decisions {
+///     println!("{}: {:?} (decided after {:?} reports)", d.source, d.verdict, d.decided_at);
+/// }
+/// ```
 pub struct Engine {
     cfg: EngineConfig,
     senders: Vec<SyncSender<CapturedReport>>,
@@ -197,11 +234,12 @@ impl Engine {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         assert!(cfg.max_batch > 0, "batch size must be positive");
-        // Validate the window eagerly on the caller thread: failing here
-        // beats panicking later inside a worker while it holds a shard
-        // lock (which would poison it).
-        drop(DecisionWindow::new(cfg.window));
+        // Build (and thereby validate) the decision policy eagerly on
+        // the caller thread: failing here beats panicking later inside a
+        // worker while it holds a shard lock (which would poison it).
+        let policy: Arc<dyn DecisionPolicy> = cfg.decision.build(cfg.window, cfg.policy);
         let telemetry = Arc::new(Telemetry::default());
+        let _ = telemetry.policy.set(policy.name());
         let state: Vec<ShardState> = (0..cfg.workers)
             .map(|_| Arc::new(Mutex::new(HashMap::new())))
             .collect();
@@ -228,7 +266,8 @@ impl Engine {
                 state: Arc::clone(shard_state),
                 in_flight: Arc::clone(&in_flight),
                 expected_shape: Arc::clone(&expected_shape),
-                window: cfg.window,
+                policy: Arc::clone(&policy),
+                registry: Arc::clone(&registry),
                 max_batch: cfg.max_batch,
                 linger: cfg.batch_linger,
             };
@@ -359,17 +398,15 @@ impl Engine {
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             for (mac, dev) in state.iter() {
-                let decision = dev.window.decision();
+                let decision = dev.state.decision();
                 have.insert(*mac);
                 seen.push(DeviceDecision {
                     source: *mac,
                     decision,
-                    verdict: Verdict::evaluate(
-                        &self.registry,
-                        self.cfg.policy,
-                        *mac,
-                        decision.as_ref(),
-                    ),
+                    verdict: dev
+                        .state
+                        .verdict(self.registry.expected(*mac).map(|d| d.0 as usize)),
+                    decided_at: dev.decided_at,
                 });
             }
         }
@@ -381,6 +418,7 @@ impl Engine {
                     source: mac,
                     decision: None,
                     verdict: Verdict::Unknown,
+                    decided_at: None,
                 });
             }
         }
@@ -434,7 +472,11 @@ struct WorkerCtx {
     /// other shape are rejected instead of poisoning a batch. Never set
     /// from observed traffic.
     expected_shape: Arc<OnceLock<Vec<usize>>>,
-    window: WindowConfig,
+    /// Per-device state factory for the engine's decision policy.
+    policy: Arc<dyn DecisionPolicy>,
+    /// Expected identities, for spotting each stream's first decisive
+    /// verdict as reports land (reports-to-verdict telemetry).
+    registry: Arc<DeviceRegistry>,
     max_batch: usize,
     linger: Duration,
 }
@@ -569,13 +611,22 @@ impl WorkerCtx {
             for (report, logits) in group.reports.iter().zip(outputs.iter()) {
                 let module = logits.argmax();
                 let confidence = softmax_peak(logits.as_slice());
-                state
-                    .entry(report.source)
-                    .or_insert_with(|| DeviceState {
-                        window: DecisionWindow::new(self.window),
-                    })
-                    .window
-                    .push(module, confidence);
+                let dev = state.entry(report.source).or_insert_with(|| DeviceState {
+                    state: self.policy.new_state(),
+                    decided_at: None,
+                });
+                dev.state.push(module, confidence);
+                // Catch the stream's first decisive verdict the moment
+                // it happens — the reports-to-verdict distribution is
+                // the policy's decision latency.
+                if dev.decided_at.is_none() {
+                    let expected = self.registry.expected(report.source).map(|d| d.0 as usize);
+                    if dev.state.verdict(expected) != Verdict::Unknown {
+                        let n = dev.state.decision().map_or(0, |d| d.observations);
+                        dev.decided_at = Some(n);
+                        self.telemetry.record_verdict(n);
+                    }
+                }
             }
             drop(state);
             accounted.set(accounted.get() + group.reports.len() as u64);

@@ -17,13 +17,18 @@
 //!   batches and classify them with one
 //!   [`deepcsi_nn::Network::forward_batch`] call, so one pass of every
 //!   weight matrix serves the whole batch.
-//! * **Windowed decisions** — per-report predictions smooth into a
-//!   per-device sliding window ([`DecisionWindow`]): majority vote plus
-//!   a confidence EMA.
+//! * **Decision policies** — per-report predictions feed one
+//!   [`PolicyState`] per device, built by a pluggable
+//!   [`DecisionPolicy`]: [`FixedMajority`] (sliding-window majority +
+//!   confidence EMA, the default), [`ConfidenceWeighted`]
+//!   (confidence-weighted votes with posterior-mass early exit) or
+//!   [`AdaptiveThreshold`] (per-device accept floors learned from each
+//!   stream's own confidence distribution).
 //! * **Registry + telemetry** — [`DeviceRegistry`] holds each stream's
-//!   expected identity and yields [`Verdict::Accept`] /
+//!   expected identity and the policy yields [`Verdict::Accept`] /
 //!   [`Verdict::Reject`] / [`Verdict::Unknown`]; [`Telemetry`] tracks
-//!   ingest/decode/drop counts and micro-batch latency (p50/p99).
+//!   ingest/decode/drop counts, micro-batch latency (p50/p99) and the
+//!   policy's reports-to-verdict distribution.
 //!
 //! Frames can come from memory ([`ReplaySource`]) or from capture files
 //! via `deepcsi_capture`: [`Engine::ingest_available`] pulls from any
@@ -64,6 +69,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod policy;
 mod registry;
 mod replay;
 mod telemetry;
@@ -72,7 +78,12 @@ mod window;
 pub use engine::{
     Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport, IngestOutcome, SourceStatus,
 };
+pub use policy::{
+    AdaptiveParams, AdaptiveThreshold, AdaptiveThresholdState, ConfidenceWeighted,
+    ConfidenceWeightedState, DecisionPolicy, DecisionPolicyConfig, FixedMajority,
+    FixedMajorityState, PolicyKind, PolicyState,
+};
 pub use registry::{DeviceRegistry, Verdict, VerdictPolicy};
 pub use replay::ReplaySource;
-pub use telemetry::{EngineStats, LatencyHistogram, Telemetry};
+pub use telemetry::{EngineStats, LatencyHistogram, ReportCountHistogram, Telemetry};
 pub use window::{DecisionWindow, WindowConfig, WindowedDecision};

@@ -1,0 +1,988 @@
+//! Pluggable decision policies: how per-report classifications become
+//! per-device verdicts.
+//!
+//! DeepCSI's Fig. 15 stream-1-only study shows per-stream report quality
+//! varies widely, so one fixed smoothing window is the wrong shape for
+//! every device at once: clean streams wait longer than they need to,
+//! and noisy impostors get the same benefit of the doubt as stable
+//! registrants. A [`DecisionPolicy`] makes the verdict logic a seam —
+//! the engine instantiates one [`PolicyState`] per device stream and
+//! feeds it `(module, confidence)` pairs; the state answers with a
+//! [`WindowedDecision`] and a [`Verdict`] whenever asked.
+//!
+//! Three policies ship:
+//!
+//! * [`FixedMajority`] — the classic fixed-length majority window.
+//!   This is the default and is *verdict-identical* to the pre-policy
+//!   engine: same window, same [`VerdictPolicy`] gates, same
+//!   tie-breaks.
+//! * [`ConfidenceWeighted`] — votes are weighted by per-report
+//!   classifier confidence and the policy early-exits the moment one
+//!   module holds a configurable share of the posterior mass. Clean
+//!   streams decide in a handful of reports instead of a full
+//!   `min_observations` wait.
+//! * [`AdaptiveThreshold`] — per-device accept thresholds learned
+//!   online from each device's own confidence distribution during a
+//!   calibration warm-up. A stream whose confidence later falls below
+//!   its own learned floor is flagged even when the majority module
+//!   still matches — the impersonation case a pure majority vote
+//!   cannot see. Thresholds only ratchet *tighter* online (upward
+//!   drift re-calibrates; downward drift is treated as suspicion, never
+//!   as a reason to loosen).
+//!
+//! ```
+//! use deepcsi_serve::{
+//!     DecisionPolicy, FixedMajority, Verdict, VerdictPolicy, WindowConfig,
+//! };
+//!
+//! let policy = FixedMajority::new(WindowConfig::default(), VerdictPolicy::default());
+//! let mut device = policy.new_state();
+//! for _ in 0..12 {
+//!     device.push(3, 0.9); // module 3, 90 % classifier confidence
+//! }
+//! assert_eq!(device.verdict(Some(3)), Verdict::Accept);
+//! assert_eq!(device.verdict(Some(7)), Verdict::Reject);
+//! assert_eq!(device.verdict(None), Verdict::Unknown); // unregistered
+//! ```
+
+use crate::registry::{Verdict, VerdictPolicy};
+use crate::window::{DecisionWindow, WindowConfig, WindowedDecision};
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Which [`DecisionPolicy`] implementation an engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// Fixed-length majority window (the pre-policy engine behavior).
+    #[default]
+    FixedMajority,
+    /// Confidence-weighted votes with posterior-mass early exit.
+    ConfidenceWeighted,
+    /// Per-device thresholds learned from the stream's own confidence.
+    AdaptiveThreshold,
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fixed" | "fixed-majority" => Ok(PolicyKind::FixedMajority),
+            "confidence" | "confidence-weighted" => Ok(PolicyKind::ConfidenceWeighted),
+            "adaptive" | "adaptive-threshold" => Ok(PolicyKind::AdaptiveThreshold),
+            other => Err(format!(
+                "unknown policy {other:?} (expected fixed | confidence | adaptive)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PolicyKind::FixedMajority => "fixed",
+            PolicyKind::ConfidenceWeighted => "confidence",
+            PolicyKind::AdaptiveThreshold => "adaptive",
+        })
+    }
+}
+
+/// Construction knobs for every shipped policy, plus which one to build.
+///
+/// The engine combines this with its [`WindowConfig`] and
+/// [`VerdictPolicy`] (the smoothing and evidence gates every policy
+/// shares) in [`DecisionPolicyConfig::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionPolicyConfig {
+    /// Which implementation to build.
+    pub kind: PolicyKind,
+    /// [`ConfidenceWeighted`]: posterior mass one module must hold for a
+    /// verdict, in `(0.5, 1]`.
+    pub posterior_mass: f64,
+    /// [`ConfidenceWeighted`]: minimum total confidence weight before
+    /// any verdict (the early-exit floor — roughly "this many fully
+    /// confident reports").
+    pub min_weight: f64,
+    /// [`AdaptiveThreshold`]: calibration warm-up length in reports.
+    pub warmup: u64,
+    /// [`AdaptiveThreshold`]: accept threshold is
+    /// `mean − margin_sigmas · σ` of the calibrated confidence.
+    pub margin_sigmas: f64,
+    /// [`AdaptiveThreshold`]: floor on the calibrated σ, so a perfectly
+    /// stable stream still tolerates tiny confidence jitter.
+    pub min_sigma: f64,
+    /// [`AdaptiveThreshold`]: upward drift beyond
+    /// `mean + drift_sigmas · σ` re-enters calibration (thresholds only
+    /// ever tighten).
+    pub drift_sigmas: f64,
+}
+
+impl Default for DecisionPolicyConfig {
+    fn default() -> Self {
+        DecisionPolicyConfig {
+            kind: PolicyKind::default(),
+            posterior_mass: 0.9,
+            min_weight: 3.0,
+            warmup: 20,
+            margin_sigmas: 3.0,
+            min_sigma: 0.02,
+            drift_sigmas: 4.0,
+        }
+    }
+}
+
+impl DecisionPolicyConfig {
+    /// Builds the configured policy around the engine's shared window
+    /// and verdict parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (zero-length window, alpha outside
+    /// `(0, 1]`, posterior mass outside `(0.5, 1]`, non-positive
+    /// weights/warm-up), so a bad configuration fails on the caller
+    /// thread instead of inside a worker.
+    pub fn build(&self, window: WindowConfig, verdict: VerdictPolicy) -> Arc<dyn DecisionPolicy> {
+        match self.kind {
+            PolicyKind::FixedMajority => Arc::new(FixedMajority::new(window, verdict)),
+            PolicyKind::ConfidenceWeighted => Arc::new(ConfidenceWeighted::new(
+                window,
+                verdict,
+                self.posterior_mass,
+                self.min_weight,
+            )),
+            PolicyKind::AdaptiveThreshold => Arc::new(AdaptiveThreshold::new(
+                window,
+                verdict,
+                AdaptiveParams {
+                    warmup: self.warmup,
+                    margin_sigmas: self.margin_sigmas,
+                    min_sigma: self.min_sigma,
+                    drift_sigmas: self.drift_sigmas,
+                },
+            )),
+        }
+    }
+}
+
+/// A verdict strategy: a factory for per-device [`PolicyState`]s.
+///
+/// The engine holds one policy and creates one state per device stream
+/// (states never migrate between shards, so they need [`Send`] but not
+/// [`Sync`]).
+pub trait DecisionPolicy: Send + Sync + fmt::Debug {
+    /// Stable short name (used in telemetry and `BENCH_policy.json`
+    /// keys).
+    fn name(&self) -> &'static str;
+
+    /// Fresh evidence state for one device stream.
+    fn new_state(&self) -> Box<dyn PolicyState>;
+}
+
+/// The accumulated evidence of one device stream under one policy.
+pub trait PolicyState: Send + fmt::Debug {
+    /// Feeds one classified report: predicted module and classifier
+    /// confidence in `[0, 1]`.
+    fn push(&mut self, module: usize, confidence: f64);
+
+    /// The current smoothed decision; `None` before the first report
+    /// (mirroring [`DecisionWindow::decision`]).
+    fn decision(&self) -> Option<WindowedDecision>;
+
+    /// The verdict given the registry's expected module for this stream
+    /// (`None` when the source is unregistered, which is always
+    /// [`Verdict::Unknown`]).
+    fn verdict(&self, expected: Option<usize>) -> Verdict;
+}
+
+// ---------------------------------------------------------------------------
+// FixedMajority
+// ---------------------------------------------------------------------------
+
+/// The fixed-length majority window — the engine's default policy and
+/// the exact pre-policy behavior: a [`DecisionWindow`] smoothed stream
+/// gated by a [`VerdictPolicy`].
+///
+/// ```
+/// use deepcsi_serve::{DecisionPolicy, FixedMajority, Verdict, VerdictPolicy, WindowConfig};
+///
+/// let policy = FixedMajority::new(WindowConfig::default(), VerdictPolicy::default());
+/// let mut s = policy.new_state();
+/// s.push(1, 0.8);
+/// // One report is far below `min_observations`.
+/// assert_eq!(s.verdict(Some(1)), Verdict::Unknown);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FixedMajority {
+    window: WindowConfig,
+    verdict: VerdictPolicy,
+}
+
+impl FixedMajority {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid window configuration.
+    pub fn new(window: WindowConfig, verdict: VerdictPolicy) -> Self {
+        // Validate eagerly: every state construction would panic anyway,
+        // but failing here beats failing inside a worker thread.
+        drop(DecisionWindow::new(window));
+        FixedMajority { window, verdict }
+    }
+}
+
+impl FixedMajority {
+    /// A fresh concrete state (the trait-object-free form of
+    /// [`DecisionPolicy::new_state`]).
+    pub fn state(&self) -> FixedMajorityState {
+        FixedMajorityState {
+            window: DecisionWindow::new(self.window),
+            verdict: self.verdict,
+        }
+    }
+}
+
+impl DecisionPolicy for FixedMajority {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn new_state(&self) -> Box<dyn PolicyState> {
+        Box::new(self.state())
+    }
+}
+
+/// Per-device state of [`FixedMajority`].
+#[derive(Debug, Clone)]
+pub struct FixedMajorityState {
+    window: DecisionWindow,
+    verdict: VerdictPolicy,
+}
+
+impl PolicyState for FixedMajorityState {
+    fn push(&mut self, module: usize, confidence: f64) {
+        self.window.push(module, confidence);
+    }
+
+    fn decision(&self) -> Option<WindowedDecision> {
+        self.window.decision()
+    }
+
+    fn verdict(&self, expected: Option<usize>) -> Verdict {
+        let Some(expected) = expected else {
+            return Verdict::Unknown;
+        };
+        match self.window.decision() {
+            Some(d) => Verdict::from_decision(self.verdict, expected, &d),
+            None => Verdict::Unknown,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ConfidenceWeighted
+// ---------------------------------------------------------------------------
+
+/// Confidence-weighted voting with posterior-mass early exit.
+///
+/// Each report votes with weight equal to its classifier confidence; the
+/// stream decides as soon as one module holds at least `posterior_mass`
+/// of the total weight **and** the total weight clears `min_weight` —
+/// so a clean stream of ~0.9-confidence reports reaches a verdict in
+/// about `min_weight / 0.9` reports instead of waiting out a fixed
+/// `min_observations` count. Noisy streams accumulate split weight and
+/// simply keep waiting, exactly like an unstable majority.
+///
+/// ```
+/// use deepcsi_serve::{ConfidenceWeighted, DecisionPolicy, Verdict, VerdictPolicy, WindowConfig};
+///
+/// let policy = ConfidenceWeighted::new(
+///     WindowConfig::default(),
+///     VerdictPolicy::default(),
+///     0.9, // posterior mass required for a verdict
+///     3.0, // minimum total confidence weight
+/// );
+/// let mut s = policy.new_state();
+/// for _ in 0..4 {
+///     s.push(2, 0.95);
+/// }
+/// // Four confident agreeing reports: decided, far before a fixed
+/// // 10-observation gate would open.
+/// assert_eq!(s.verdict(Some(2)), Verdict::Accept);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ConfidenceWeighted {
+    window: WindowConfig,
+    verdict: VerdictPolicy,
+    posterior_mass: f64,
+    min_weight: f64,
+}
+
+impl ConfidenceWeighted {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid window, a posterior mass outside
+    /// `(0.5, 1]` (at most one module can hold a majority of the mass)
+    /// or a non-positive minimum weight.
+    pub fn new(
+        window: WindowConfig,
+        verdict: VerdictPolicy,
+        posterior_mass: f64,
+        min_weight: f64,
+    ) -> Self {
+        drop(DecisionWindow::new(window));
+        assert!(
+            posterior_mass > 0.5 && posterior_mass <= 1.0,
+            "posterior_mass must be in (0.5, 1]"
+        );
+        assert!(min_weight > 0.0, "min_weight must be positive");
+        ConfidenceWeighted {
+            window,
+            verdict,
+            posterior_mass,
+            min_weight,
+        }
+    }
+}
+
+impl ConfidenceWeighted {
+    /// A fresh concrete state (the trait-object-free form of
+    /// [`DecisionPolicy::new_state`]).
+    pub fn state(&self) -> ConfidenceWeightedState {
+        ConfidenceWeightedState {
+            cfg: *self,
+            votes: VecDeque::with_capacity(self.window.len),
+            weights: Vec::new(),
+            ema: None,
+            observations: 0,
+        }
+    }
+}
+
+impl DecisionPolicy for ConfidenceWeighted {
+    fn name(&self) -> &'static str {
+        "confidence"
+    }
+
+    fn new_state(&self) -> Box<dyn PolicyState> {
+        Box::new(self.state())
+    }
+}
+
+/// A zero-confidence report still occupies a window slot; this floor
+/// keeps the weighted argmax well-defined without letting such a report
+/// meaningfully sway the posterior.
+const MIN_VOTE_WEIGHT: f64 = 1e-9;
+
+/// Per-device state of [`ConfidenceWeighted`].
+#[derive(Debug, Clone)]
+pub struct ConfidenceWeightedState {
+    cfg: ConfidenceWeighted,
+    votes: VecDeque<(usize, f64)>,
+    /// Summed confidence weight per module over the live window.
+    weights: Vec<f64>,
+    ema: Option<f64>,
+    observations: u64,
+}
+
+impl ConfidenceWeightedState {
+    /// `(leading module, its posterior mass, total weight)` over the
+    /// window; `None` before the first report. Ties resolve to the
+    /// smaller module id, like [`DecisionWindow`].
+    fn posterior(&self) -> Option<(usize, f64, f64)> {
+        if self.votes.is_empty() {
+            return None;
+        }
+        let (module, &weight) = self
+            .weights
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).expect("finite").then(ib.cmp(ia)))
+            .expect("weights non-empty");
+        let total: f64 = self.weights.iter().sum();
+        Some((module, weight / total, total))
+    }
+}
+
+impl PolicyState for ConfidenceWeightedState {
+    fn push(&mut self, module: usize, confidence: f64) {
+        let weight = confidence.max(MIN_VOTE_WEIGHT);
+        if module >= self.weights.len() {
+            self.weights.resize(module + 1, 0.0);
+        }
+        if self.votes.len() == self.cfg.window.len {
+            let (expired, w) = self.votes.pop_front().expect("window non-empty");
+            // Clamp at zero: summed floats can drift a hair negative.
+            self.weights[expired] = (self.weights[expired] - w).max(0.0);
+        }
+        self.votes.push_back((module, weight));
+        self.weights[module] += weight;
+        self.ema = Some(match self.ema {
+            None => confidence,
+            Some(prev) => prev + self.cfg.window.ema_alpha * (confidence - prev),
+        });
+        self.observations += 1;
+    }
+
+    fn decision(&self) -> Option<WindowedDecision> {
+        let (module, mass, _) = self.posterior()?;
+        Some(WindowedDecision {
+            module,
+            // The weighted analogue of the vote fraction: the leading
+            // module's share of the window's confidence mass, in (0, 1].
+            vote_fraction: mass,
+            confidence_ema: self.ema.expect("set with first vote"),
+            observations: self.observations,
+        })
+    }
+
+    fn verdict(&self, expected: Option<usize>) -> Verdict {
+        let Some(expected) = expected else {
+            return Verdict::Unknown;
+        };
+        let Some((module, mass, total)) = self.posterior() else {
+            return Verdict::Unknown;
+        };
+        if total < self.cfg.min_weight {
+            return Verdict::Unknown;
+        }
+        // Two ways to a verdict:
+        //  * the early exit — one module concentrates `posterior_mass`
+        //    of the window's confidence, no matter how young the stream;
+        //  * the fallback — the stream has served the same observation
+        //    count the fixed policy demands and clears its (weighted)
+        //    majority floor, so a stream the fixed window would decide
+        //    is never left hanging just because its posterior is spread.
+        let early = mass >= self.cfg.posterior_mass;
+        let fallback = self.observations >= self.cfg.verdict.min_observations
+            && mass >= self.cfg.verdict.min_vote_fraction;
+        if !early && !fallback {
+            return Verdict::Unknown;
+        }
+        if module == expected {
+            Verdict::Accept
+        } else {
+            Verdict::Reject
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveThreshold
+// ---------------------------------------------------------------------------
+
+/// Internal knobs of [`AdaptiveThreshold`] (see
+/// [`DecisionPolicyConfig`] for the user-facing fields).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveParams {
+    /// Calibration warm-up length in reports.
+    pub warmup: u64,
+    /// Accept threshold is `mean − margin_sigmas · σ`.
+    pub margin_sigmas: f64,
+    /// Floor on the calibrated σ.
+    pub min_sigma: f64,
+    /// Upward drift beyond `mean + drift_sigmas · σ` re-calibrates.
+    pub drift_sigmas: f64,
+}
+
+/// Per-device accept thresholds learned online from each stream's own
+/// confidence distribution.
+///
+/// The first `warmup` reports calibrate a per-device profile of the
+/// *smoothed* confidence track (mean and σ of the EMA, via Welford's
+/// method); after that the stream must keep its confidence EMA above
+/// `mean − margin_sigmas · σ` to stay accepted. A
+/// majority-matching stream whose confidence collapses —
+/// the low-quality impersonation a fixed majority vote happily accepts —
+/// is flagged as [`Verdict::Reject`].
+///
+/// Drift handling is deliberately asymmetric: confidence drifting
+/// *above* the calibrated band re-enters calibration (the channel got
+/// cleaner; the threshold may ratchet up), while confidence drifting
+/// *below* is exactly the anomaly the policy exists to flag, so it
+/// never loosens the threshold. Loosening requires re-registering the
+/// device, which resets the state.
+///
+/// ```
+/// use deepcsi_serve::{
+///     AdaptiveParams, AdaptiveThreshold, DecisionPolicy, Verdict, VerdictPolicy, WindowConfig,
+/// };
+///
+/// let policy = AdaptiveThreshold::new(
+///     WindowConfig::default(),
+///     VerdictPolicy::default(),
+///     AdaptiveParams {
+///         warmup: 10,
+///         margin_sigmas: 3.0,
+///         min_sigma: 0.02,
+///         drift_sigmas: 4.0,
+///     },
+/// );
+/// let mut s = policy.new_state();
+/// for _ in 0..10 {
+///     s.push(0, 0.95); // calibration: this device reports at ~0.95
+/// }
+/// assert_eq!(s.verdict(Some(0)), Verdict::Accept);
+/// // An impostor presenting the *right* module at the wrong confidence:
+/// for _ in 0..25 {
+///     s.push(0, 0.55);
+/// }
+/// assert_eq!(s.verdict(Some(0)), Verdict::Reject); // flagged
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveThreshold {
+    window: WindowConfig,
+    verdict: VerdictPolicy,
+    params: AdaptiveParams,
+}
+
+impl AdaptiveThreshold {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid window, a zero warm-up, or non-positive
+    /// margins.
+    pub fn new(window: WindowConfig, verdict: VerdictPolicy, params: AdaptiveParams) -> Self {
+        drop(DecisionWindow::new(window));
+        assert!(params.warmup > 0, "warmup must be positive");
+        assert!(params.margin_sigmas > 0.0, "margin_sigmas must be positive");
+        assert!(params.min_sigma > 0.0, "min_sigma must be positive");
+        assert!(params.drift_sigmas > 0.0, "drift_sigmas must be positive");
+        AdaptiveThreshold {
+            window,
+            verdict,
+            params,
+        }
+    }
+}
+
+impl AdaptiveThreshold {
+    /// A fresh concrete state (the trait-object-free form of
+    /// [`DecisionPolicy::new_state`]), exposing
+    /// [`AdaptiveThresholdState::threshold`] for inspection.
+    pub fn state(&self) -> AdaptiveThresholdState {
+        AdaptiveThresholdState {
+            cfg: *self,
+            window: DecisionWindow::new(self.window),
+            calib: Welford::default(),
+            profile: None,
+            threshold: None,
+        }
+    }
+}
+
+impl DecisionPolicy for AdaptiveThreshold {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn new_state(&self) -> Box<dyn PolicyState> {
+        Box::new(self.state())
+    }
+}
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn sigma(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// Per-device state of [`AdaptiveThreshold`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveThresholdState {
+    cfg: AdaptiveThreshold,
+    window: DecisionWindow,
+    /// The in-progress calibration (initial warm-up or a drift
+    /// re-calibration).
+    calib: Welford,
+    /// The last completed calibration: `(mean, sigma)`.
+    profile: Option<(f64, f64)>,
+    /// The learned accept floor; only ever ratchets upward.
+    threshold: Option<f64>,
+}
+
+impl AdaptiveThresholdState {
+    /// The learned accept threshold, once calibration has completed.
+    pub fn threshold(&self) -> Option<f64> {
+        self.threshold
+    }
+
+    /// `true` while a (re-)calibration warm-up is collecting reports.
+    pub fn calibrating(&self) -> bool {
+        self.calib.count < self.cfg.params.warmup
+    }
+
+    fn finish_calibration(&mut self) {
+        let sigma = self.calib.sigma().max(self.cfg.params.min_sigma);
+        let mean = self.calib.mean;
+        let candidate = (mean - self.cfg.params.margin_sigmas * sigma).max(0.0);
+        // Ratchet: re-calibration may tighten the floor, never loosen it.
+        self.threshold = Some(match self.threshold {
+            None => candidate,
+            Some(old) => old.max(candidate),
+        });
+        self.profile = Some((mean, sigma));
+    }
+}
+
+impl PolicyState for AdaptiveThresholdState {
+    fn push(&mut self, module: usize, confidence: f64) {
+        self.window.push(module, confidence);
+        // Calibrate on the *smoothed* confidence track — the same EMA
+        // the verdict later compares against the threshold, so the
+        // learned band has the statistics of the quantity it gates
+        // (per-report confidence is far noisier than its EMA).
+        let ema = self
+            .window
+            .decision()
+            .map(|d| d.confidence_ema)
+            .unwrap_or(confidence);
+        if self.calibrating() {
+            self.calib.add(ema);
+            if !self.calibrating() {
+                self.finish_calibration();
+            }
+            return;
+        }
+        // Calibrated: watch for *upward* drift only. A cleaner channel
+        // re-calibrates (and can only tighten the floor); a degrading
+        // one is the anomaly the verdict below flags.
+        if let Some((mean, sigma)) = self.profile {
+            if ema > mean + self.cfg.params.drift_sigmas * sigma {
+                self.calib = Welford::default();
+                self.calib.add(ema);
+            }
+        }
+    }
+
+    fn decision(&self) -> Option<WindowedDecision> {
+        self.window.decision()
+    }
+
+    fn verdict(&self, expected: Option<usize>) -> Verdict {
+        let Some(expected) = expected else {
+            return Verdict::Unknown;
+        };
+        let Some(d) = self.window.decision() else {
+            return Verdict::Unknown;
+        };
+        // The shared majority gates come first: a confidently
+        // mismatching majority is an impersonation regardless of
+        // calibration progress, and thin evidence stays Unknown.
+        let base = Verdict::from_decision(self.cfg.verdict, expected, &d);
+        if base != Verdict::Accept {
+            return base;
+        }
+        let Some(threshold) = self.threshold else {
+            // Matching majority, still calibrating: no verdict yet.
+            return Verdict::Unknown;
+        };
+        if d.confidence_ema >= threshold {
+            Verdict::Accept
+        } else {
+            // The right module at the wrong confidence: flagged.
+            Verdict::Reject
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> WindowConfig {
+        WindowConfig {
+            len: 25,
+            ema_alpha: 0.2,
+        }
+    }
+
+    fn gates() -> VerdictPolicy {
+        VerdictPolicy {
+            min_observations: 10,
+            min_vote_fraction: 0.6,
+        }
+    }
+
+    #[test]
+    fn policy_kind_parses_and_displays() {
+        for (s, k) in [
+            ("fixed", PolicyKind::FixedMajority),
+            ("confidence", PolicyKind::ConfidenceWeighted),
+            ("adaptive", PolicyKind::AdaptiveThreshold),
+        ] {
+            assert_eq!(s.parse::<PolicyKind>().unwrap(), k);
+            assert_eq!(k.to_string(), s);
+        }
+        assert!("bogus".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn config_builds_every_kind() {
+        for kind in [
+            PolicyKind::FixedMajority,
+            PolicyKind::ConfidenceWeighted,
+            PolicyKind::AdaptiveThreshold,
+        ] {
+            let cfg = DecisionPolicyConfig {
+                kind,
+                ..DecisionPolicyConfig::default()
+            };
+            let policy = cfg.build(window(), gates());
+            assert_eq!(policy.name(), kind.to_string());
+            let mut s = policy.new_state();
+            assert!(s.decision().is_none(), "{kind}: fresh state has decided");
+            assert_eq!(s.verdict(Some(0)), Verdict::Unknown);
+            s.push(0, 0.9);
+            assert!(s.decision().is_some(), "{kind}: one push yields a decision");
+        }
+    }
+
+    #[test]
+    fn unregistered_is_unknown_under_every_policy() {
+        for kind in [
+            PolicyKind::FixedMajority,
+            PolicyKind::ConfidenceWeighted,
+            PolicyKind::AdaptiveThreshold,
+        ] {
+            let policy = DecisionPolicyConfig {
+                kind,
+                ..DecisionPolicyConfig::default()
+            }
+            .build(window(), gates());
+            let mut s = policy.new_state();
+            for _ in 0..50 {
+                s.push(1, 0.95);
+            }
+            assert_eq!(s.verdict(None), Verdict::Unknown, "{kind}");
+        }
+    }
+
+    #[test]
+    fn fixed_majority_replicates_legacy_verdicts() {
+        use crate::registry::DeviceRegistry;
+        use deepcsi_frame::MacAddr;
+        use deepcsi_impair::DeviceId;
+
+        // Pseudo-random (module, confidence) streams: the policy state's
+        // verdict must equal the legacy registry evaluation at every
+        // step.
+        let policy = FixedMajority::new(window(), gates());
+        let mut reg = DeviceRegistry::new();
+        let mac = MacAddr::station(9);
+        reg.register(mac, DeviceId(2));
+        for seed in 0..7u64 {
+            let mut s = policy.new_state();
+            let mut legacy = DecisionWindow::new(window());
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for _ in 0..60 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let module = (x >> 33) as usize % 4;
+                let confidence = ((x >> 11) % 1000) as f64 / 1000.0;
+                s.push(module, confidence);
+                legacy.push(module, confidence);
+                let want = Verdict::evaluate(&reg, gates(), mac, legacy.decision().as_ref());
+                assert_eq!(s.verdict(Some(2)), want);
+                assert_eq!(s.decision(), legacy.decision());
+            }
+        }
+    }
+
+    #[test]
+    fn confidence_weighted_early_exits_on_clean_streams() {
+        let policy = ConfidenceWeighted::new(window(), gates(), 0.9, 3.0);
+        let mut s = policy.new_state();
+        let mut decided_at = None;
+        for n in 1..=20u64 {
+            s.push(3, 0.92);
+            if decided_at.is_none() && s.verdict(Some(3)) != Verdict::Unknown {
+                decided_at = Some(n);
+            }
+        }
+        let decided_at = decided_at.expect("clean stream must decide");
+        assert!(
+            decided_at <= gates().min_observations / 2,
+            "decided at {decided_at}, not an early exit"
+        );
+        assert_eq!(s.verdict(Some(3)), Verdict::Accept);
+        assert_eq!(s.verdict(Some(1)), Verdict::Reject);
+    }
+
+    #[test]
+    fn confidence_weighted_waits_on_split_streams() {
+        let policy = ConfidenceWeighted::new(window(), gates(), 0.9, 3.0);
+        let mut s = policy.new_state();
+        for k in 0..40 {
+            s.push(k % 2, 0.9); // perfectly split posterior
+        }
+        assert_eq!(s.verdict(Some(0)), Verdict::Unknown);
+    }
+
+    #[test]
+    fn confidence_weighted_discounts_low_confidence_votes() {
+        let policy = ConfidenceWeighted::new(window(), gates(), 0.8, 1.0);
+        let mut s = policy.new_state();
+        // Three guesses at module 1 with almost no confidence, one
+        // confident report for module 0: weight, not count, wins.
+        for _ in 0..3 {
+            s.push(1, 0.05);
+        }
+        s.push(0, 0.95);
+        let d = s.decision().unwrap();
+        assert_eq!(d.module, 0);
+        assert!(d.vote_fraction > 0.8, "posterior {}", d.vote_fraction);
+    }
+
+    #[test]
+    fn confidence_weighted_survives_zero_confidence() {
+        let policy = ConfidenceWeighted::new(window(), gates(), 0.9, 3.0);
+        let mut s = policy.new_state();
+        for _ in 0..30 {
+            s.push(0, 0.0);
+        }
+        let d = s.decision().unwrap();
+        assert_eq!(d.module, 0);
+        assert!(d.vote_fraction > 0.0 && d.vote_fraction <= 1.0);
+        // Total weight never clears min_weight → no verdict.
+        assert_eq!(s.verdict(Some(0)), Verdict::Unknown);
+    }
+
+    #[test]
+    fn adaptive_flags_confidence_collapse_on_matching_module() {
+        let params = AdaptiveParams {
+            warmup: 10,
+            margin_sigmas: 3.0,
+            min_sigma: 0.02,
+            drift_sigmas: 4.0,
+        };
+        let policy = AdaptiveThreshold::new(window(), gates(), params);
+        let mut s = policy.new_state();
+        for _ in 0..15 {
+            s.push(0, 0.95);
+        }
+        assert_eq!(s.verdict(Some(0)), Verdict::Accept);
+        // Same module, collapsed confidence: a fixed majority would keep
+        // accepting; the adaptive floor flags it.
+        for _ in 0..25 {
+            s.push(0, 0.55);
+        }
+        assert_eq!(s.verdict(Some(0)), Verdict::Reject);
+    }
+
+    #[test]
+    fn adaptive_rejects_mismatching_majority_even_during_warmup() {
+        let params = AdaptiveParams {
+            warmup: 100, // far beyond the pushes below
+            margin_sigmas: 3.0,
+            min_sigma: 0.02,
+            drift_sigmas: 4.0,
+        };
+        let policy = AdaptiveThreshold::new(window(), gates(), params);
+        let mut s = policy.new_state();
+        for _ in 0..20 {
+            s.push(5, 0.9);
+        }
+        assert_eq!(s.verdict(Some(0)), Verdict::Reject);
+        // …while a *matching* majority mid-warm-up stays Unknown.
+        let mut s = policy.new_state();
+        for _ in 0..20 {
+            s.push(0, 0.9);
+        }
+        assert_eq!(s.verdict(Some(0)), Verdict::Unknown);
+    }
+
+    #[test]
+    fn adaptive_threshold_only_ratchets_tighter() {
+        let params = AdaptiveParams {
+            warmup: 10,
+            margin_sigmas: 2.0,
+            min_sigma: 0.02,
+            drift_sigmas: 2.0,
+        };
+        let mut s = AdaptiveThreshold::new(window(), gates(), params).state();
+        for _ in 0..10 {
+            s.push(0, 0.7);
+        }
+        let first = s.threshold().expect("calibrated");
+        // The channel gets much cleaner: upward drift re-calibrates…
+        for _ in 0..60 {
+            s.push(0, 0.97);
+        }
+        let second = s.threshold().expect("still calibrated");
+        assert!(
+            second > first,
+            "upward drift should tighten the floor ({first} → {second})"
+        );
+        // …but a later confidence collapse can never loosen it back.
+        for _ in 0..60 {
+            s.push(0, 0.5);
+        }
+        assert!(s.threshold().unwrap() >= second);
+        assert_eq!(s.verdict(Some(0)), Verdict::Reject);
+    }
+
+    #[test]
+    fn reregistration_reuses_stream_evidence_against_the_new_identity() {
+        // The registry owns the MAC → module mapping; policy state only
+        // knows the stream. Re-registering a source to a new module must
+        // immediately re-evaluate the same evidence against the new
+        // expectation — here flipping Accept to Reject without any new
+        // reports.
+        let policy = FixedMajority::new(window(), gates());
+        let mut s = policy.new_state();
+        for _ in 0..15 {
+            s.push(4, 0.9);
+        }
+        assert_eq!(s.verdict(Some(4)), Verdict::Accept);
+        assert_eq!(s.verdict(Some(6)), Verdict::Reject);
+        // The evidence itself is unchanged.
+        assert_eq!(s.decision().unwrap().observations, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "posterior_mass")]
+    fn posterior_mass_below_majority_panics() {
+        let _ = ConfidenceWeighted::new(window(), gates(), 0.4, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn zero_warmup_panics() {
+        let _ = AdaptiveThreshold::new(
+            window(),
+            gates(),
+            AdaptiveParams {
+                warmup: 0,
+                margin_sigmas: 3.0,
+                min_sigma: 0.02,
+                drift_sigmas: 4.0,
+            },
+        );
+    }
+}

@@ -7,6 +7,23 @@ use deepcsi_impair::DeviceId;
 use std::collections::HashMap;
 
 /// Expected module identity per registered source address.
+///
+/// ```
+/// use deepcsi_frame::MacAddr;
+/// use deepcsi_impair::DeviceId;
+/// use deepcsi_serve::DeviceRegistry;
+///
+/// let mut reg = DeviceRegistry::new();
+/// reg.register(MacAddr::station(1), DeviceId(3));
+/// assert_eq!(reg.expected(MacAddr::station(1)), Some(DeviceId(3)));
+/// assert_eq!(reg.expected(MacAddr::station(2)), None);
+///
+/// // Re-registering overwrites: the stream keeps its evidence, but the
+/// // policy now evaluates it against the new identity.
+/// reg.register(MacAddr::station(1), DeviceId(7));
+/// assert_eq!(reg.expected(MacAddr::station(1)), Some(DeviceId(7)));
+/// assert_eq!(reg.len(), 1);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceRegistry {
     expected: HashMap<MacAddr, DeviceId>,
@@ -45,7 +62,16 @@ impl DeviceRegistry {
     }
 }
 
-/// The verdict policy: how much windowed evidence authentication needs.
+/// The evidence gates every decision policy shares: how much windowed
+/// evidence authentication needs before issuing anything but
+/// [`Verdict::Unknown`].
+///
+/// Under the default [`FixedMajority`](crate::FixedMajority) policy
+/// these are the *only* gates; [`ConfidenceWeighted`](crate::ConfidenceWeighted)
+/// keeps `min_vote_fraction` as a posterior floor and replaces the
+/// observation count with a confidence-weight gate, and
+/// [`AdaptiveThreshold`](crate::AdaptiveThreshold) layers a learned
+/// per-device confidence floor on top.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VerdictPolicy {
     /// Minimum reports observed before any verdict is issued.
@@ -79,6 +105,21 @@ pub enum Verdict {
 
 impl Verdict {
     /// Applies `policy` to a windowed decision for `mac`.
+    ///
+    /// This is the legacy fixed-majority evaluation — the behavior the
+    /// [`FixedMajority`](crate::FixedMajority) policy preserves exactly.
+    ///
+    /// ```
+    /// use deepcsi_frame::MacAddr;
+    /// use deepcsi_impair::DeviceId;
+    /// use deepcsi_serve::{DeviceRegistry, Verdict, VerdictPolicy};
+    ///
+    /// let mut reg = DeviceRegistry::new();
+    /// reg.register(MacAddr::station(1), DeviceId(0));
+    /// // No decision yet → Unknown.
+    /// let v = Verdict::evaluate(&reg, VerdictPolicy::default(), MacAddr::station(1), None);
+    /// assert_eq!(v, Verdict::Unknown);
+    /// ```
     pub fn evaluate(
         registry: &DeviceRegistry,
         policy: VerdictPolicy,
@@ -91,10 +132,17 @@ impl Verdict {
         let Some(d) = decision else {
             return Verdict::Unknown;
         };
+        Verdict::from_decision(policy, expected.0 as usize, d)
+    }
+
+    /// Applies `policy` to a decision whose expected module is already
+    /// resolved (the registry-free core of
+    /// [`evaluate`](Verdict::evaluate)).
+    pub fn from_decision(policy: VerdictPolicy, expected: usize, d: &WindowedDecision) -> Verdict {
         if d.observations < policy.min_observations || d.vote_fraction < policy.min_vote_fraction {
             return Verdict::Unknown;
         }
-        if d.module == expected.0 as usize {
+        if d.module == expected {
             Verdict::Accept
         } else {
             Verdict::Reject

@@ -17,6 +17,26 @@ const TS_STEP_NANOS: u64 = 1_000_000;
 /// An encoded multi-device capture: every trace of a dataset re-framed as
 /// VHT compressed beamforming reports and interleaved round-robin, the
 /// way a passive monitor would see concurrent streams.
+///
+/// ```
+/// use deepcsi_data::{generate_d1, GenConfig};
+/// use deepcsi_serve::ReplaySource;
+///
+/// let ds = generate_d1(&GenConfig {
+///     num_modules: 2,
+///     snapshots_per_trace: 3,
+///     ..GenConfig::default()
+/// });
+/// let replay = ReplaySource::from_dataset(&ds);
+/// // One frame per snapshot, one registry entry per distinct
+/// // (module, beamformee) stream.
+/// assert_eq!(replay.len(), ds.num_snapshots());
+/// let registry = ReplaySource::registry(&ds);
+/// assert!(!registry.is_empty() && registry.len() <= ds.traces.len());
+/// // Frames decode back into valid beamforming reports.
+/// let first = replay.frames().next().unwrap();
+/// assert!(deepcsi_frame::BeamformingReportFrame::parse(first).is_ok());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReplaySource {
     frames: Vec<Vec<u8>>,

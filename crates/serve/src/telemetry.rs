@@ -9,6 +9,7 @@
 use deepcsi_capture::CaptureCounters;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 const BUCKETS: usize = 48;
@@ -61,6 +62,63 @@ impl LatencyHistogram {
     }
 }
 
+/// Exact counts above this saturate into the last bucket; decision
+/// policies answer in tens of reports, so the interesting range is far
+/// below it.
+const MAX_TRACKED_REPORTS: usize = 1024;
+
+/// Lock-free exact histogram of small report counts — the
+/// reports-to-verdict ("decision latency in reports") distribution.
+///
+/// Counts `1 ..= 1024` are exact; anything larger saturates into the top
+/// bucket, so the p99 of a pathologically slow policy reads as
+/// "≥ 1024".
+#[derive(Debug)]
+pub struct ReportCountHistogram {
+    counts: Box<[AtomicU64]>,
+}
+
+impl Default for ReportCountHistogram {
+    fn default() -> Self {
+        ReportCountHistogram {
+            counts: (0..=MAX_TRACKED_REPORTS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+}
+
+impl ReportCountHistogram {
+    /// Records one reports-to-verdict observation.
+    pub fn record(&self, reports: u64) {
+        let idx = (reports as usize).min(MAX_TRACKED_REPORTS);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in reports, exact up to the
+    /// saturation bound; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (reports, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(reports as u64);
+            }
+        }
+        None
+    }
+}
+
 /// Shared atomic telemetry for one engine.
 #[derive(Debug, Default)]
 pub struct Telemetry {
@@ -81,6 +139,16 @@ pub struct Telemetry {
     pub batches: AtomicU64,
     /// Batch latency distribution (decode → decisions applied).
     pub batch_latency: LatencyHistogram,
+    /// Device streams whose verdict first left [`Verdict::Unknown`]
+    /// (per stream, once — re-registration aside).
+    ///
+    /// [`Verdict::Unknown`]: crate::Verdict::Unknown
+    pub verdicts_decided: AtomicU64,
+    /// Reports each stream needed before its first decisive verdict —
+    /// the decision-latency distribution of the active policy.
+    pub reports_to_verdict: ReportCountHistogram,
+    /// The active decision policy's name (set once at engine start).
+    pub policy: OnceLock<&'static str>,
     /// Capture-layer: container bytes read by the frame source.
     pub capture_bytes: AtomicU64,
     /// Capture-layer: packets decoded out of the container.
@@ -113,6 +181,13 @@ impl Telemetry {
         self.batch_latency.record(latency);
     }
 
+    /// Records a stream's first decisive verdict after `reports`
+    /// classified reports.
+    pub fn record_verdict(&self, reports: u64) {
+        self.verdicts_decided.fetch_add(1, Ordering::Relaxed);
+        self.reports_to_verdict.record(reports);
+    }
+
     /// A plain-data snapshot of every counter.
     pub fn snapshot(&self) -> EngineStats {
         let batches = self.batches.load(Ordering::Relaxed);
@@ -132,6 +207,10 @@ impl Telemetry {
             },
             batch_latency_p50: self.batch_latency.quantile(0.50),
             batch_latency_p99: self.batch_latency.quantile(0.99),
+            policy: self.policy.get().copied().unwrap_or(""),
+            verdicts_decided: self.verdicts_decided.load(Ordering::Relaxed),
+            reports_to_verdict_p50: self.reports_to_verdict.quantile(0.50),
+            reports_to_verdict_p99: self.reports_to_verdict.quantile(0.99),
             capture_bytes: self.capture_bytes.load(Ordering::Relaxed),
             capture_packets: self.capture_packets.load(Ordering::Relaxed),
             capture_skipped: self.capture_skipped.load(Ordering::Relaxed),
@@ -163,6 +242,15 @@ pub struct EngineStats {
     pub batch_latency_p50: Option<Duration>,
     /// 99th-percentile micro-batch latency.
     pub batch_latency_p99: Option<Duration>,
+    /// The active decision policy's name (empty when snapshotted from a
+    /// bare [`Telemetry`] outside an engine).
+    pub policy: &'static str,
+    /// Device streams that reached a decisive verdict.
+    pub verdicts_decided: u64,
+    /// Median reports a stream needed before its first decisive verdict.
+    pub reports_to_verdict_p50: Option<u64>,
+    /// 99th-percentile reports before the first decisive verdict.
+    pub reports_to_verdict_p99: Option<u64>,
     /// Capture-layer container bytes read (0 without a frame source).
     pub capture_bytes: u64,
     /// Capture-layer packets seen.
@@ -210,7 +298,7 @@ impl fmt::Display for EngineStats {
             "ingested {}  decode errors {}  enqueued {}  dropped {}  rejected {}",
             self.ingested, self.decode_errors, self.enqueued, self.dropped, self.rejected
         )?;
-        write!(
+        writeln!(
             f,
             "classified {}  batches {} (mean size {:.1})  batch latency p50 {} p99 {}",
             self.classified,
@@ -218,6 +306,18 @@ impl fmt::Display for EngineStats {
             self.mean_batch,
             fmt_latency(self.batch_latency_p50),
             fmt_latency(self.batch_latency_p99),
+        )?;
+        write!(
+            f,
+            "policy {}  verdicts decided {}  reports-to-verdict p50 {} p99 {}",
+            if self.policy.is_empty() {
+                "-"
+            } else {
+                self.policy
+            },
+            self.verdicts_decided,
+            fmt_reports(self.reports_to_verdict_p50),
+            fmt_reports(self.reports_to_verdict_p99),
         )
     }
 }
@@ -227,6 +327,13 @@ fn fmt_latency(d: Option<Duration>) -> String {
         None => "n/a".to_string(),
         Some(d) if d < Duration::from_millis(1) => format!("{:.0}µs", d.as_secs_f64() * 1e6),
         Some(d) => format!("{:.2}ms", d.as_secs_f64() * 1e3),
+    }
+}
+
+fn fmt_reports(n: Option<u64>) -> String {
+    match n {
+        None => "n/a".to_string(),
+        Some(n) => n.to_string(),
     }
 }
 
@@ -251,6 +358,44 @@ mod tests {
     fn empty_histogram_has_no_quantiles() {
         let h = LatencyHistogram::default();
         assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn report_count_histogram_is_exact_in_range() {
+        let h = ReportCountHistogram::default();
+        for n in [4u64, 4, 4, 10, 10, 40] {
+            h.record(n);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.quantile(0.5), Some(4));
+        assert_eq!(h.quantile(0.99), Some(40));
+        assert_eq!(h.quantile(1.0), Some(40));
+    }
+
+    #[test]
+    fn report_count_histogram_saturates_above_bound() {
+        let h = ReportCountHistogram::default();
+        h.record(5_000_000);
+        assert_eq!(h.quantile(0.5), Some(1024));
+    }
+
+    #[test]
+    fn empty_report_histogram_has_no_quantiles() {
+        assert_eq!(ReportCountHistogram::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn verdict_recording_feeds_the_snapshot() {
+        let t = Telemetry::default();
+        t.policy.set("fixed").unwrap();
+        t.record_verdict(10);
+        t.record_verdict(4);
+        let s = t.snapshot();
+        assert_eq!(s.policy, "fixed");
+        assert_eq!(s.verdicts_decided, 2);
+        assert_eq!(s.reports_to_verdict_p50, Some(4));
+        assert_eq!(s.reports_to_verdict_p99, Some(10));
+        assert!(format!("{s}").contains("reports-to-verdict"));
     }
 
     #[test]

@@ -5,16 +5,31 @@
 //! keeps the last `len` per-report predictions and produces a majority
 //! vote plus an exponentially-smoothed confidence, so a device's verdict
 //! reflects the stream, not the latest packet.
+//!
+//! The window is the evidence store behind the default
+//! [`FixedMajority`](crate::FixedMajority) policy and the
+//! [`AdaptiveThreshold`](crate::AdaptiveThreshold) majority track; the
+//! [`ConfidenceWeighted`](crate::ConfidenceWeighted) policy replaces it
+//! with a weighted variant.
 
 use std::collections::VecDeque;
 
 /// Sliding-window configuration.
+///
+/// ```
+/// use deepcsi_serve::WindowConfig;
+///
+/// let cfg = WindowConfig::default();
+/// assert_eq!(cfg.len, 25);
+/// assert!(cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowConfig {
     /// Number of most-recent reports that vote.
     pub len: usize,
     /// EMA coefficient for the confidence track (weight of the newest
-    /// observation, in `(0, 1]`).
+    /// observation, in `(0, 1]`). An alpha of exactly `1.0` disables
+    /// smoothing: the EMA is always the latest report's confidence.
     pub ema_alpha: f64,
 }
 
@@ -28,6 +43,20 @@ impl Default for WindowConfig {
 }
 
 /// The smoothed state of one device's report stream.
+///
+/// ```
+/// use deepcsi_serve::{DecisionWindow, WindowConfig};
+///
+/// let mut w = DecisionWindow::new(WindowConfig { len: 3, ema_alpha: 0.5 });
+/// assert!(w.decision().is_none()); // no reports yet
+/// for module in [7, 7, 2] {
+///     w.push(module, 0.9);
+/// }
+/// let d = w.decision().unwrap();
+/// assert_eq!(d.module, 7);
+/// assert!((d.vote_fraction - 2.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(d.observations, 3);
+/// ```
 #[derive(Debug, Clone)]
 pub struct DecisionWindow {
     cfg: WindowConfig,
@@ -43,7 +72,15 @@ pub struct WindowedDecision {
     /// Majority module id over the window (ties resolve to the smaller
     /// id, deterministically).
     pub module: usize,
-    /// Fraction of window votes agreeing with `module`, in `(0, 1]`.
+    /// The winning module's share of the window, in `(0, 1]`.
+    ///
+    /// Under a counted majority ([`DecisionWindow`]) this is the
+    /// fraction of window votes agreeing with `module`; the
+    /// [`ConfidenceWeighted`](crate::ConfidenceWeighted) policy reports
+    /// its share of the window's confidence *mass* here instead. Either
+    /// way the range is `(0, 1]` — a decision only exists once at least
+    /// one report voted, and the winner holds at least that vote —
+    /// which `serve/tests/proptests.rs` pins as a property.
     pub vote_fraction: f64,
     /// Exponential moving average of per-report classifier confidence.
     pub confidence_ema: f64,
@@ -91,7 +128,60 @@ impl DecisionWindow {
         self.observations += 1;
     }
 
-    /// The current decision; `None` before the first report.
+    /// Applies a new configuration in place, preserving as much of the
+    /// live evidence as the new window admits.
+    ///
+    /// Shrinking evicts the *oldest* votes (exactly as if they had
+    /// expired); growing keeps every current vote and simply allows more
+    /// before expiry resumes. The confidence EMA and the observation
+    /// count are untouched; the new alpha applies from the next
+    /// [`push`](DecisionWindow::push).
+    ///
+    /// ```
+    /// use deepcsi_serve::{DecisionWindow, WindowConfig};
+    ///
+    /// let mut w = DecisionWindow::new(WindowConfig { len: 5, ema_alpha: 0.5 });
+    /// for module in [9, 9, 9, 1, 1] {
+    ///     w.push(module, 0.9);
+    /// }
+    /// // Shrink to the 3 newest votes: [9, 1, 1] — the majority flips.
+    /// w.reconfigure(WindowConfig { len: 3, ema_alpha: 0.5 });
+    /// assert_eq!(w.len(), 3);
+    /// assert_eq!(w.decision().unwrap().module, 1);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration, like
+    /// [`new`](DecisionWindow::new).
+    pub fn reconfigure(&mut self, cfg: WindowConfig) {
+        assert!(cfg.len > 0, "window length must be positive");
+        assert!(
+            cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0,
+            "ema_alpha must be in (0, 1]"
+        );
+        while self.votes.len() > cfg.len {
+            let expired = self.votes.pop_front().expect("window non-empty");
+            self.counts[expired] -= 1;
+        }
+        self.cfg = cfg;
+    }
+
+    /// The current decision.
+    ///
+    /// Contract: returns `None` if and only if no report has ever been
+    /// pushed; from the first [`push`](DecisionWindow::push) onward a
+    /// decision is always available (and its `vote_fraction` is in
+    /// `(0, 1]`).
+    ///
+    /// ```
+    /// use deepcsi_serve::{DecisionWindow, WindowConfig};
+    ///
+    /// let mut w = DecisionWindow::new(WindowConfig::default());
+    /// assert!(w.decision().is_none()); // None before the first push…
+    /// w.push(0, 0.5);
+    /// assert!(w.decision().is_some()); // …Some ever after
+    /// ```
     pub fn decision(&self) -> Option<WindowedDecision> {
         if self.votes.is_empty() {
             return None;
@@ -118,6 +208,11 @@ impl DecisionWindow {
     /// `true` before the first report.
     pub fn is_empty(&self) -> bool {
         self.votes.is_empty()
+    }
+
+    /// The window's current configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
     }
 }
 
@@ -170,6 +265,29 @@ mod tests {
     }
 
     #[test]
+    fn exact_fifty_fifty_ties_are_order_independent() {
+        // Every interleaving of a perfectly split window must decide the
+        // same way: the smaller module id, deterministically.
+        let orders: [[usize; 4]; 6] = [
+            [2, 2, 5, 5],
+            [2, 5, 2, 5],
+            [2, 5, 5, 2],
+            [5, 2, 2, 5],
+            [5, 2, 5, 2],
+            [5, 5, 2, 2],
+        ];
+        for order in orders {
+            let mut w = window(4);
+            for m in order {
+                w.push(m, 0.7);
+            }
+            let d = w.decision().unwrap();
+            assert_eq!(d.module, 2, "order {order:?} broke tie determinism");
+            assert!((d.vote_fraction - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn ema_tracks_confidence() {
         let mut w = window(8);
         w.push(0, 1.0);
@@ -180,8 +298,75 @@ mod tests {
     }
 
     #[test]
+    fn ema_alpha_one_is_the_latest_confidence() {
+        let mut w = DecisionWindow::new(WindowConfig {
+            len: 4,
+            ema_alpha: 1.0,
+        });
+        for c in [0.9, 0.1, 0.6, 0.33] {
+            w.push(0, c);
+            let ema = w.decision().unwrap().confidence_ema;
+            assert!(
+                (ema - c).abs() < 1e-12,
+                "alpha=1.0 must track the newest confidence exactly (got {ema}, want {c})"
+            );
+        }
+    }
+
+    #[test]
+    fn reconfigure_shrink_evicts_oldest_votes() {
+        let mut w = window(5);
+        for m in [9, 9, 9, 1, 1] {
+            w.push(m, 0.8);
+        }
+        assert_eq!(w.decision().unwrap().module, 9);
+        w.reconfigure(WindowConfig {
+            len: 3,
+            ema_alpha: 0.5,
+        });
+        // Survivors are the newest three: [9, 1, 1].
+        assert_eq!(w.len(), 3);
+        let d = w.decision().unwrap();
+        assert_eq!(d.module, 1);
+        assert!((d.vote_fraction - 2.0 / 3.0).abs() < 1e-12);
+        // Observations and EMA are history, not window contents.
+        assert_eq!(d.observations, 5);
+        // Expiry works at the new length.
+        w.push(4, 0.8);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.decision().unwrap().module, 1); // [1, 1, 4]
+    }
+
+    #[test]
+    fn reconfigure_grow_keeps_votes_and_extends_capacity() {
+        let mut w = window(2);
+        w.push(3, 0.5);
+        w.push(3, 0.5);
+        w.reconfigure(WindowConfig {
+            len: 4,
+            ema_alpha: 0.5,
+        });
+        w.push(8, 0.5);
+        w.push(8, 0.5);
+        assert_eq!(w.len(), 4);
+        // Tie at 2–2 → smaller id.
+        assert_eq!(w.decision().unwrap().module, 3);
+        assert_eq!(w.config().len, 4);
+    }
+
+    #[test]
     #[should_panic(expected = "window length")]
     fn zero_length_window_panics() {
         let _ = window(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn reconfigure_to_zero_panics() {
+        let mut w = window(3);
+        w.reconfigure(WindowConfig {
+            len: 0,
+            ema_alpha: 0.5,
+        });
     }
 }

@@ -1,0 +1,111 @@
+//! Property tests for the decision-window and policy invariants the
+//! docs promise:
+//!
+//! * [`WindowedDecision::vote_fraction`] is in `(0, 1]` — the winner
+//!   holds at least one vote and never more than the window.
+//! * [`DecisionWindow::decision`] is `None` if and only if no report was
+//!   ever pushed.
+//! * Ties resolve to the smallest winning module id, independent of
+//!   arrival order.
+
+use deepcsi_serve::{
+    ConfidenceWeighted, DecisionPolicy, DecisionWindow, VerdictPolicy, WindowConfig,
+    WindowedDecision,
+};
+use proptest::prelude::*;
+
+fn window_config() -> impl Strategy<Value = WindowConfig> {
+    (1usize..40, 0.01f64..1.0).prop_map(|(len, ema_alpha)| WindowConfig { len, ema_alpha })
+}
+
+/// Arbitrary report streams: (module, confidence) pairs.
+fn reports() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0usize..8, 0.0f64..1.0), 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vote_fraction_is_in_unit_interval((cfg, stream) in (window_config(), reports())) {
+        let mut w = DecisionWindow::new(cfg);
+        for &(module, confidence) in &stream {
+            w.push(module, confidence);
+            let d = w.decision().expect("Some after every push");
+            prop_assert!(
+                d.vote_fraction > 0.0 && d.vote_fraction <= 1.0,
+                "vote_fraction {} escaped (0, 1]",
+                d.vote_fraction
+            );
+            prop_assert!(d.confidence_ema >= 0.0 && d.confidence_ema <= 1.0);
+        }
+    }
+
+    #[test]
+    fn decision_is_none_iff_no_push((cfg, stream) in (window_config(), reports())) {
+        let mut w = DecisionWindow::new(cfg);
+        // The contract: None before the first push…
+        prop_assert!(w.decision().is_none());
+        prop_assert!(w.is_empty());
+        // …and Some ever after, regardless of what was pushed.
+        for &(module, confidence) in &stream {
+            w.push(module, confidence);
+            prop_assert!(w.decision().is_some());
+        }
+    }
+
+    #[test]
+    fn observations_count_every_push((cfg, stream) in (window_config(), reports())) {
+        let mut w = DecisionWindow::new(cfg);
+        for (n, &(module, confidence)) in stream.iter().enumerate() {
+            w.push(module, confidence);
+            prop_assert_eq!(w.decision().expect("pushed").observations, n as u64 + 1);
+            prop_assert!(w.len() <= cfg.len);
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_smallest_winner_regardless_of_order(
+        mut stream in proptest::collection::vec(0usize..5, 1..20),
+        rot in 0usize..20,
+    ) {
+        // Fill a window larger than the stream so arrival order cannot
+        // change the surviving vote multiset — only the tie-break may
+        // depend on order, and it must not.
+        let cfg = WindowConfig { len: 32, ema_alpha: 0.5 };
+        let push_all = |votes: &[usize]| {
+            let mut w = DecisionWindow::new(cfg);
+            for &m in votes {
+                w.push(m, 0.5);
+            }
+            w.decision().expect("non-empty stream").module
+        };
+        let baseline = push_all(&stream);
+        let rot = rot % stream.len();
+        stream.rotate_left(rot);
+        prop_assert_eq!(push_all(&stream), baseline);
+    }
+
+    #[test]
+    fn weighted_posterior_is_in_unit_interval(stream in reports()) {
+        // The ConfidenceWeighted policy documents the same (0, 1] range
+        // for its posterior-mass vote_fraction.
+        let policy = ConfidenceWeighted::new(
+            WindowConfig::default(),
+            VerdictPolicy::default(),
+            0.9,
+            3.0,
+        );
+        let mut s = policy.new_state();
+        prop_assert!(s.decision().is_none());
+        for &(module, confidence) in &stream {
+            s.push(module, confidence);
+            let d: WindowedDecision = s.decision().expect("Some after every push");
+            prop_assert!(
+                d.vote_fraction > 0.0 && d.vote_fraction <= 1.0,
+                "posterior {} escaped (0, 1]",
+                d.vote_fraction
+            );
+        }
+    }
+}
