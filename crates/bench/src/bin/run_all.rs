@@ -1,10 +1,11 @@
 //! Runs every figure binary in sequence and collects the `RESULT` lines
 //! into `bench_results/summary.txt` — the data behind EXPERIMENTS.md.
-//! Also runs the serving/capture throughput benches and the
-//! decision-policy comparison (`serve_throughput`, `capture_throughput`,
-//! `policy_bench`) and emits their numbers as `BENCH_serve.json` /
-//! `BENCH_capture.json` / `BENCH_policy.json` (schema documented in
-//! `crates/bench/README.md`).
+//! Also runs the serving/capture throughput benches, the decision-policy
+//! comparison and the parallel-serving scaling sweep
+//! (`serve_throughput`, `capture_throughput`, `policy_bench`,
+//! `parallel_bench`) and emits their numbers as `BENCH_serve.json` /
+//! `BENCH_capture.json` / `BENCH_policy.json` / `BENCH_parallel.json`
+//! (schema documented in `crates/bench/README.md`).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -74,6 +75,7 @@ fn main() {
         "capture",
     );
     run_result_bench(&exe_dir, &forwarded, &out_dir, "policy_bench", "policy");
+    run_result_bench(&exe_dir, &forwarded, &out_dir, "parallel_bench", "parallel");
 }
 
 /// Runs one bench binary and writes its `RESULT <tag> <key> <value>`

@@ -104,11 +104,15 @@ pub fn report_speedup(w: &Workload, batch: usize, m: SpeedupMeasurement) {
     );
 }
 
-/// Times `forward_batch` against `batch` sequential `forward` calls.
+/// Times the frozen batched path (`FrozenModel::infer_batch` with a warm
+/// [`deepcsi_nn::InferCtx`] — the serving engine's steady state) against
+/// `batch` sequential `forward` calls.
 pub fn measure_speedup(w: &mut Workload, batch: usize, min_reps: usize) -> SpeedupMeasurement {
     let xs = inputs(w, batch);
-    // Warm-up both paths.
-    let _ = w.net.forward_batch(&xs);
+    let frozen = w.net.freeze();
+    let mut ctx = frozen.ctx();
+    // Warm-up both paths (and the ctx's buffer high-water mark).
+    let _ = frozen.infer_batch(&xs, &mut ctx);
     for x in &xs {
         let _ = w.net.forward(x, false);
     }
@@ -122,13 +126,29 @@ pub fn measure_speedup(w: &mut Workload, batch: usize, min_reps: usize) -> Speed
     let sequential_s = t.elapsed().as_secs_f64() / reps as f64;
     let t = Instant::now();
     for _ in 0..reps {
-        std::hint::black_box(w.net.forward_batch(&xs));
+        std::hint::black_box(frozen.infer_batch(&xs, &mut ctx));
     }
     let batched_s = t.elapsed().as_secs_f64() / reps as f64;
     SpeedupMeasurement {
         sequential_s,
         batched_s,
     }
+}
+
+/// Times `FrozenModel::infer_batch_par` at a given context (thread)
+/// count, seconds per batch. `threads = 1` is the no-spawn baseline the
+/// scaling sweep normalises against.
+pub fn measure_par_batch_s(w: &Workload, batch: usize, threads: usize, min_reps: usize) -> f64 {
+    let xs = inputs(w, batch);
+    let frozen = w.net.freeze();
+    let mut ctxs: Vec<deepcsi_nn::InferCtx> = (0..threads).map(|_| frozen.ctx()).collect();
+    let _ = frozen.infer_batch_par(&xs, &mut ctxs); // warm-up
+    let reps = min_reps.max(1);
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(frozen.infer_batch_par(&xs, &mut ctxs));
+    }
+    t.elapsed().as_secs_f64() / reps as f64
 }
 
 /// A small synthetic capture for end-to-end engine throughput runs.
@@ -153,10 +173,25 @@ pub fn serve_authenticator(ds: &Dataset, classes: usize) -> Authenticator {
 
 /// End-to-end engine throughput for one replay pass, reports/second.
 pub fn engine_reports_per_sec(ds: &Dataset, workers: usize, repeat: usize) -> f64 {
+    engine_reports_per_sec_threads(ds, workers, 1, repeat)
+}
+
+/// [`engine_reports_per_sec`] with an explicit per-worker
+/// `infer_threads` count (the `parallel_bench` scaling sweep).
+pub fn engine_reports_per_sec_threads(
+    ds: &Dataset,
+    workers: usize,
+    infer_threads: usize,
+    repeat: usize,
+) -> f64 {
     let replay = ReplaySource::from_dataset(ds);
     let engine = Engine::start(
         EngineConfig {
             workers,
+            infer_threads,
+            // One full SIMD lane block per inference thread, so every
+            // `t` row of the sweep measures a genuine `t`-way split.
+            max_batch: (deepcsi_nn::PAR_MIN_CHUNK * infer_threads).max(32),
             backpressure: Backpressure::Block,
             ..EngineConfig::default()
         },

@@ -11,6 +11,10 @@
 //!   parsed angles → reconstructed Ṽ → tensor → module identity, with
 //!   save/load for trained models ("the trained learning algorithm can be
 //!   run … on low-cost Wi-Fi devices").
+//! * [`FrozenAuthenticator`] — [`Authenticator::freeze`]'s immutable,
+//!   `Send + Sync` serving snapshot: one `Arc` shared by every engine
+//!   worker, bit-equal predictions, all scratch in per-worker
+//!   [`deepcsi_nn::InferCtx`]s.
 //! * [`run_experiment`] — the training/evaluation harness all figure
 //!   binaries use (train on a [`deepcsi_data::Split`], report accuracy
 //!   and the confusion matrix).
@@ -51,4 +55,4 @@ mod pipeline;
 
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use model::ModelConfig;
-pub use pipeline::{AuthError, Authenticator};
+pub use pipeline::{AuthError, Authenticator, FrozenAuthenticator};

@@ -4,10 +4,11 @@ use crate::model::ModelConfig;
 use deepcsi_bfi::BeamformingFeedback;
 use deepcsi_data::InputSpec;
 use deepcsi_frame::{BeamformingReportFrame, FrameError, MacAddr};
-use deepcsi_nn::Network;
+use deepcsi_nn::{FrozenModel, InferCtx, Network, Tensor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::Path;
+use std::sync::OnceLock;
 
 /// Errors from the authentication pipeline.
 #[derive(Debug)]
@@ -65,12 +66,30 @@ struct SavedModel {
 /// Feed it raw captured frames ([`Authenticator::classify_frame`]) or
 /// already-parsed feedback ([`Authenticator::classify_feedback`]); it
 /// returns the inferred module identity.
-#[derive(Clone)]
 pub struct Authenticator {
     net: Network,
     spec: InputSpec,
     model: Option<ModelConfig>,
     input_shape: Option<(usize, usize, usize)>,
+    /// Lazily built inference snapshot backing the one-shot
+    /// `classify_*` calls, so they never re-copy the weights. Safe to
+    /// cache: nothing in this type's API mutates `net`'s weights after
+    /// construction.
+    frozen: OnceLock<FrozenModel>,
+}
+
+impl Clone for Authenticator {
+    fn clone(&self) -> Self {
+        // The frozen cache is per-instance scratch; the clone rebuilds
+        // its own on first use.
+        Authenticator {
+            net: self.net.clone(),
+            spec: self.spec.clone(),
+            model: self.model.clone(),
+            input_shape: self.input_shape,
+            frozen: OnceLock::new(),
+        }
+    }
 }
 
 impl Authenticator {
@@ -81,6 +100,7 @@ impl Authenticator {
             spec,
             model: None,
             input_shape: None,
+            frozen: OnceLock::new(),
         }
     }
 
@@ -97,7 +117,13 @@ impl Authenticator {
             spec,
             model: Some(model),
             input_shape: Some(input_shape),
+            frozen: OnceLock::new(),
         }
+    }
+
+    /// The cached inference snapshot (built on first use).
+    fn frozen_model(&self) -> &FrozenModel {
+        self.frozen.get_or_init(|| self.net.freeze())
     }
 
     /// The input spec this authenticator tensorises feedback with.
@@ -107,13 +133,19 @@ impl Authenticator {
 
     /// Classifies a parsed beamforming feedback, returning the predicted
     /// module id.
+    ///
+    /// Runs on a cached frozen snapshot, so repeated calls copy no
+    /// weights (only a small scratch context is built per call — batch
+    /// callers should [`Authenticator::freeze`] and reuse an
+    /// [`InferCtx`] instead).
     pub fn classify_feedback(&self, fb: &BeamformingFeedback) -> usize {
         let x = self.spec.tensor(fb);
-        self.net.infer(&x).argmax()
+        let frozen = self.frozen_model();
+        frozen.infer(&x, &mut frozen.ctx()).argmax()
     }
 
-    /// The wrapped network (used by the serving engine for micro-batched
-    /// inference).
+    /// The wrapped network (training-side access; the serving engine
+    /// runs on [`Authenticator::freeze`]'s snapshot instead).
     pub fn network(&self) -> &Network {
         &self.net
     }
@@ -128,8 +160,24 @@ impl Authenticator {
 
     /// Builds the input tensor for a parsed feedback without classifying
     /// it (the serving engine batches tensors before inference).
-    pub fn tensorize(&self, fb: &BeamformingFeedback) -> deepcsi_nn::Tensor {
+    pub fn tensorize(&self, fb: &BeamformingFeedback) -> Tensor {
         self.spec.tensor(fb)
+    }
+
+    /// Snapshots this authenticator into an immutable, `Send + Sync`
+    /// [`FrozenAuthenticator`] for serving.
+    ///
+    /// The frozen model's predictions are bit-equal to this
+    /// authenticator's (`Network::forward(x, false)` arithmetic); the
+    /// weights are copied exactly once, so any number of worker threads
+    /// can share one `Arc<FrozenAuthenticator>` with no per-worker
+    /// clone.
+    pub fn freeze(&self) -> FrozenAuthenticator {
+        FrozenAuthenticator {
+            model: self.net.freeze(),
+            spec: self.spec.clone(),
+            input_shape: self.input_shape,
+        }
     }
 
     /// Decodes a captured frame and classifies its feedback, returning
@@ -185,7 +233,72 @@ impl Authenticator {
             spec: saved.spec,
             model: Some(saved.model),
             input_shape: Some(saved.input_shape),
+            frozen: OnceLock::new(),
         })
+    }
+}
+
+/// An immutable, `Send + Sync` snapshot of a trained [`Authenticator`]:
+/// the frozen classifier weights plus the input spec they were trained
+/// with.
+///
+/// Produced by [`Authenticator::freeze`]. This is the type the serving
+/// engine shares across its worker ring — one `Arc<FrozenAuthenticator>`
+/// for the whole pool, each worker holding only its own scratch
+/// [`InferCtx`]s. All inference is bit-equal to the source
+/// authenticator's.
+pub struct FrozenAuthenticator {
+    model: FrozenModel,
+    spec: InputSpec,
+    input_shape: Option<(usize, usize, usize)>,
+}
+
+impl FrozenAuthenticator {
+    /// The input spec feedback is tensorised with.
+    pub fn spec(&self) -> &InputSpec {
+        &self.spec
+    }
+
+    /// The recorded input shape `(channels, rows, cols)`, when the
+    /// source authenticator recorded one (see
+    /// [`Authenticator::input_shape`]).
+    pub fn input_shape(&self) -> Option<(usize, usize, usize)> {
+        self.input_shape
+    }
+
+    /// The frozen classifier.
+    pub fn model(&self) -> &FrozenModel {
+        &self.model
+    }
+
+    /// A fresh per-worker scratch context.
+    pub fn ctx(&self) -> InferCtx {
+        self.model.ctx()
+    }
+
+    /// Builds the input tensor for a parsed feedback without classifying
+    /// it (the serving engine batches tensors before inference).
+    pub fn tensorize(&self, fb: &BeamformingFeedback) -> Tensor {
+        self.spec.tensor(fb)
+    }
+
+    /// Classifies a parsed beamforming feedback, returning the predicted
+    /// module id (bit-equal to [`Authenticator::classify_feedback`]).
+    pub fn classify_feedback(&self, fb: &BeamformingFeedback, ctx: &mut InferCtx) -> usize {
+        let x = self.spec.tensor(fb);
+        self.model.infer(&x, ctx).argmax()
+    }
+}
+
+impl From<&Authenticator> for FrozenAuthenticator {
+    fn from(auth: &Authenticator) -> Self {
+        auth.freeze()
+    }
+}
+
+impl From<Authenticator> for FrozenAuthenticator {
+    fn from(auth: Authenticator) -> Self {
+        auth.freeze()
     }
 }
 
@@ -274,6 +387,21 @@ mod tests {
             .collect();
         assert_eq!(before, after);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn frozen_authenticator_matches_source_predictions() {
+        let (auth, _, _) = tiny_authenticator();
+        let frozen = auth.freeze();
+        let mut ctx = frozen.ctx();
+        let trace = tiny_trace();
+        for fb in &trace.snapshots {
+            assert_eq!(
+                auth.classify_feedback(fb),
+                frozen.classify_feedback(fb, &mut ctx)
+            );
+        }
+        assert_eq!(frozen.input_shape(), auth.input_shape());
     }
 
     #[test]

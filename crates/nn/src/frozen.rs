@@ -1,0 +1,459 @@
+//! Frozen inference: immutable models behind `Send + Sync` ops, with all
+//! mutable scratch in a per-worker [`InferCtx`].
+//!
+//! Training needs `&mut` access everywhere — dropout draws from an RNG,
+//! every layer caches activations for `backward`, optimizers mutate
+//! weights. Serving needs none of that, but as long as inference lived on
+//! the same trait the whole model was `Send`-but-not-`Sync` and every
+//! worker thread had to clone the full weight set.
+//! [`crate::Network::freeze`] breaks the entanglement:
+//!
+//! * [`FrozenModel`] — a snapshot of the weights behind [`InferOp`]s that
+//!   take `&self`. It is `Send + Sync`, so one `Arc<FrozenModel>` serves
+//!   any number of worker threads.
+//! * [`InferCtx`] — one worker's scratch: the ping-pong activation planes
+//!   and op-private workspaces. Buffers grow to a high-water mark on the
+//!   first batches and are reused afterwards, so the steady-state hot
+//!   path performs no allocation beyond the output tensors handed back
+//!   to the caller.
+//!
+//! Activations live in the batch-innermost ("planes") layout:
+//! `data[e * b + s]` — element-major, sample-minor — so every per-weight
+//! inner loop walks a contiguous run of `b` floats and autovectorizes to
+//! whatever SIMD width the build host offers (`-C target-cpu=native` is
+//! set workspace-wide). One weight fetch serves the whole batch.
+//!
+//! Because each sample only ever reads its own lanes, outputs are
+//! **bit-equal** to [`crate::Network::forward`] with `train = false` for
+//! any batch size *and* any partition of the batch — which is what makes
+//! [`FrozenModel::infer_batch_par`]'s thread split verdict-neutral by
+//! construction (property-tested in `tests/proptests.rs`).
+
+use crate::tensor::Tensor;
+
+/// Grows `buf` to exactly `len` elements, never shrinking its capacity —
+/// the steady-state path is a truncate/extend inside existing capacity,
+/// not an allocation.
+pub(crate) fn resize_buf(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    } else {
+        buf.truncate(len);
+    }
+}
+
+/// One frozen layer: an immutable, thread-shareable inference op.
+///
+/// Implementations own a snapshot of whatever parameters they need and
+/// keep **all** mutable state in the [`InferCtx`] — that is the whole
+/// contract that makes a [`FrozenModel`] `Sync`. `apply` transforms the
+/// context's current activation plane in place (element-wise ops,
+/// reshapes) or through [`InferCtx::produce`] (shape-changing ops).
+///
+/// Every op must reproduce its training layer's `forward(x, false)`
+/// arithmetic term-for-term — same accumulation order, same rounding —
+/// so frozen inference stays bit-equal to the training-time forward
+/// pass.
+pub trait InferOp: Send + Sync {
+    /// Human-readable op name (matches the source layer's).
+    fn name(&self) -> &'static str;
+
+    /// Transforms the context's current activation plane.
+    fn apply(&self, ctx: &mut InferCtx);
+}
+
+/// One worker's inference scratch: activation planes and op workspaces.
+///
+/// Create one per worker thread with [`FrozenModel::ctx`] and reuse it
+/// across calls — the buffers keep their high-water-mark capacity, so
+/// after warm-up [`FrozenModel::infer_batch`] allocates nothing but the
+/// returned output tensors.
+#[derive(Debug, Default)]
+pub struct InferCtx {
+    /// Current activation plane, batch-innermost (`[element][sample]`).
+    pub(crate) cur: Vec<f32>,
+    /// The other half of the ping-pong pair ([`InferCtx::produce`]'s
+    /// output plane, swapped into `cur` afterwards).
+    nxt: Vec<f32>,
+    /// Op-private workspaces (the attention block's pooled maps and
+    /// logits live here).
+    pub(crate) scratch0: Vec<f32>,
+    pub(crate) scratch1: Vec<f32>,
+    /// Per-sample shape of `cur`.
+    shape: Vec<usize>,
+    /// Samples interleaved in `cur`.
+    b: usize,
+}
+
+impl InferCtx {
+    /// Creates an empty context (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interleaves `xs` into the current plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or the samples disagree in shape.
+    fn load(&mut self, xs: &[Tensor]) {
+        assert!(!xs.is_empty(), "empty batch");
+        let shape = xs[0].shape();
+        let elems = xs[0].len();
+        let b = xs.len();
+        resize_buf(&mut self.cur, elems * b);
+        for (s, x) in xs.iter().enumerate() {
+            assert_eq!(x.shape(), shape, "batch samples must share a shape");
+            for (e, &v) in x.as_slice().iter().enumerate() {
+                self.cur[e * b + s] = v;
+            }
+        }
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.b = b;
+    }
+
+    /// De-interleaves the current plane into one tensor per sample.
+    fn unload(&self) -> Vec<Tensor> {
+        let elems = self.elems();
+        (0..self.b)
+            .map(|s| {
+                let mut out = vec![0.0f32; elems];
+                for (e, o) in out.iter_mut().enumerate() {
+                    *o = self.cur[e * self.b + s];
+                }
+                Tensor::from_vec(out, self.shape.clone())
+            })
+            .collect()
+    }
+
+    /// Per-sample shape of the current plane.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Samples interleaved in the current plane.
+    pub fn batch_size(&self) -> usize {
+        self.b
+    }
+
+    /// Elements per sample.
+    pub fn elems(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// The current plane (`[element][sample]` interleaved).
+    pub fn data(&self) -> &[f32] {
+        &self.cur
+    }
+
+    /// Applies an element-wise map to the current plane in place
+    /// (activations).
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.cur {
+            *v = f(*v);
+        }
+    }
+
+    /// Reinterprets the per-sample shape without touching the data — in
+    /// the batch-innermost layout a flatten/reshape is a pure relabel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape changes the per-sample volume.
+    pub fn set_shape(&mut self, shape: &[usize]) {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.elems(),
+            "reshape changes volume"
+        );
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Runs a shape-changing op: hands `f` the current plane and a
+    /// correctly sized output plane (`zeroed` selects zero-filled, for
+    /// accumulating kernels, vs uninitialised-but-overwritten), then
+    /// swaps the output in as the new current plane.
+    ///
+    /// `f` receives `(input, output, in_shape, batch)`.
+    pub fn produce(
+        &mut self,
+        out_shape: &[usize],
+        zeroed: bool,
+        f: impl FnOnce(&[f32], &mut [f32], &[usize], usize),
+    ) {
+        let out_len = out_shape.iter().product::<usize>() * self.b;
+        resize_buf(&mut self.nxt, out_len);
+        if zeroed {
+            self.nxt.fill(0.0);
+        }
+        f(&self.cur, &mut self.nxt, &self.shape, self.b);
+        std::mem::swap(&mut self.cur, &mut self.nxt);
+        self.shape.clear();
+        self.shape.extend_from_slice(out_shape);
+    }
+}
+
+/// Minimum samples routed to each thread of
+/// [`FrozenModel::infer_batch_par`]: one full SIMD lane block (the
+/// 16-wide granularity of the batched conv/dense kernels). Chunks are
+/// also *aligned* to this, so every split chunk except the batch's
+/// ragged tail runs the register-blocked kernels — parallelising never
+/// demotes the math to the scalar path. A batch of `n` samples
+/// therefore engages at most `max(1, n / 16)` threads.
+pub const PAR_MIN_CHUNK: usize = 16;
+
+/// An immutable inference snapshot of a [`crate::Network`].
+///
+/// Produced by [`crate::Network::freeze`]; holds only parameters behind
+/// [`InferOp`]s, so it is `Send + Sync` and one `Arc<FrozenModel>` can be
+/// shared by any number of serving workers — no per-worker weight clone.
+/// All scratch lives in the per-worker [`InferCtx`].
+///
+/// ```
+/// use deepcsi_nn::{Dense, Network, Selu, Tensor};
+///
+/// let mut net = Network::new();
+/// net.push(Dense::new(4, 8, 1));
+/// net.push(Selu::new());
+/// net.push(Dense::new(8, 2, 2));
+/// let frozen = net.freeze();
+/// let mut ctx = frozen.ctx();
+/// let x = Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4], vec![4]);
+/// // Bit-equal to net.forward(&x, false), but &self + &mut ctx.
+/// let y = frozen.infer(&x, &mut ctx);
+/// assert_eq!(y.shape(), &[2]);
+/// ```
+pub struct FrozenModel {
+    ops: Vec<Box<dyn InferOp>>,
+}
+
+impl std::fmt::Debug for FrozenModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FrozenModel[")?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{}", op.name())?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FrozenModel {
+    /// Wraps a pre-built op sequence (used by [`crate::Network::freeze`];
+    /// also the seam for hand-assembled frozen pipelines).
+    pub fn from_ops(ops: Vec<Box<dyn InferOp>>) -> Self {
+        FrozenModel { ops }
+    }
+
+    /// A fresh scratch context for one worker thread.
+    pub fn ctx(&self) -> InferCtx {
+        InferCtx::new()
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the model has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Single-sample inference, bit-equal to
+    /// [`crate::Network::forward`]`(x, false)`.
+    pub fn infer(&self, x: &Tensor, ctx: &mut InferCtx) -> Tensor {
+        self.infer_batch(std::slice::from_ref(x), ctx)
+            .pop()
+            .expect("one output per input")
+    }
+
+    /// Micro-batched inference: one pass of every weight matrix serves
+    /// the whole batch, SIMD across the batch lanes.
+    ///
+    /// Outputs are element-wise **bit-equal** to calling
+    /// [`crate::Network::forward`] with `train = false` on each sample,
+    /// for any batch size (no padding requirement). After `ctx` has seen
+    /// its largest batch, the call allocates nothing but the returned
+    /// tensors.
+    pub fn infer_batch(&self, xs: &[Tensor], ctx: &mut InferCtx) -> Vec<Tensor> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        ctx.load(xs);
+        for op in &self.ops {
+            op.apply(ctx);
+        }
+        ctx.unload()
+    }
+
+    /// Thread-parallel [`FrozenModel::infer_batch`]: splits the batch's
+    /// lane blocks into up to `ctxs.len()` contiguous chunks and runs
+    /// each on its own thread against this one shared model.
+    ///
+    /// Because every sample only ever reads its own lanes, the partition
+    /// cannot change any output: results are bit-equal to the
+    /// single-context call (and to `forward(x, false)`) for **any**
+    /// context count — thread count never changes a verdict. With one
+    /// context no thread is spawned, and small batches use fewer
+    /// threads than contexts — each thread gets at least one full
+    /// [`PAR_MIN_CHUNK`]-sample lane block (and chunks are lane-block
+    /// *aligned*, so the split never demotes the SIMD kernels to their
+    /// scalar ragged path), which also means a near-empty micro-batch
+    /// never pays a spawn it cannot amortise. Usable parallelism is
+    /// therefore `max(1, batch / PAR_MIN_CHUNK)`, whatever the context
+    /// count. Threads are scoped per call — on very fast models the
+    /// spawn/join overhead can rival the inference itself; a persistent
+    /// per-worker pool is the known next step (see ROADMAP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctxs` is empty or the samples disagree in shape (the
+    /// same contract as [`FrozenModel::infer_batch`], enforced up front
+    /// so it cannot depend on how the batch was split), and propagates
+    /// a panic from an inference thread.
+    pub fn infer_batch_par(&self, xs: &[Tensor], ctxs: &mut [InferCtx]) -> Vec<Tensor> {
+        assert!(!ctxs.is_empty(), "need at least one InferCtx");
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            xs.iter().all(|x| x.shape() == xs[0].shape()),
+            "batch samples must share a shape"
+        );
+        // Floor division: a thread below one full lane block of work
+        // costs more to spawn than it saves.
+        let threads = ctxs.len().min((xs.len() / PAR_MIN_CHUNK).max(1));
+        if threads == 1 {
+            return self.infer_batch(xs, &mut ctxs[0]);
+        }
+        // Lane-block-aligned chunks: every chunk except the batch's own
+        // ragged tail is a multiple of the SIMD width, so each thread
+        // runs the register-blocked kernels, not the scalar fallback.
+        // Rounding the chunk up can only *reduce* the chunk count, so
+        // `zip(ctxs)` never drops samples.
+        let chunk = xs.len().div_ceil(threads).next_multiple_of(PAR_MIN_CHUNK);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = xs
+                .chunks(chunk)
+                .zip(ctxs.iter_mut())
+                .map(|(part, ctx)| scope.spawn(move || self.infer_batch(part, ctx)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("inference thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Selu};
+    use crate::network::Network;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn frozen_model_is_send_sync() {
+        assert_send_sync::<FrozenModel>();
+        assert_send_sync::<std::sync::Arc<FrozenModel>>();
+    }
+
+    fn tiny_frozen() -> (Network, FrozenModel) {
+        let mut net = Network::new();
+        net.push(Dense::new(3, 5, 1));
+        net.push(Selu::new());
+        net.push(Dense::new(5, 2, 2));
+        let frozen = net.freeze();
+        (net, frozen)
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let (mut net, frozen) = tiny_frozen();
+        let mut ctx = frozen.ctx();
+        let x = Tensor::from_vec(vec![0.3, -1.2, 0.7], vec![3]);
+        assert_eq!(
+            frozen.infer(&x, &mut ctx).as_slice(),
+            net.forward(&x, false).as_slice()
+        );
+    }
+
+    #[test]
+    fn ctx_buffers_reach_steady_state() {
+        let (_, frozen) = tiny_frozen();
+        let mut ctx = frozen.ctx();
+        let xs: Vec<Tensor> = (0..8)
+            .map(|s| Tensor::from_vec(vec![s as f32, 1.0, -1.0], vec![3]))
+            .collect();
+        let _ = frozen.infer_batch(&xs, &mut ctx);
+        let caps = (ctx.cur.capacity(), ctx.nxt.capacity());
+        // Same-size and smaller batches must not grow the buffers.
+        let _ = frozen.infer_batch(&xs, &mut ctx);
+        let _ = frozen.infer_batch(&xs[..3], &mut ctx);
+        assert_eq!(caps, (ctx.cur.capacity(), ctx.nxt.capacity()));
+    }
+
+    #[test]
+    fn parallel_split_is_bit_identical() {
+        let (_, frozen) = tiny_frozen();
+        // 70 samples: enough full 16-wide lane blocks that 2–4 contexts
+        // genuinely split (plus a ragged tail), while 16 contexts clamp
+        // down to the per-thread minimum chunk.
+        let xs: Vec<Tensor> = (0..70)
+            .map(|s| Tensor::from_vec(vec![s as f32 * 0.3, -(s as f32), 0.5], vec![3]))
+            .collect();
+        let mut one = frozen.ctx();
+        let want = frozen.infer_batch(&xs, &mut one);
+        for threads in [2usize, 3, 4, 16] {
+            let mut ctxs: Vec<InferCtx> = (0..threads).map(|_| frozen.ctx()).collect();
+            let got = frozen.infer_batch_par(&xs, &mut ctxs);
+            assert_eq!(got.len(), want.len());
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.as_slice(), g.as_slice(), "threads={threads}");
+            }
+        }
+        // Tiny batches fall back to the no-spawn single-context path.
+        let mut ctxs: Vec<InferCtx> = (0..4).map(|_| frozen.ctx()).collect();
+        let small = frozen.infer_batch_par(&xs[..3], &mut ctxs);
+        for (w, g) in want.iter().zip(&small) {
+            assert_eq!(w.as_slice(), g.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn parallel_mixed_shapes_panic_regardless_of_split() {
+        // The shape contract cannot depend on how the batch is chunked:
+        // 32 + 32 same-shape runs would split into internally-uniform
+        // chunks at 2 contexts, so the check must run up front.
+        let (_, frozen) = tiny_frozen();
+        let mut xs = vec![Tensor::zeros(vec![3]); 32];
+        xs.extend(vec![Tensor::zeros(vec![1, 3]); 32]);
+        let mut ctxs = [frozen.ctx(), frozen.ctx()];
+        let _ = frozen.infer_batch_par(&xs, &mut ctxs);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_output() {
+        let (_, frozen) = tiny_frozen();
+        let mut ctx = frozen.ctx();
+        assert!(frozen.infer_batch(&[], &mut ctx).is_empty());
+        let mut ctxs = [frozen.ctx(), frozen.ctx()];
+        assert!(frozen.infer_batch_par(&[], &mut ctxs).is_empty());
+    }
+
+    #[test]
+    fn debug_lists_op_chain() {
+        let (_, frozen) = tiny_frozen();
+        let s = format!("{frozen:?}");
+        assert!(s.contains("dense"), "{s}");
+        assert!(s.contains("selu"), "{s}");
+    }
+}

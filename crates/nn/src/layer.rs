@@ -1,6 +1,15 @@
 //! The layer abstraction.
+//!
+//! Training and inference are deliberately **separate traits**: [`Layer`]
+//! is the training-side surface (`forward` caches activations, `backward`
+//! consumes them, dropout draws from an RNG — all `&mut self`), while
+//! inference lives on [`crate::InferOp`], produced by [`Layer::freeze`],
+//! which takes `&self` and keeps every scratch buffer in the caller's
+//! [`crate::InferCtx`]. That split is what lets a frozen model be
+//! `Send + Sync` and shared across serving workers without cloning
+//! weights.
 
-use crate::batch::Batch;
+use crate::frozen::InferOp;
 use crate::tensor::Tensor;
 
 /// A mutable view over one parameter tensor and its gradient accumulator.
@@ -16,11 +25,13 @@ pub struct ParamView<'a> {
     pub g: &'a mut [f32],
 }
 
-/// A differentiable layer.
+/// A differentiable layer (the training-side trait).
 ///
 /// `forward` caches whatever it needs; `backward` consumes that cache,
 /// accumulates parameter gradients internally and returns the gradient
 /// with respect to the input. One `forward` must precede each `backward`.
+/// Inference is *not* on this trait: [`Layer::freeze`] snapshots the
+/// layer into an immutable [`crate::InferOp`] instead.
 pub trait Layer: Send {
     /// Human-readable layer name.
     fn name(&self) -> &'static str;
@@ -33,14 +44,15 @@ pub trait Layer: Send {
     /// **adding** parameter gradients to the internal accumulators.
     fn backward(&mut self, grad: &Tensor) -> Tensor;
 
-    /// Batched immutable inference over batch-innermost planes.
+    /// Snapshots the layer's inference behaviour into an immutable
+    /// `Send + Sync` op.
     ///
-    /// Semantically identical to calling [`Layer::forward`] with
-    /// `train = false` on each sample — implementations keep the exact
-    /// accumulation order of `forward` so results are bit-equal — but
-    /// caches nothing, takes `&self`, and walks contiguous `b`-wide lane
-    /// rows so the hot loops autovectorize across the batch.
-    fn infer_batch(&self, x: &Batch) -> Batch;
+    /// The op must be element-wise **bit-equal** to [`Layer::forward`]
+    /// with `train = false` — same accumulation order, same rounding —
+    /// so frozen serving and training-time evaluation can never
+    /// disagree. Parameters are copied once; later training steps on
+    /// this layer do not affect already-frozen ops.
+    fn freeze(&self) -> Box<dyn InferOp>;
 
     /// Mutable views of (parameters, gradients), in a stable order.
     fn params(&mut self) -> Vec<ParamView<'_>>;

@@ -1,6 +1,7 @@
 //! Element-wise activations: SELU and sigmoid.
 
-use crate::batch::Batch;
+use crate::fastmath::poly_exp;
+use crate::frozen::{InferCtx, InferOp};
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
 
@@ -8,6 +9,31 @@ use crate::tensor::Tensor;
 /// Networks" (the paper's activation of choice).
 pub(crate) const SELU_LAMBDA: f32 = 1.050_701;
 pub(crate) const SELU_ALPHA: f32 = 1.673_263_2;
+
+/// The scalar SELU map, shared verbatim by [`Selu::forward`] and the
+/// frozen op so training and serving stay bit-identical. Uses
+/// [`poly_exp`] — the polynomial `exp` both paths agreed on.
+#[inline(always)]
+pub(crate) fn selu_val(x: f32) -> f32 {
+    // Both halves are computed and a select picks one: with the
+    // branch-free `poly_exp` the whole map if-converts, so activation
+    // loops vectorize instead of branching per element. Results are
+    // identical to the branching form.
+    let neg = SELU_LAMBDA * SELU_ALPHA * (poly_exp(x) - 1.0);
+    let pos = SELU_LAMBDA * x;
+    if x > 0.0 {
+        pos
+    } else {
+        neg
+    }
+}
+
+/// The scalar logistic sigmoid, shared by [`Sigmoid::forward`] and the
+/// frozen attention path (same [`poly_exp`] everywhere).
+#[inline(always)]
+pub(crate) fn sigmoid_val(x: f32) -> f32 {
+    1.0 / (1.0 + poly_exp(-x))
+}
 
 /// The SELU activation `λ·(x if x > 0 else α(eˣ − 1))`.
 #[derive(Clone, Default)]
@@ -22,6 +48,19 @@ impl Selu {
     }
 }
 
+/// Frozen SELU: stateless element-wise map.
+struct FrozenSelu;
+
+impl InferOp for FrozenSelu {
+    fn name(&self) -> &'static str {
+        "selu"
+    }
+
+    fn apply(&self, ctx: &mut InferCtx) {
+        ctx.map_in_place(selu_val);
+    }
+}
+
 impl Layer for Selu {
     fn name(&self) -> &'static str {
         "selu"
@@ -30,11 +69,7 @@ impl Layer for Selu {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         let mut out = x.clone();
         for v in out.as_mut_slice() {
-            *v = if *v > 0.0 {
-                SELU_LAMBDA * *v
-            } else {
-                SELU_LAMBDA * SELU_ALPHA * (v.exp() - 1.0)
-            };
+            *v = selu_val(*v);
         }
         self.cache_x = Some(x.clone());
         out
@@ -47,23 +82,15 @@ impl Layer for Selu {
             let d = if xv > 0.0 {
                 SELU_LAMBDA
             } else {
-                SELU_LAMBDA * SELU_ALPHA * xv.exp()
+                SELU_LAMBDA * SELU_ALPHA * poly_exp(xv)
             };
             *g *= d;
         }
         gx
     }
 
-    fn infer_batch(&self, x: &Batch) -> Batch {
-        let mut out = x.clone();
-        for v in out.as_mut_slice() {
-            *v = if *v > 0.0 {
-                SELU_LAMBDA * *v
-            } else {
-                SELU_LAMBDA * SELU_ALPHA * (v.exp() - 1.0)
-            };
-        }
-        out
+    fn freeze(&self) -> Box<dyn InferOp> {
+        Box::new(FrozenSelu)
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {
@@ -88,6 +115,19 @@ impl Sigmoid {
     }
 }
 
+/// Frozen sigmoid: stateless element-wise map.
+struct FrozenSigmoid;
+
+impl InferOp for FrozenSigmoid {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn apply(&self, ctx: &mut InferCtx) {
+        ctx.map_in_place(sigmoid_val);
+    }
+}
+
 impl Layer for Sigmoid {
     fn name(&self) -> &'static str {
         "sigmoid"
@@ -96,7 +136,7 @@ impl Layer for Sigmoid {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         let mut out = x.clone();
         for v in out.as_mut_slice() {
-            *v = 1.0 / (1.0 + (-*v).exp());
+            *v = sigmoid_val(*v);
         }
         self.cache_y = Some(out.clone());
         out
@@ -111,12 +151,8 @@ impl Layer for Sigmoid {
         gx
     }
 
-    fn infer_batch(&self, x: &Batch) -> Batch {
-        let mut out = x.clone();
-        for v in out.as_mut_slice() {
-            *v = 1.0 / (1.0 + (-*v).exp());
-        }
-        out
+    fn freeze(&self) -> Box<dyn InferOp> {
+        Box::new(FrozenSigmoid)
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {
@@ -215,6 +251,22 @@ mod tests {
             let fp: f32 = s.forward(&xp, false).as_slice().iter().sum();
             let fm: f32 = s.forward(&xm, false).as_slice().iter().sum();
             assert!(((fp - fm) / (2.0 * eps) - gx.as_slice()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn frozen_activations_match_forward() {
+        for x in [-4.0f32, -0.7, 0.0, 0.3, 5.0] {
+            let t = Tensor::from_vec(vec![x], vec![1]);
+            let mut net = crate::Network::new();
+            net.push(Selu::new());
+            net.push(Sigmoid::new());
+            let frozen = net.freeze();
+            let mut ctx = frozen.ctx();
+            assert_eq!(
+                net.forward(&t, false).as_slice(),
+                frozen.infer(&t, &mut ctx).as_slice()
+            );
         }
     }
 }

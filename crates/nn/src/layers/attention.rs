@@ -1,9 +1,9 @@
 //! The spatial-attention block of the DeepCSI classifier.
 
-use crate::batch::Batch;
+use crate::frozen::{resize_buf, InferCtx, InferOp};
 use crate::layer::{Layer, ParamView};
-use crate::layers::activation::Sigmoid;
-use crate::layers::conv::Conv2d;
+use crate::layers::activation::{sigmoid_val, Sigmoid};
+use crate::layers::conv::{Conv2d, FrozenConv2d};
 use crate::tensor::Tensor;
 
 /// CBAM-style spatial attention with a residual skip (Fig. 4, §III-C):
@@ -36,6 +36,81 @@ impl SpatialAttention {
             cache_x: None,
             cache_a: None,
             cache_argmax: Vec::new(),
+        }
+    }
+}
+
+/// The frozen attention block: an embedded frozen convolution plus the
+/// (stateless) pooling/sigmoid/residual arithmetic. The pooled maps and
+/// attention logits live in the [`InferCtx`] scratch planes; the
+/// residual multiply runs in place on the activation plane, so the whole
+/// block moves no data beyond its two small scratch buffers.
+struct FrozenSpatialAttention {
+    conv: FrozenConv2d,
+}
+
+impl InferOp for FrozenSpatialAttention {
+    fn name(&self) -> &'static str {
+        "spatial_attention"
+    }
+
+    fn apply(&self, ctx: &mut InferCtx) {
+        let [c, h, w]: [usize; 3] = ctx
+            .shape()
+            .try_into()
+            .expect("attention input must be rank 3");
+        let b = ctx.batch_size();
+        let hw = h * w;
+        // Channel-wise max and mean maps into scratch0, batch lanes
+        // innermost; the channel scan order matches `forward` (strict `>`
+        // keeps the first maximum, the mean sums channels in ascending
+        // order).
+        resize_buf(&mut ctx.scratch0, 2 * hw * b);
+        ctx.scratch0.fill(0.0);
+        {
+            let (xs, ps) = (&ctx.cur, &mut ctx.scratch0);
+            for p in 0..hw {
+                let max_base = p * b;
+                let mean_base = (hw + p) * b;
+                ps[max_base..max_base + b].copy_from_slice(&xs[p * b..(p + 1) * b]);
+                for ci in 0..c {
+                    let ibase = (ci * hw + p) * b;
+                    for s in 0..b {
+                        let v = xs[ibase + s];
+                        if v > ps[max_base + s] {
+                            ps[max_base + s] = v;
+                        }
+                        ps[mean_base + s] += v;
+                    }
+                }
+                for s in 0..b {
+                    // `forward` divides the plain sum; multiply-by-inverse
+                    // would round differently, so divide here too.
+                    ps[mean_base + s] /= c as f32;
+                }
+            }
+        }
+        // Attention logits into scratch1 (zeroed for the conv's
+        // accumulating path), then the sigmoid in place.
+        resize_buf(&mut ctx.scratch1, self.conv.out_ch() * hw * b);
+        ctx.scratch1.fill(0.0);
+        self.conv
+            .run(&ctx.scratch0, &mut ctx.scratch1, (2, h, w), b);
+        for v in ctx.scratch1.iter_mut() {
+            *v = sigmoid_val(*v);
+        }
+        // Y = X⊙A + X, the attention map broadcast over channels — in
+        // place on the activation plane.
+        let (os, avs) = (&mut ctx.cur, &ctx.scratch1);
+        for ci in 0..c {
+            for p in 0..hw {
+                let obase = (ci * hw + p) * b;
+                let abase = p * b;
+                for s in 0..b {
+                    let v = os[obase + s];
+                    os[obase + s] = v * avs[abase + s] + v;
+                }
+            }
         }
     }
 }
@@ -130,56 +205,10 @@ impl Layer for SpatialAttention {
         gx
     }
 
-    fn infer_batch(&self, x: &Batch) -> Batch {
-        let [c, h, w]: [usize; 3] = x
-            .shape()
-            .try_into()
-            .expect("attention input must be rank 3");
-        let b = x.batch_size();
-        let xs = x.as_slice();
-        // Channel-wise max and mean maps, batch lanes innermost; the
-        // channel scan order matches `forward` (strict `>` keeps the
-        // first maximum, the mean sums channels in ascending order).
-        let mut pooled = Batch::zeros(vec![2, h, w], b);
-        {
-            let ps = pooled.as_mut_slice();
-            for hw in 0..h * w {
-                let max_base = hw * b;
-                let mean_base = (h * w + hw) * b;
-                ps[max_base..max_base + b].copy_from_slice(&xs[hw * b..(hw + 1) * b]);
-                for ci in 0..c {
-                    let ibase = (ci * h * w + hw) * b;
-                    for s in 0..b {
-                        let v = xs[ibase + s];
-                        if v > ps[max_base + s] {
-                            ps[max_base + s] = v;
-                        }
-                        ps[mean_base + s] += v;
-                    }
-                }
-                for s in 0..b {
-                    // `forward` divides the plain sum; multiply-by-inverse
-                    // would round differently, so divide here too.
-                    ps[mean_base + s] /= c as f32;
-                }
-            }
-        }
-        let a = self.sigmoid.infer_batch(&self.conv.infer_batch(&pooled));
-        let avs = a.as_slice();
-        let mut out = x.clone();
-        let os = out.as_mut_slice();
-        // Y = X⊙A + X, the attention map broadcast over channels.
-        for ci in 0..c {
-            for hw in 0..h * w {
-                let obase = (ci * h * w + hw) * b;
-                let abase = hw * b;
-                for s in 0..b {
-                    let v = os[obase + s];
-                    os[obase + s] = v * avs[abase + s] + v;
-                }
-            }
-        }
-        out
+    fn freeze(&self) -> Box<dyn InferOp> {
+        Box::new(FrozenSpatialAttention {
+            conv: self.conv.frozen(),
+        })
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {
@@ -218,6 +247,29 @@ mod tests {
         let y = att.forward(&x, false);
         for (xv, yv) in x.as_slice().iter().zip(y.as_slice()) {
             assert!(*yv > *xv && *yv < 2.0 * *xv, "x={xv} y={yv}");
+        }
+    }
+
+    #[test]
+    fn frozen_matches_forward_across_batch_sizes() {
+        let mut att = SpatialAttention::new(3, 5);
+        let model = crate::FrozenModel::from_ops(vec![att.freeze()]);
+        for b in [1usize, 3, 16, 21] {
+            let xs: Vec<Tensor> = (0..b)
+                .map(|s| {
+                    Tensor::from_vec(
+                        (0..3 * 6)
+                            .map(|e| ((e * 7 + s * 11) % 13) as f32 * 0.3 - 1.8)
+                            .collect(),
+                        vec![3, 1, 6],
+                    )
+                })
+                .collect();
+            let mut ctx = model.ctx();
+            let got = model.infer_batch(&xs, &mut ctx);
+            for (x, g) in xs.iter().zip(&got) {
+                assert_eq!(att.forward(x, false).as_slice(), g.as_slice(), "b={b}");
+            }
         }
     }
 

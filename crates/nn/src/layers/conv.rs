@@ -1,6 +1,6 @@
 //! 2-D convolution with "same" zero padding.
 
-use crate::batch::Batch;
+use crate::frozen::{InferCtx, InferOp};
 use crate::init::lecun_normal;
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
@@ -57,12 +57,53 @@ impl Conv2d {
         ((o * self.in_ch + i) * self.kh + dh) * self.kw + dw
     }
 
+    /// Snapshots the weights into the immutable batched-inference op
+    /// (also embedded by the frozen attention block).
+    pub(crate) fn frozen(&self) -> FrozenConv2d {
+        FrozenConv2d {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            kh: self.kh,
+            kw: self.kw,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+        }
+    }
+}
+
+/// SIMD lane-block width of the batched conv kernel (matches the dense
+/// kernel; one full AVX-512 vector of `f32`).
+const LANES: usize = 16;
+
+/// The frozen convolution: weights only, batched kernels over the
+/// interleaved planes of an [`InferCtx`].
+pub(crate) struct FrozenConv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kh: usize,
+    kw: usize,
+    weight: Vec<f32>, // [out][in][kh][kw]
+    bias: Vec<f32>,
+}
+
+impl FrozenConv2d {
+    /// Output channel count (the frozen attention block sizes its
+    /// logits plane from this).
+    pub(crate) fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, i: usize, dh: usize, dw: usize) -> usize {
+        ((o * self.in_ch + i) * self.kh + dh) * self.kw + dw
+    }
+
     /// Register-blocked batched kernel for one full `LANES`-wide lane
     /// block: `OB` output channels share every input-lane load, and the
     /// accumulators stay in vector registers across the whole
     /// receptive-field scan. Term order per output element matches
-    /// `forward` — `(i, dh, dw)` ascending with out-of-bounds taps
-    /// skipped, bias last — so results stay bit-equal.
+    /// `Conv2d::forward` — `(i, dh, dw)` ascending with out-of-bounds
+    /// taps skipped, bias last — so results stay bit-equal.
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
     fn conv_lanes<const OB: usize>(
@@ -111,11 +152,89 @@ impl Conv2d {
             }
         }
     }
+
+    /// Runs the batched convolution from `xs` (shape `(c, h, w)`, `b`
+    /// interleaved lanes) into the zero-filled `os`.
+    pub(crate) fn run(
+        &self,
+        xs: &[f32],
+        os: &mut [f32],
+        (c, h, w): (usize, usize, usize),
+        b: usize,
+    ) {
+        assert_eq!(c, self.in_ch, "input channel mismatch");
+        let mut s0 = 0;
+        while s0 < b {
+            let sl = LANES.min(b - s0);
+            if sl == LANES {
+                let mut o0 = 0;
+                while o0 + 4 <= self.out_ch {
+                    self.conv_lanes::<4>(xs, os, (c, h, w), b, o0, s0);
+                    o0 += 4;
+                }
+                while o0 < self.out_ch {
+                    self.conv_lanes::<1>(xs, os, (c, h, w), b, o0, s0);
+                    o0 += 1;
+                }
+            } else {
+                // Ragged trailing lanes (batch not a multiple of LANES):
+                // same term order, dynamic lane width.
+                let (ph, pw) = (self.kh / 2, self.kw / 2);
+                for o in 0..self.out_ch {
+                    let out_base = o * h * w;
+                    for i in 0..c {
+                        let in_base = i * h * w;
+                        for dh in 0..self.kh {
+                            for dw in 0..self.kw {
+                                let wv = self.weight[self.widx(o, i, dh, dw)];
+                                for oh in 0..h {
+                                    let ih = oh + dh;
+                                    if ih < ph || ih - ph >= h {
+                                        continue;
+                                    }
+                                    let ih = ih - ph;
+                                    let orow = out_base + oh * w;
+                                    let irow = in_base + ih * w;
+                                    let ow_lo = pw.saturating_sub(dw);
+                                    let ow_hi = (w + pw).saturating_sub(dw).min(w);
+                                    for ow in ow_lo..ow_hi {
+                                        let ob = (orow + ow) * b + s0;
+                                        let ib = (irow + ow + dw - pw) * b + s0;
+                                        for s in 0..sl {
+                                            os[ob + s] += wv * xs[ib + s];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let bias = self.bias[o];
+                    for hw in 0..h * w {
+                        let ob = (out_base + hw) * b + s0;
+                        for s in 0..sl {
+                            os[ob + s] += bias;
+                        }
+                    }
+                }
+            }
+            s0 += sl;
+        }
+    }
 }
 
-/// SIMD lane-block width of the batched conv kernel (matches the dense
-/// kernel; one full AVX-512 vector of `f32`).
-const LANES: usize = 16;
+impl InferOp for FrozenConv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn apply(&self, ctx: &mut InferCtx) {
+        let [c, h, w]: [usize; 3] = ctx.shape().try_into().expect("conv input must be rank 3");
+        // The accumulating ragged path needs a zero-filled output plane.
+        ctx.produce(&[self.out_ch, h, w], true, |xs, os, _, b| {
+            self.run(xs, os, (c, h, w), b);
+        });
+    }
+}
 
 impl Layer for Conv2d {
     fn name(&self) -> &'static str {
@@ -216,71 +335,8 @@ impl Layer for Conv2d {
         gx
     }
 
-    fn infer_batch(&self, x: &Batch) -> Batch {
-        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("conv input must be rank 3");
-        assert_eq!(c, self.in_ch, "input channel mismatch");
-        let b = x.batch_size();
-        let mut out = Batch::zeros(vec![self.out_ch, h, w], b);
-        let xs = x.as_slice();
-        let mut s0 = 0;
-        while s0 < b {
-            let sl = LANES.min(b - s0);
-            if sl == LANES {
-                let os = out.as_mut_slice();
-                let mut o0 = 0;
-                while o0 + 4 <= self.out_ch {
-                    self.conv_lanes::<4>(xs, os, (c, h, w), b, o0, s0);
-                    o0 += 4;
-                }
-                while o0 < self.out_ch {
-                    self.conv_lanes::<1>(xs, os, (c, h, w), b, o0, s0);
-                    o0 += 1;
-                }
-            } else {
-                // Ragged trailing lanes (batch not a multiple of LANES):
-                // same term order, dynamic lane width.
-                let (ph, pw) = (self.kh / 2, self.kw / 2);
-                let os = out.as_mut_slice();
-                for o in 0..self.out_ch {
-                    let out_base = o * h * w;
-                    for i in 0..c {
-                        let in_base = i * h * w;
-                        for dh in 0..self.kh {
-                            for dw in 0..self.kw {
-                                let wv = self.weight[self.widx(o, i, dh, dw)];
-                                for oh in 0..h {
-                                    let ih = oh + dh;
-                                    if ih < ph || ih - ph >= h {
-                                        continue;
-                                    }
-                                    let ih = ih - ph;
-                                    let orow = out_base + oh * w;
-                                    let irow = in_base + ih * w;
-                                    let ow_lo = pw.saturating_sub(dw);
-                                    let ow_hi = (w + pw).saturating_sub(dw).min(w);
-                                    for ow in ow_lo..ow_hi {
-                                        let ob = (orow + ow) * b + s0;
-                                        let ib = (irow + ow + dw - pw) * b + s0;
-                                        for s in 0..sl {
-                                            os[ob + s] += wv * xs[ib + s];
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    let bias = self.bias[o];
-                    for hw in 0..h * w {
-                        let ob = (out_base + hw) * b + s0;
-                        for s in 0..sl {
-                            os[ob + s] += bias;
-                        }
-                    }
-                }
-            }
-            s0 += sl;
-        }
-        out
+    fn freeze(&self) -> Box<dyn InferOp> {
+        Box::new(self.frozen())
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {
@@ -339,6 +395,29 @@ mod tests {
     fn param_count_matches_formula() {
         let mut conv = Conv2d::new(128, 128, (1, 7), 0);
         assert_eq!(conv.num_params(), 128 * 128 * 7 + 128);
+    }
+
+    #[test]
+    fn frozen_matches_forward_across_batch_sizes() {
+        let mut conv = Conv2d::new(2, 3, (1, 5), 11);
+        let model = crate::FrozenModel::from_ops(vec![conv.freeze()]);
+        for b in [1usize, 7, 16, 19, 33] {
+            let xs: Vec<Tensor> = (0..b)
+                .map(|s| {
+                    Tensor::from_vec(
+                        (0..2 * 6)
+                            .map(|e| ((e * 5 + s * 3) % 9) as f32 * 0.25 - 1.0)
+                            .collect(),
+                        vec![2, 1, 6],
+                    )
+                })
+                .collect();
+            let mut ctx = model.ctx();
+            let got = model.infer_batch(&xs, &mut ctx);
+            for (x, g) in xs.iter().zip(&got) {
+                assert_eq!(conv.forward(x, false).as_slice(), g.as_slice(), "b={b}");
+            }
+        }
     }
 
     #[test]

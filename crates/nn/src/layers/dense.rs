@@ -1,6 +1,6 @@
 //! Fully-connected layer.
 
-use crate::batch::Batch;
+use crate::frozen::{InferCtx, InferOp};
 use crate::init::lecun_normal;
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
@@ -90,6 +90,73 @@ fn lane_kernel<const OB: usize>(
     }
 }
 
+/// The frozen dense layer: weights only, register-blocked batched
+/// kernels over the interleaved planes of an [`InferCtx`].
+struct FrozenDense {
+    in_dim: usize,
+    out_dim: usize,
+    weight: Vec<f32>, // [out][in]
+    bias: Vec<f32>,
+}
+
+impl FrozenDense {
+    /// One weight-matrix pass serves the whole batch. The hot path is a
+    /// register-blocked micro-kernel (see [`lane_kernel`]): LANES-wide
+    /// accumulators stay in vector registers across the whole k loop and
+    /// OB output rows share each input-lane load. Accumulation order per
+    /// output matches `Dense::forward` — bias, then inputs in ascending
+    /// order — so results stay bit-equal.
+    fn run(&self, xs: &[f32], os: &mut [f32], b: usize) {
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
+        let mut s0 = 0;
+        while s0 < b {
+            let sl = LANES.min(b - s0);
+            if sl == LANES {
+                let mut o0 = 0;
+                while o0 + 8 <= out_dim {
+                    lane_kernel::<8>(&self.weight, &self.bias, xs, os, in_dim, b, o0, s0);
+                    o0 += 8;
+                }
+                while o0 < out_dim {
+                    lane_kernel::<1>(&self.weight, &self.bias, xs, os, in_dim, b, o0, s0);
+                    o0 += 1;
+                }
+            } else {
+                // Ragged trailing lanes (batch not a multiple of LANES).
+                for o in 0..out_dim {
+                    let row = &self.weight[o * in_dim..(o + 1) * in_dim];
+                    let mut acc = [0.0f32; LANES];
+                    acc[..sl].fill(self.bias[o]);
+                    for (k, &wv) in row.iter().enumerate() {
+                        let xrow = &xs[k * b + s0..k * b + s0 + sl];
+                        for (av, &xv) in acc[..sl].iter_mut().zip(xrow) {
+                            *av += wv * xv;
+                        }
+                    }
+                    let ob = o * b + s0;
+                    os[ob..ob + sl].copy_from_slice(&acc[..sl]);
+                }
+            }
+            s0 += sl;
+        }
+    }
+}
+
+impl InferOp for FrozenDense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn apply(&self, ctx: &mut InferCtx) {
+        assert_eq!(ctx.elems(), self.in_dim, "dense input length mismatch");
+        // Both kernel paths fully overwrite the output plane — no
+        // zero-fill needed.
+        ctx.produce(&[self.out_dim], false, |xs, os, _, b| {
+            self.run(xs, os, b);
+        });
+    }
+}
+
 impl Layer for Dense {
     fn name(&self) -> &'static str {
         "dense"
@@ -133,51 +200,13 @@ impl Layer for Dense {
         gx
     }
 
-    fn infer_batch(&self, x: &Batch) -> Batch {
-        assert_eq!(x.elems(), self.in_dim, "dense input length mismatch");
-        let b = x.batch_size();
-        let mut out = Batch::zeros(vec![self.out_dim], b);
-        // One weight-matrix pass serves the whole batch. The hot path is a
-        // register-blocked micro-kernel (see `lane_kernel`): LANES-wide
-        // accumulators stay in vector registers across the whole k loop
-        // and OB output rows share each input-lane load. Accumulation
-        // order per output matches `forward` — bias, then inputs in
-        // ascending order — so results stay bit-equal.
-        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
-        let xs = x.as_slice();
-        let os = out.as_mut_slice();
-        let mut s0 = 0;
-        while s0 < b {
-            let sl = LANES.min(b - s0);
-            if sl == LANES {
-                let mut o0 = 0;
-                while o0 + 8 <= out_dim {
-                    lane_kernel::<8>(&self.weight, &self.bias, xs, os, in_dim, b, o0, s0);
-                    o0 += 8;
-                }
-                while o0 < out_dim {
-                    lane_kernel::<1>(&self.weight, &self.bias, xs, os, in_dim, b, o0, s0);
-                    o0 += 1;
-                }
-            } else {
-                // Ragged trailing lanes (batch not a multiple of LANES).
-                for o in 0..out_dim {
-                    let row = &self.weight[o * in_dim..(o + 1) * in_dim];
-                    let mut acc = [0.0f32; LANES];
-                    acc[..sl].fill(self.bias[o]);
-                    for (k, &wv) in row.iter().enumerate() {
-                        let xrow = &xs[k * b + s0..k * b + s0 + sl];
-                        for (av, &xv) in acc[..sl].iter_mut().zip(xrow) {
-                            *av += wv * xv;
-                        }
-                    }
-                    let ob = o * b + s0;
-                    os[ob..ob + sl].copy_from_slice(&acc[..sl]);
-                }
-            }
-            s0 += sl;
-        }
-        out
+    fn freeze(&self) -> Box<dyn InferOp> {
+        Box::new(FrozenDense {
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+        })
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {
@@ -216,6 +245,29 @@ mod tests {
     fn param_count() {
         let mut d = Dense::new(896, 128, 0);
         assert_eq!(d.num_params(), 896 * 128 + 128);
+    }
+
+    #[test]
+    fn frozen_matches_forward_across_batch_sizes() {
+        let mut d = Dense::new(10, 7, 3);
+        let model = crate::FrozenModel::from_ops(vec![d.freeze()]);
+        for b in [1usize, 15, 16, 17, 48] {
+            let xs: Vec<Tensor> = (0..b)
+                .map(|s| {
+                    Tensor::from_vec(
+                        (0..10)
+                            .map(|e| ((e * 7 + s) % 11) as f32 * 0.2 - 1.0)
+                            .collect(),
+                        vec![10],
+                    )
+                })
+                .collect();
+            let mut ctx = model.ctx();
+            let got = model.infer_batch(&xs, &mut ctx);
+            for (x, g) in xs.iter().zip(&got) {
+                assert_eq!(d.forward(x, false).as_slice(), g.as_slice(), "b={b}");
+            }
+        }
     }
 
     #[test]

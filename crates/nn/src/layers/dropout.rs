@@ -1,11 +1,24 @@
 //! Alpha dropout for self-normalising networks.
 
-use crate::batch::Batch;
+use crate::frozen::{InferCtx, InferOp};
 use crate::layer::{Layer, ParamView};
 use crate::layers::activation::{SELU_ALPHA, SELU_LAMBDA};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Frozen alpha dropout: the identity — not even a copy. The frozen op
+/// carries no RNG, which is exactly why a [`crate::FrozenModel`] can be
+/// `Sync` while the training layer cannot.
+struct FrozenAlphaDropout;
+
+impl InferOp for FrozenAlphaDropout {
+    fn name(&self) -> &'static str {
+        "alpha_dropout"
+    }
+
+    fn apply(&self, _ctx: &mut InferCtx) {}
+}
 
 /// Alpha dropout (Klambauer et al. §3): instead of zeroing units it sets
 /// them to the SELU saturation value `α' = −λα` and applies an affine
@@ -77,9 +90,9 @@ impl Layer for AlphaDropout {
         gx
     }
 
-    fn infer_batch(&self, x: &Batch) -> Batch {
+    fn freeze(&self) -> Box<dyn InferOp> {
         // Identity at inference, like `forward` with `train = false`.
-        x.clone()
+        Box::new(FrozenAlphaDropout)
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {

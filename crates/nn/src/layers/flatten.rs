@@ -1,6 +1,6 @@
 //! Flattening between the convolutional and dense stages.
 
-use crate::batch::Batch;
+use crate::frozen::{InferCtx, InferOp};
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
 
@@ -14,6 +14,21 @@ impl Flatten {
     /// Creates the layer.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Frozen flatten: in the batch-innermost plane layout a reshape never
+/// moves data, so this is a pure shape relabel — zero copies.
+struct FrozenFlatten;
+
+impl InferOp for FrozenFlatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn apply(&self, ctx: &mut InferCtx) {
+        let elems = ctx.elems();
+        ctx.set_shape(&[elems]);
     }
 }
 
@@ -32,9 +47,8 @@ impl Layer for Flatten {
         grad.clone().reshape(self.in_shape.clone())
     }
 
-    fn infer_batch(&self, x: &Batch) -> Batch {
-        let elems = x.elems();
-        x.clone().reshape(vec![elems])
+    fn freeze(&self) -> Box<dyn InferOp> {
+        Box::new(FrozenFlatten)
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {
@@ -59,5 +73,16 @@ mod tests {
         let g = f.backward(&y);
         assert_eq!(g.shape(), &[2, 2, 3]);
         assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn frozen_flatten_is_a_relabel() {
+        let f = Flatten::new();
+        let model = crate::FrozenModel::from_ops(vec![f.freeze()]);
+        let xs = vec![Tensor::from_vec((0..6).map(|v| v as f32).collect(), vec![2, 1, 3]); 2];
+        let mut ctx = model.ctx();
+        let got = model.infer_batch(&xs, &mut ctx);
+        assert_eq!(got[0].shape(), &[6]);
+        assert_eq!(got[0].as_slice(), xs[0].as_slice());
     }
 }

@@ -1,6 +1,6 @@
 //! Max pooling.
 
-use crate::batch::Batch;
+use crate::frozen::{InferCtx, InferOp};
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
 
@@ -29,6 +29,52 @@ impl MaxPool2d {
             argmax: Vec::new(),
             in_shape: Vec::new(),
         }
+    }
+}
+
+/// The frozen pool: kernel dims only (no parameters, no cache).
+struct FrozenMaxPool2d {
+    kh: usize,
+    kw: usize,
+}
+
+impl InferOp for FrozenMaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn apply(&self, ctx: &mut InferCtx) {
+        let [c, h, w]: [usize; 3] = ctx.shape().try_into().expect("pool input must be rank 3");
+        let oh = h / self.kh;
+        let ow = w / self.kw;
+        assert!(oh > 0 && ow > 0, "input smaller than pooling kernel");
+        let (kh, kw) = (self.kh, self.kw);
+        // Every output lane row is seeded by copy before the max scan —
+        // no zero-fill needed.
+        ctx.produce(&[c, oh, ow], false, |xs, os, _, b| {
+            for ci in 0..c {
+                for hi in 0..oh {
+                    for wi in 0..ow {
+                        let first = (ci * h + hi * kh) * w + wi * kw;
+                        let obase = ((ci * oh + hi) * ow + wi) * b;
+                        os[obase..obase + b].copy_from_slice(&xs[first * b..(first + 1) * b]);
+                        for dh in 0..kh {
+                            for dw in 0..kw {
+                                let idx = (ci * h + hi * kh + dh) * w + wi * kw + dw;
+                                let ibase = idx * b;
+                                for s in 0..b {
+                                    // Strict `>` keeps the first maximum,
+                                    // like `forward`.
+                                    if xs[ibase + s] > os[obase + s] {
+                                        os[obase + s] = xs[ibase + s];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
     }
 }
 
@@ -80,38 +126,11 @@ impl Layer for MaxPool2d {
         gx
     }
 
-    fn infer_batch(&self, x: &Batch) -> Batch {
-        let [c, h, w]: [usize; 3] = x.shape().try_into().expect("pool input must be rank 3");
-        let oh = h / self.kh;
-        let ow = w / self.kw;
-        assert!(oh > 0 && ow > 0, "input smaller than pooling kernel");
-        let b = x.batch_size();
-        let mut out = Batch::zeros(vec![c, oh, ow], b);
-        let xs = x.as_slice();
-        let os = out.as_mut_slice();
-        for ci in 0..c {
-            for hi in 0..oh {
-                for wi in 0..ow {
-                    let first = (ci * h + hi * self.kh) * w + wi * self.kw;
-                    let obase = ((ci * oh + hi) * ow + wi) * b;
-                    os[obase..obase + b].copy_from_slice(&xs[first * b..(first + 1) * b]);
-                    for dh in 0..self.kh {
-                        for dw in 0..self.kw {
-                            let idx = (ci * h + hi * self.kh + dh) * w + wi * self.kw + dw;
-                            let ibase = idx * b;
-                            for s in 0..b {
-                                // Strict `>` keeps the first maximum, like
-                                // `forward`.
-                                if xs[ibase + s] > os[obase + s] {
-                                    os[obase + s] = xs[ibase + s];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        out
+    fn freeze(&self) -> Box<dyn InferOp> {
+        Box::new(FrozenMaxPool2d {
+            kh: self.kh,
+            kw: self.kw,
+        })
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {
@@ -167,6 +186,27 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0], vec![2, 1, 4]);
         let y = pool.forward(&x, false);
         assert_eq!(y.as_slice(), &[2.0, 4.0, 8.0, 6.0]);
+    }
+
+    #[test]
+    fn frozen_matches_forward() {
+        let mut pool = MaxPool2d::new((1, 3));
+        let model = crate::FrozenModel::from_ops(vec![pool.freeze()]);
+        let xs: Vec<Tensor> = (0..5)
+            .map(|s| {
+                Tensor::from_vec(
+                    (0..2 * 7)
+                        .map(|e| ((e * 3 + s * 5) % 13) as f32 - 6.0)
+                        .collect(),
+                    vec![2, 1, 7],
+                )
+            })
+            .collect();
+        let mut ctx = model.ctx();
+        let got = model.infer_batch(&xs, &mut ctx);
+        for (x, g) in xs.iter().zip(&got) {
+            assert_eq!(pool.forward(x, false).as_slice(), g.as_slice());
+        }
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //!   differences in the test suite).
 //! * [`Network`] — a sequential container with cloning support for
 //!   data-parallel training.
+//! * [`FrozenModel`] / [`InferCtx`] — the train/serve split:
+//!   [`Network::freeze`] snapshots the weights into an immutable
+//!   `Send + Sync` model (one `Arc` shared by every serving worker, no
+//!   per-worker clone) while all scratch lives in a per-worker context;
+//!   `infer`/`infer_batch` are bit-equal to `forward(train = false)`,
+//!   and [`FrozenModel::infer_batch_par`] splits a batch's lane blocks
+//!   across threads without ever changing an output.
 //! * [`softmax_cross_entropy`] — fused loss/gradient.
 //! * [`Adam`] / [`Sgd`] — optimizers.
 //! * [`Trainer`] — seeded mini-batch training with crossbeam-based
@@ -45,7 +52,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod batch;
+mod fastmath;
+mod frozen;
 mod init;
 mod layer;
 pub mod layers;
@@ -56,7 +64,8 @@ mod optim;
 mod tensor;
 mod train;
 
-pub use batch::Batch;
+pub use fastmath::poly_exp;
+pub use frozen::{FrozenModel, InferCtx, InferOp, PAR_MIN_CHUNK};
 pub use layer::Layer;
 pub use layers::{
     AlphaDropout, Conv2d, Dense, Flatten, MaxPool2d, Selu, Sigmoid, SpatialAttention,

@@ -1,6 +1,6 @@
 //! Sequential network container.
 
-use crate::batch::Batch;
+use crate::frozen::FrozenModel;
 use crate::layer::{Layer, ParamView};
 use crate::tensor::Tensor;
 
@@ -66,10 +66,24 @@ impl Network {
         cur
     }
 
-    /// Immutable single-sample inference.
+    /// Snapshots the network into an immutable, `Send + Sync`
+    /// [`FrozenModel`] for serving.
     ///
-    /// Bit-equal to `forward(x, false)` but caches nothing and takes
-    /// `&self`, so serving paths can classify without cloning the network.
+    /// The frozen model's outputs are bit-equal to
+    /// [`Network::forward`]`(x, false)`; weights are copied once, so
+    /// later training steps on this network do not affect the snapshot.
+    /// Share it as `Arc<FrozenModel>` across worker threads, each with
+    /// its own [`crate::InferCtx`].
+    pub fn freeze(&self) -> FrozenModel {
+        FrozenModel::from_ops(self.layers.iter().map(|l| l.freeze()).collect())
+    }
+
+    /// Immutable single-sample inference, bit-equal to
+    /// `forward(x, false)`.
+    ///
+    /// Convenience wrapper that freezes the network on every call; a
+    /// serving loop should call [`Network::freeze`] once and reuse the
+    /// [`FrozenModel`] (plus a per-worker [`crate::InferCtx`]) instead.
     pub fn infer(&self, x: &Tensor) -> Tensor {
         self.forward_batch(std::slice::from_ref(x))
             .pop()
@@ -79,20 +93,19 @@ impl Network {
     /// Micro-batched immutable inference: one pass of every weight matrix
     /// serves the whole batch.
     ///
-    /// Samples are interleaved into a batch-innermost [`Batch`] layout so
-    /// each layer's inner loops run contiguously across the batch and
-    /// autovectorize; see [`crate::Batch`]. Outputs are element-wise
-    /// bit-equal to calling [`Network::forward`] with `train = false` on
-    /// each sample. Any batch size works (no padding requirement).
+    /// Outputs are element-wise bit-equal to calling [`Network::forward`]
+    /// with `train = false` on each sample; any batch size works (no
+    /// padding requirement). Convenience wrapper around
+    /// [`Network::freeze`] + [`FrozenModel::infer_batch`] that snapshots
+    /// the weights on **every call** — hot paths (the serving engine,
+    /// [`crate::evaluate`]) freeze once and reuse the model.
     pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
         if xs.is_empty() {
             return Vec::new();
         }
-        let mut cur = Batch::from_tensors(xs);
-        for layer in &self.layers {
-            cur = layer.infer_batch(&cur);
-        }
-        cur.into_tensors()
+        let frozen = self.freeze();
+        let mut ctx = frozen.ctx();
+        frozen.infer_batch(xs, &mut ctx)
     }
 
     /// Back-propagates an output gradient, accumulating parameter

@@ -225,6 +225,10 @@ pub fn predict(net: &Network, x: &Tensor) -> usize {
 /// Evaluates a network over a labelled set, returning overall accuracy and
 /// the confusion matrix.
 ///
+/// Freezes the network **once** and shares the one weight snapshot
+/// across every evaluation thread (`FrozenModel` is `Sync`); each thread
+/// owns only a scratch [`crate::InferCtx`].
+///
 /// # Panics
 ///
 /// Panics if `x` and `y` lengths differ, the set is empty, or a label is
@@ -232,7 +236,9 @@ pub fn predict(net: &Network, x: &Tensor) -> usize {
 pub fn evaluate(net: &Network, x: &[Tensor], y: &[usize]) -> (f64, ConfusionMatrix) {
     assert_eq!(x.len(), y.len(), "one label per sample");
     assert!(!x.is_empty(), "empty evaluation set");
-    let n_classes = net.infer(&x[0]).len();
+    let frozen = net.freeze();
+    let mut ctx = frozen.ctx();
+    let n_classes = frozen.infer(&x[0], &mut ctx).len();
     let mut cm = ConfusionMatrix::new(n_classes);
     // Micro-batched inference: one weight pass per batch instead of one
     // per sample (same SIMD path the serving engine uses).
@@ -240,24 +246,25 @@ pub fn evaluate(net: &Network, x: &[Tensor], y: &[usize]) -> (f64, ConfusionMatr
     let threads = available_threads();
     if threads <= 1 || x.len() < 2 * EVAL_BATCH {
         for (chunk, ys) in x.chunks(EVAL_BATCH).zip(y.chunks(EVAL_BATCH)) {
-            for (out, &yi) in net.forward_batch(chunk).iter().zip(ys) {
+            for (out, &yi) in frozen.infer_batch(chunk, &mut ctx).iter().zip(ys) {
                 cm.add(yi, out.argmax());
             }
         }
     } else {
         let shard_size = x.len().div_ceil(threads).max(EVAL_BATCH);
+        let shared = &frozen;
         let preds: Vec<Vec<(usize, usize)>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = x
                 .chunks(shard_size)
                 .zip(y.chunks(shard_size))
                 .map(|(xs, ys)| {
-                    let worker = net.clone();
                     scope.spawn(move |_| {
+                        let mut ctx = shared.ctx();
                         xs.chunks(EVAL_BATCH)
                             .zip(ys.chunks(EVAL_BATCH))
                             .flat_map(|(xc, yc)| {
-                                worker
-                                    .forward_batch(xc)
+                                shared
+                                    .infer_batch(xc, &mut ctx)
                                     .into_iter()
                                     .zip(yc)
                                     .map(|(out, &yi)| (yi, out.argmax()))

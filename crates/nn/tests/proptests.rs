@@ -1,8 +1,8 @@
 //! Property-based and 2-D-path tests for the deep-learning substrate.
 
 use deepcsi_nn::{
-    softmax_cross_entropy, AlphaDropout, Conv2d, Dense, Flatten, Layer, MaxPool2d, Network, Selu,
-    Sigmoid, SpatialAttention, Tensor,
+    poly_exp, softmax_cross_entropy, AlphaDropout, Conv2d, Dense, Flatten, InferCtx, Layer,
+    MaxPool2d, Network, Selu, Sigmoid, SpatialAttention, Tensor,
 };
 use proptest::prelude::*;
 
@@ -233,5 +233,68 @@ proptest! {
         let want = net.forward(&x, false);
         let got = net.infer(&x);
         prop_assert_eq!(want.as_slice(), got.as_slice());
+    }
+
+    /// The tentpole contract of the train/serve split:
+    /// `FrozenModel::infer_batch` must be **bit-exact** against
+    /// `Network::forward(x, false)` over ragged batch sizes, AND the
+    /// thread-parallel lane split (`infer_batch_par` with 1, 2 or 4
+    /// contexts) must never change a single bit — a serving verdict can
+    /// never depend on `infer_threads`.
+    #[test]
+    fn frozen_infer_batch_is_bit_exact_across_batches_and_threads(
+        // Up to 69 samples: enough full 16-wide lane blocks that 4
+        // contexts genuinely split (threads = max(1, n/16)), while the
+        // small sizes cover the no-spawn fallback and ragged tails.
+        xs in proptest::collection::vec(tensor(vec![3, 1, 24]), 1..70),
+    ) {
+        let mut net = Network::new();
+        net.push(Conv2d::new(3, 6, (1, 5), 41));
+        net.push(Selu::new());
+        net.push(MaxPool2d::new((1, 2)));
+        net.push(Conv2d::new(6, 4, (1, 3), 42));
+        net.push(Selu::new());
+        net.push(SpatialAttention::new(3, 43));
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 12, 10, 44));
+        net.push(Selu::new());
+        net.push(AlphaDropout::new(0.4, 45)); // identity when frozen
+        net.push(Dense::new(10, 5, 46));
+        let frozen = net.freeze();
+
+        let want: Vec<Tensor> = xs.iter().map(|x| net.forward(x, false)).collect();
+        for threads in [1usize, 2, 4] {
+            let mut ctxs: Vec<InferCtx> = (0..threads).map(|_| frozen.ctx()).collect();
+            let got = frozen.infer_batch_par(&xs, &mut ctxs);
+            prop_assert_eq!(got.len(), want.len());
+            for (w, g) in want.iter().zip(&got) {
+                prop_assert_eq!(w.shape(), g.shape());
+                // Bit-exact: no tolerance.
+                prop_assert!(
+                    w.as_slice() == g.as_slice(),
+                    "frozen inference diverged from forward (batch {}, threads {threads})",
+                    xs.len()
+                );
+            }
+        }
+        // Reusing a warm context must not change results either.
+        let mut ctx = frozen.ctx();
+        let first = frozen.infer_batch(&xs, &mut ctx);
+        let second = frozen.infer_batch(&xs, &mut ctx);
+        for (a, b) in first.iter().zip(&second) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    /// The polynomial `exp` both the forward and frozen paths share must
+    /// stay within a small ULP budget of `f32::exp` everywhere in the
+    /// normal-result range.
+    #[test]
+    fn poly_exp_stays_within_ulp_budget(x in -87.0f32..88.0) {
+        let got = poly_exp(x);
+        let want = x.exp();
+        prop_assert!(got.is_finite() && got > 0.0);
+        let ulp = (i64::from(got.to_bits()) - i64::from(want.to_bits())).unsigned_abs();
+        prop_assert!(ulp <= 8, "poly_exp({x}) = {got} vs {want}: {ulp} ULP");
     }
 }

@@ -5,7 +5,8 @@
 //! ```text
 //! deepcsi-served [--dataset PATH] [--model PATH] [--save-model PATH]
 //!                [--modules N] [--snapshots N] [--epochs N]
-//!                [--workers N] [--batch N] [--queue N] [--window N]
+//!                [--workers N] [--infer-threads N]
+//!                [--batch N] [--queue N] [--window N]
 //!                [--policy fixed|confidence|adaptive]
 //!                [--accept-threshold MASS] [--calibration N]
 //!                [--repeat N] [--drop] [--garbage N]
@@ -27,6 +28,18 @@
 //! * `--follow` tails the capture as it grows, surviving truncation and
 //!   rotation; `--idle-exit SECS` stops after that long without a new
 //!   frame (default: follow forever).
+//!
+//! Parallelism knobs:
+//!
+//! * `--workers N` sizes the sharded worker ring (device streams are
+//!   partitioned across workers by source MAC).
+//! * `--infer-threads N` splits each worker's micro-batch across `N`
+//!   inference threads through the one shared frozen model (default 1).
+//!   The lane split is bit-exact, so this knob can never change a
+//!   verdict — only throughput. Each thread needs one full 16-sample
+//!   SIMD lane block, so a micro-batch engages at most `--batch / 16`
+//!   threads — raise `--batch` together with `N` (e.g. `--batch 64`
+//!   for `--infer-threads 4`).
 //!
 //! Decision-policy knobs (see the crate docs for the semantics):
 //!
@@ -55,6 +68,7 @@ struct Args {
     snapshots: usize,
     epochs: usize,
     workers: usize,
+    infer_threads: usize,
     batch: usize,
     queue: usize,
     window: usize,
@@ -80,6 +94,7 @@ impl Args {
             snapshots: 40,
             epochs: 6,
             workers: 2,
+            infer_threads: 1,
             batch: 32,
             queue: 1024,
             window: 25,
@@ -110,6 +125,9 @@ impl Args {
                 }
                 "--epochs" => args.epochs = value("--epochs").parse().expect("--epochs"),
                 "--workers" => args.workers = value("--workers").parse().expect("--workers"),
+                "--infer-threads" => {
+                    args.infer_threads = value("--infer-threads").parse().expect("--infer-threads")
+                }
                 "--batch" => args.batch = value("--batch").parse().expect("--batch"),
                 "--queue" => args.queue = value("--queue").parse().expect("--queue"),
                 "--window" => args.window = value("--window").parse().expect("--window"),
@@ -179,6 +197,7 @@ impl Args {
         if args.calibration == Some(0) {
             panic!("--calibration must be positive");
         }
+        assert!(args.infer_threads > 0, "--infer-threads must be positive");
         args
     }
 
@@ -373,9 +392,12 @@ fn main() {
         ),
     }
 
-    let engine = Engine::start(
+    // Freeze once: the workers all share this one immutable snapshot.
+    let frozen = std::sync::Arc::new(auth.freeze());
+    let engine = Engine::start_frozen(
         EngineConfig {
             workers: args.workers,
+            infer_threads: args.infer_threads,
             queue_capacity: args.queue,
             max_batch: args.batch,
             backpressure: if args.drop_on_full {
@@ -390,10 +412,13 @@ fn main() {
             decision: args.decision(),
             ..EngineConfig::default()
         },
-        auth,
+        frozen,
         registry.clone(),
     );
-    println!("decision policy: {}", args.policy);
+    println!(
+        "decision policy: {} ({} workers × {} inference threads)",
+        args.policy, args.workers, args.infer_threads
+    );
 
     let t = Instant::now();
     match &args.pcap {

@@ -12,10 +12,17 @@
 //! * **Backpressure** — queues are bounded; when a queue is full the
 //!   engine either drops the report (accounted in telemetry) or blocks,
 //!   per [`EngineConfig::backpressure`].
+//! * **Shared frozen model** — every worker holds the same
+//!   `Arc<FrozenAuthenticator>` (immutable weights, `Send + Sync`); the
+//!   only per-worker inference state is a handful of scratch
+//!   [`InferCtx`]s. No per-worker weight clone.
 //! * **Micro-batching** — each worker drains its queue up to
 //!   [`EngineConfig::max_batch`] reports (lingering briefly for
 //!   stragglers) and classifies them with one
-//!   [`deepcsi_nn::Network::forward_batch`] call.
+//!   [`deepcsi_nn::FrozenModel::infer_batch_par`] call, optionally
+//!   splitting the batch's lane blocks across
+//!   [`EngineConfig::infer_threads`] cores — bit-exact under any split,
+//!   so thread count never changes a verdict.
 //! * **Policy decisions** — per-sample predictions feed one
 //!   [`PolicyState`] per device (built by the configured
 //!   [`DecisionPolicy`]); verdicts come from the policy judged against
@@ -26,9 +33,9 @@ use crate::registry::{DeviceRegistry, Verdict, VerdictPolicy};
 use crate::telemetry::{EngineStats, Telemetry};
 use crate::window::{WindowConfig, WindowedDecision};
 use deepcsi_capture::{CaptureError, FrameSource, SourcePoll};
-use deepcsi_core::Authenticator;
+use deepcsi_core::{Authenticator, FrozenAuthenticator};
 use deepcsi_frame::{BeamformingReportFrame, CapturedReport, MacAddr};
-use deepcsi_nn::Tensor;
+use deepcsi_nn::{InferCtx, Tensor};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -59,6 +66,24 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Micro-batch size cap per inference call.
     pub max_batch: usize,
+    /// Inference threads *per worker*: each micro-batch's lane blocks
+    /// are split across this many threads through the one shared
+    /// [`FrozenAuthenticator`] (see
+    /// [`deepcsi_nn::FrozenModel::infer_batch_par`]).
+    ///
+    /// Defaults to `1` — the classic single-threaded worker, no thread
+    /// spawn at all. Because the frozen model is bit-exact under any
+    /// lane split, changing this can change throughput but **never a
+    /// verdict** (pinned by the engine's thread-invariance tests).
+    ///
+    /// Usable parallelism is additionally bounded by the micro-batch:
+    /// each thread gets at least one full [`deepcsi_nn::PAR_MIN_CHUNK`]
+    /// (16-sample) SIMD lane block, so a batch of `n` reports engages
+    /// at most `max(1, n / 16)` threads — values beyond
+    /// `max_batch / 16` buy nothing. Size [`EngineConfig::max_batch`]
+    /// accordingly: the default 32 supports up to 2 threads; use
+    /// `max_batch: 64` for 4.
+    pub infer_threads: usize,
     /// How long a worker lingers for stragglers once a batch is open.
     pub batch_linger: Duration,
     /// Full-queue policy.
@@ -82,6 +107,7 @@ impl Default for EngineConfig {
             workers: 2,
             queue_capacity: 1024,
             max_batch: 32,
+            infer_threads: 1,
             batch_linger: Duration::from_millis(1),
             backpressure: Backpressure::default(),
             window: WindowConfig::default(),
@@ -227,13 +253,63 @@ pub struct Engine {
 impl Engine {
     /// Starts the worker pool around a trained authenticator.
     ///
+    /// Convenience wrapper over [`Engine::start_frozen`]: the
+    /// authenticator is frozen once ([`Authenticator::freeze`]) and that
+    /// single immutable snapshot is shared by every worker. **Earlier
+    /// versions of this signature cloned the full weight set into each
+    /// worker; that behaviour is gone** — per-worker weight clones cost
+    /// `workers × model size` of memory for nothing. Callers that
+    /// already hold a frozen model (or want to share one across several
+    /// engines) should use [`Engine::start_frozen`] directly; this
+    /// by-value signature survives only for source compatibility.
+    ///
     /// # Panics
     ///
-    /// Panics on a zero worker count, queue capacity or batch size.
+    /// Panics on a zero worker count, queue capacity, batch size or
+    /// inference-thread count.
     pub fn start(cfg: EngineConfig, auth: Authenticator, registry: DeviceRegistry) -> Engine {
+        Self::start_frozen(cfg, auth.freeze(), registry)
+    }
+
+    /// Starts the worker pool around a frozen (immutable, `Send + Sync`)
+    /// authenticator snapshot.
+    ///
+    /// All workers hold clones of one `Arc<FrozenAuthenticator>` — there
+    /// is no per-worker weight copy; the only per-worker inference state
+    /// is `cfg.infer_threads` scratch [`InferCtx`]s. Pass an existing
+    /// `Arc` to share the same snapshot across engines (e.g. a serving
+    /// engine and an offline evaluator), or a bare
+    /// [`FrozenAuthenticator`] to let the engine wrap it.
+    ///
+    /// ```no_run
+    /// use std::sync::Arc;
+    /// use deepcsi_serve::{Engine, EngineConfig, ReplaySource};
+    ///
+    /// # fn auth() -> deepcsi_core::Authenticator { unimplemented!() }
+    /// # let dataset = deepcsi_data::Dataset::default();
+    /// let frozen = Arc::new(auth().freeze());
+    /// let cfg = EngineConfig {
+    ///     infer_threads: 4, // split each micro-batch across 4 cores
+    ///     ..EngineConfig::default()
+    /// };
+    /// let engine = Engine::start_frozen(cfg, Arc::clone(&frozen), ReplaySource::registry(&dataset));
+    /// # let _ = engine;
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero worker count, queue capacity, batch size or
+    /// inference-thread count.
+    pub fn start_frozen(
+        cfg: EngineConfig,
+        auth: impl Into<Arc<FrozenAuthenticator>>,
+        registry: DeviceRegistry,
+    ) -> Engine {
+        let auth: Arc<FrozenAuthenticator> = auth.into();
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         assert!(cfg.max_batch > 0, "batch size must be positive");
+        assert!(cfg.infer_threads > 0, "need at least one inference thread");
         // Build (and thereby validate) the decision policy eagerly on
         // the caller thread: failing here beats panicking later inside a
         // worker while it holds a shard lock (which would poison it).
@@ -261,7 +337,7 @@ impl Engine {
             let worker = WorkerCtx {
                 shard,
                 rx,
-                auth: auth.clone(),
+                auth: Arc::clone(&auth),
                 telemetry: Arc::clone(&telemetry),
                 state: Arc::clone(shard_state),
                 in_flight: Arc::clone(&in_flight),
@@ -270,6 +346,7 @@ impl Engine {
                 registry: Arc::clone(&registry),
                 max_batch: cfg.max_batch,
                 linger: cfg.batch_linger,
+                infer_threads: cfg.infer_threads,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -464,7 +541,9 @@ fn shard_of(mac: MacAddr, workers: usize) -> usize {
 struct WorkerCtx {
     shard: usize,
     rx: Receiver<CapturedReport>,
-    auth: Authenticator,
+    /// The one weight snapshot every worker shares — cloning this is an
+    /// atomic refcount bump, never a weight copy.
+    auth: Arc<FrozenAuthenticator>,
     telemetry: Arc<Telemetry>,
     state: ShardState,
     in_flight: Arc<InFlight>,
@@ -479,11 +558,18 @@ struct WorkerCtx {
     registry: Arc<DeviceRegistry>,
     max_batch: usize,
     linger: Duration,
+    /// Lane-split width for each micro-batch inference call.
+    infer_threads: usize,
 }
 
 impl WorkerCtx {
     fn run(self) {
         let _ = self.shard;
+        // This worker's only mutable inference state: one scratch
+        // context per inference thread. Buffers reach their high-water
+        // mark after the first full batches, then the hot path stops
+        // allocating.
+        let mut ctxs: Vec<InferCtx> = (0..self.infer_threads).map(|_| self.auth.ctx()).collect();
         let mut batch: Vec<CapturedReport> = Vec::with_capacity(self.max_batch);
         loop {
             // Block for the batch opener; exit once all senders are gone.
@@ -516,7 +602,7 @@ impl WorkerCtx {
             // always reconciles.
             let accounted = std::cell::Cell::new(0u64);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.classify(&batch, &accounted);
+                self.classify(&batch, &accounted, &mut ctxs);
             }));
             if outcome.is_err() {
                 self.telemetry
@@ -537,7 +623,12 @@ impl WorkerCtx {
     /// is grouped by tensor shape with each group classified
     /// independently — a crafted foreign-shape report can only ever
     /// reject itself, never the legitimate reports sharing its batch.
-    fn classify(&self, batch: &[CapturedReport], accounted: &std::cell::Cell<u64>) {
+    fn classify(
+        &self,
+        batch: &[CapturedReport],
+        accounted: &std::cell::Cell<u64>,
+        ctxs: &mut [InferCtx],
+    ) {
         let reject = |n: usize| {
             self.telemetry
                 .rejected
@@ -595,7 +686,7 @@ impl WorkerCtx {
             // infallible, but an over-the-air surface warrants defense in
             // depth: a group the network rejects only rejects itself.
             let outputs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.auth.network().forward_batch(&group.tensors)
+                self.auth.model().infer_batch_par(&group.tensors, ctxs)
             }));
             let Ok(outputs) = outputs else {
                 reject(group.reports.len());

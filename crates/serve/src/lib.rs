@@ -13,10 +13,14 @@
 //!   by a hash of the source MAC (the paper's "filter on the packets
 //!   source address"), over bounded queues with explicit
 //!   backpressure/drop accounting ([`Backpressure`]).
-//! * **Micro-batched inference** — workers drain their queue into
-//!   batches and classify them with one
-//!   [`deepcsi_nn::Network::forward_batch`] call, so one pass of every
-//!   weight matrix serves the whole batch.
+//! * **Micro-batched inference over one shared frozen model** — every
+//!   worker holds the same `Arc<deepcsi_core::FrozenAuthenticator>`
+//!   (immutable weights, no per-worker clone) plus its own scratch
+//!   [`deepcsi_nn::InferCtx`]s; queues drain into batches classified
+//!   with one [`deepcsi_nn::FrozenModel::infer_batch_par`] call, so one
+//!   pass of every weight matrix serves the whole batch —
+//!   [`EngineConfig::infer_threads`] additionally splits each batch's
+//!   lane blocks across cores, bit-exactly.
 //! * **Decision policies** — per-report predictions feed one
 //!   [`PolicyState`] per device, built by a pluggable
 //!   [`DecisionPolicy`]: [`FixedMajority`] (sliding-window majority +

@@ -1,8 +1,12 @@
 //! Streaming authentication: the `deepcsi-serve` engine end to end.
 //!
 //! 1. Simulate a capture campaign and train a fast classifier.
-//! 2. Start the streaming engine: MAC-sharded workers, bounded queues,
-//!    micro-batched inference, per-device sliding-window verdicts.
+//! 2. Freeze the trained model once (`Authenticator::freeze`) and start
+//!    the streaming engine on the shared snapshot: MAC-sharded workers,
+//!    bounded queues, micro-batched inference over one
+//!    `Arc<FrozenAuthenticator>` (no per-worker weight clone, two
+//!    inference threads per micro-batch), per-device sliding-window
+//!    verdicts.
 //! 3. Replay the capture as a frame stream — plus one impersonation
 //!    attempt and some over-the-air garbage — and read the verdicts.
 //!
@@ -17,6 +21,7 @@ use deepcsi::data::{d1_split, D1Set, GenConfig, InputSpec};
 use deepcsi::frame::{BeamformingReportFrame, MacAddr};
 use deepcsi::nn::TrainConfig;
 use deepcsi::serve::{Backpressure, Engine, EngineConfig, ReplaySource, Verdict};
+use std::sync::Arc;
 
 fn main() {
     // --- 1. Dataset + classifier --------------------------------------------
@@ -48,15 +53,23 @@ fn main() {
     println!("  per-sample test accuracy {:.1}%", result.accuracy * 100.0);
     let auth = Authenticator::new(result.network, spec);
 
-    // --- 2. Start the engine -------------------------------------------------
+    // --- 2. Freeze the model, start the engine -------------------------------
+    // One immutable weight snapshot serves every worker (and any other
+    // consumer holding the Arc) — the engine never clones weights. The
+    // classifier itself stays available for more training.
+    let frozen = Arc::new(auth.freeze());
     let registry = ReplaySource::registry(&dataset);
-    let engine = Engine::start(
+    let engine = Engine::start_frozen(
         EngineConfig {
             workers: 2,
+            // Split each worker's micro-batch across two inference
+            // threads. The lane split is bit-exact, so this can change
+            // throughput but never a verdict.
+            infer_threads: 2,
             backpressure: Backpressure::Block,
             ..EngineConfig::default()
         },
-        auth,
+        Arc::clone(&frozen),
         registry.clone(),
     );
 
