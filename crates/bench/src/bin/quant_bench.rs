@@ -1,0 +1,199 @@
+//! Int8 vs f32 serving comparison: micro-kernel and end-to-end model
+//! throughput, top-1 agreement on a synthetic eval set, and per-layer
+//! quantization error — as machine-readable `RESULT quant …` lines
+//! (collected by `run_all` into `BENCH_quant.json`; keys documented in
+//! `crates/bench/README.md`).
+//!
+//! The int8 path wins where the f32 kernels are bandwidth-bound: a
+//! quantized weight matrix streams a quarter of the bytes per batch.
+//! The agreement section replays the `deepcsi-served` recipe — train
+//! the demo classifier on a synthetic D1 capture, calibrate on the
+//! train split, compare verdict-feeding top-1s across the whole set.
+
+use deepcsi_bench::result_line;
+use deepcsi_core::{run_experiment, Authenticator, ExperimentConfig, ModelConfig};
+use deepcsi_data::{d1_split, generate_d1, D1Set, GenConfig, InputSpec};
+use deepcsi_nn::{Conv2d, Dense, FrozenModel, Network, QuantSpec, Tensor, TrainConfig};
+use std::time::Instant;
+
+/// Deterministic pseudo-random inputs for a shape.
+fn inputs(shape: &[usize], batch: usize) -> Vec<Tensor> {
+    let len: usize = shape.iter().product();
+    (0..batch)
+        .map(|s| {
+            Tensor::from_vec(
+                (0..len)
+                    .map(|e| ((e * 31 + s * 7) % 13) as f32 * 0.1 - 0.6)
+                    .collect(),
+                shape.to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// Seconds per `infer_batch` call with a warm context — best of 5
+/// windows (the minimum is robust against preemption on shared hosts).
+fn time_batch(model: &FrozenModel, xs: &[Tensor], reps: usize) -> f64 {
+    let mut ctx = model.ctx();
+    let _ = model.infer_batch(xs, &mut ctx); // warm-up + buffer high-water mark
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(model.infer_batch(xs, &mut ctx));
+        }
+        best = best.min(t.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+/// Benchmarks one workload at both precisions, printing and emitting
+/// `<key>_ns_per_report_{f32,int8}` + `<key>_speedup`.
+fn bench_workload(key: &str, net: &Network, shape: &[usize], batch: usize, reps: usize) -> f64 {
+    let xs = inputs(shape, batch);
+    let f32_model = net.freeze();
+    let spec = QuantSpec::calibrate(&f32_model, &xs).expect("calibrate");
+    let int8_model = net.freeze_int8(&spec).expect("freeze_int8");
+
+    let f32_s = time_batch(&f32_model, &xs, reps);
+    let int8_s = time_batch(&int8_model, &xs, reps);
+    let per = |s: f64| s * 1e9 / batch as f64;
+    let speedup = f32_s / int8_s;
+    println!(
+        "{key:<12} f32 {:>9.0} ns/report   int8 {:>9.0} ns/report   speedup {speedup:.2}x",
+        per(f32_s),
+        per(int8_s),
+    );
+    result_line("quant", &format!("{key}_ns_per_report_f32"), per(f32_s));
+    result_line("quant", &format!("{key}_ns_per_report_int8"), per(int8_s));
+    result_line("quant", &format!("{key}_speedup"), speedup);
+    speedup
+}
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--tiny" | "--quick" => quick = true,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let batch = 64usize;
+    let (dense_reps, conv_reps, model_reps, snapshots, epochs) = if quick {
+        (10usize, 3usize, 3usize, 12usize, 3usize)
+    } else {
+        (50, 10, 10, 30, 6)
+    };
+
+    // --- micro-kernels: one conv layer, one dense layer --------------
+    println!("== int8 vs f32 micro-kernels (batch {batch}) ==");
+    let mut dense = Network::new();
+    dense.push(Dense::new(2048, 2048, 1));
+    bench_workload("dense", &dense, &[2048], batch, dense_reps);
+
+    let mut conv = Network::new();
+    conv.push(Conv2d::new(128, 128, (1, 7), 2));
+    bench_workload("conv", &conv, &[128, 1, 117], batch, conv_reps);
+
+    // --- end-to-end models (conv/dense int8, activations f32) --------
+    println!("\n== int8 vs f32 end-to-end models (batch {batch}) ==");
+    let fast = ModelConfig::fast(10, 1).build((5, 1, 117));
+    bench_workload("fast_cnn", &fast, &[5, 1, 117], batch, model_reps);
+    if !quick {
+        let paper = ModelConfig::paper(10, 1).build((5, 1, 234));
+        bench_workload("paper_cnn", &paper, &[5, 1, 234], batch, model_reps.min(4));
+    }
+
+    // --- accuracy parity on the synthetic eval set -------------------
+    println!("\n== top-1 agreement on a synthetic D1 capture ==");
+    let ds = generate_d1(&GenConfig {
+        num_modules: 3,
+        snapshots_per_trace: snapshots,
+        ..GenConfig::default()
+    });
+    let spec = InputSpec {
+        stride: 4,
+        ..InputSpec::default()
+    };
+    let split = d1_split(&ds, D1Set::S1, &[1, 2], &spec);
+    let result = run_experiment(
+        &ExperimentConfig {
+            model: ModelConfig::demo(3),
+            train: TrainConfig {
+                epochs,
+                batch_size: 64,
+                learning_rate: 2e-3,
+                seed: 5,
+                ..TrainConfig::default()
+            },
+        },
+        &split,
+    );
+    println!(
+        "demo classifier test accuracy {:.2}%",
+        result.accuracy * 100.0
+    );
+    let auth = Authenticator::new(result.network, spec);
+
+    // Calibrate on the train split, evaluate agreement over the whole
+    // capture (train + held-out positions).
+    let calib: Vec<Tensor> = split.train.x.clone();
+    let qspec = QuantSpec::calibrate(&auth.network().freeze(), &calib).expect("calibrate");
+    let (int8_model, layers) = auth
+        .network()
+        .freeze_int8_report(&qspec)
+        .expect("freeze_int8");
+    let f32_model = auth.network().freeze();
+
+    let all: Vec<Tensor> = ds
+        .traces
+        .iter()
+        .flat_map(|t| t.snapshots.iter())
+        .map(|fb| auth.tensorize(fb))
+        .collect();
+    let (mut ctx, mut qctx) = (f32_model.ctx(), int8_model.ctx());
+    let mut agree = 0usize;
+    let mut logit_err_max = 0.0f32;
+    for chunk in all.chunks(64) {
+        let want = f32_model.infer_batch(chunk, &mut ctx);
+        let got = int8_model.infer_batch(chunk, &mut qctx);
+        for (w, g) in want.iter().zip(&got) {
+            if w.argmax() == g.argmax() {
+                agree += 1;
+            }
+            for (&wv, &gv) in w.as_slice().iter().zip(g.as_slice()) {
+                logit_err_max = logit_err_max.max((wv - gv).abs());
+            }
+        }
+    }
+    let agreement = agree as f64 / all.len() as f64;
+    println!(
+        "top-1 agreement {agreement:.4} ({agree}/{} reports)   max |logit err| {logit_err_max:.4}",
+        all.len()
+    );
+    result_line("quant", "top1_agreement", agreement);
+    result_line("quant", "logit_err_max", f64::from(logit_err_max));
+    result_line("quant", "eval_reports", all.len() as f64);
+
+    // --- per-layer quantization error --------------------------------
+    println!(
+        "\n== per-layer quantization (calibrated on {} reports) ==",
+        calib.len()
+    );
+    for info in &layers {
+        println!(
+            "layer {:>2} {:<8} w_scale_max {:.5}  w_err_max {:.5}  act {:.5} → {:.5}",
+            info.layer,
+            info.name,
+            info.weight_scale_max,
+            info.weight_err_max,
+            info.in_scale,
+            info.out_scale
+        );
+        result_line(
+            "quant",
+            &format!("layer{}_{}_weight_err_max", info.layer, info.name),
+            f64::from(info.weight_err_max),
+        );
+    }
+}

@@ -1,10 +1,11 @@
 //! Runs every figure binary in sequence and collects the `RESULT` lines
 //! into `bench_results/summary.txt` — the data behind EXPERIMENTS.md.
 //! Also runs the serving/capture throughput benches, the decision-policy
-//! comparison and the parallel-serving scaling sweep
-//! (`serve_throughput`, `capture_throughput`, `policy_bench`,
-//! `parallel_bench`) and emits their numbers as `BENCH_serve.json` /
-//! `BENCH_capture.json` / `BENCH_policy.json` / `BENCH_parallel.json`
+//! comparison, the parallel-serving scaling sweep and the int8-vs-f32
+//! quantization comparison (`serve_throughput`, `capture_throughput`,
+//! `policy_bench`, `parallel_bench`, `quant_bench`) and emits their
+//! numbers as `BENCH_serve.json` / `BENCH_capture.json` /
+//! `BENCH_policy.json` / `BENCH_parallel.json` / `BENCH_quant.json`
 //! (schema documented in `crates/bench/README.md`).
 
 use std::path::{Path, PathBuf};
@@ -76,6 +77,7 @@ fn main() {
     );
     run_result_bench(&exe_dir, &forwarded, &out_dir, "policy_bench", "policy");
     run_result_bench(&exe_dir, &forwarded, &out_dir, "parallel_bench", "parallel");
+    run_result_bench(&exe_dir, &forwarded, &out_dir, "quant_bench", "quant");
 }
 
 /// Runs one bench binary and writes its `RESULT <tag> <key> <value>`

@@ -55,4 +55,4 @@ mod pipeline;
 
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use model::ModelConfig;
-pub use pipeline::{AuthError, Authenticator, FrozenAuthenticator};
+pub use pipeline::{AuthError, Authenticator, FrozenAuthenticator, Precision};

@@ -4,11 +4,54 @@ use crate::model::ModelConfig;
 use deepcsi_bfi::BeamformingFeedback;
 use deepcsi_data::InputSpec;
 use deepcsi_frame::{BeamformingReportFrame, FrameError, MacAddr};
-use deepcsi_nn::{FrozenModel, InferCtx, Network, Tensor};
+use deepcsi_nn::{FrozenModel, InferCtx, Network, QuantError, QuantSpec, Tensor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::Path;
 use std::sync::OnceLock;
+
+/// Numeric backend of a frozen serving snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// The f32 reference path — bit-equal to training-time
+    /// `forward(x, false)`.
+    #[default]
+    F32,
+    /// Post-training-quantized int8: integer conv/dense kernels,
+    /// calibrated activation scales, approximately-equal predictions
+    /// (see `deepcsi_nn::quant`).
+    Int8,
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Precision {
+    /// The CLI-facing name (`"f32"` / `"int8"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "int8" => Ok(Precision::Int8),
+            other => Err(format!(
+                "unknown precision {other:?} (expected f32 or int8)"
+            )),
+        }
+    }
+}
 
 /// Errors from the authentication pipeline.
 #[derive(Debug)]
@@ -177,7 +220,23 @@ impl Authenticator {
             model: self.net.freeze(),
             spec: self.spec.clone(),
             input_shape: self.input_shape,
+            precision: Precision::F32,
         }
+    }
+
+    /// Snapshots this authenticator into a post-training-quantized
+    /// **int8** serving snapshot (see
+    /// [`FrozenAuthenticator::quantized`]). `calib` is the
+    /// representative input batch the activation scales are calibrated
+    /// on — typically a few hundred tensorized feedback reports from
+    /// the training set.
+    ///
+    /// # Errors
+    ///
+    /// [`deepcsi_nn::QuantError`] when `calib` is empty or the
+    /// quantized pipeline fails to assemble.
+    pub fn freeze_int8(&self, calib: &[Tensor]) -> Result<FrozenAuthenticator, QuantError> {
+        FrozenAuthenticator::quantized(self, calib)
     }
 
     /// Decodes a captured frame and classifies its feedback, returning
@@ -251,12 +310,49 @@ pub struct FrozenAuthenticator {
     model: FrozenModel,
     spec: InputSpec,
     input_shape: Option<(usize, usize, usize)>,
+    precision: Precision,
 }
 
 impl FrozenAuthenticator {
+    /// Builds a post-training-quantized **int8** snapshot of `auth`:
+    /// activation scales are calibrated by running `calib` (a
+    /// representative batch of input tensors, e.g.
+    /// [`Authenticator::tensorize`]d training feedback) through the f32
+    /// model, then the conv/dense layers are re-frozen onto integer
+    /// kernels (`deepcsi_nn::quant`).
+    ///
+    /// Predictions are *approximately* equal to the f32 snapshot's —
+    /// top-1 agreement is pinned ≥ 99% by the accuracy-parity suite —
+    /// and, like f32, **bit-identical across any `infer_threads` lane
+    /// split**, so the engine's thread-invariance contract holds at
+    /// both precisions.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::EmptySample`] for an empty calibration batch;
+    /// [`QuantError::Shape`] when the assembled pipeline fails shape
+    /// validation (mis-matched calibration).
+    pub fn quantized(
+        auth: &Authenticator,
+        calib: &[Tensor],
+    ) -> Result<FrozenAuthenticator, QuantError> {
+        let spec = QuantSpec::calibrate(&auth.net.freeze(), calib)?;
+        Ok(FrozenAuthenticator {
+            model: auth.net.freeze_int8(&spec)?,
+            spec: auth.spec.clone(),
+            input_shape: auth.input_shape,
+            precision: Precision::Int8,
+        })
+    }
+
     /// The input spec feedback is tensorised with.
     pub fn spec(&self) -> &InputSpec {
         &self.spec
+    }
+
+    /// The numeric backend this snapshot serves with.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The recorded input shape `(channels, rows, cols)`, when the
@@ -410,5 +506,37 @@ mod tests {
             Authenticator::load("/nonexistent/model.bin"),
             Err(AuthError::Io(_))
         ));
+    }
+
+    #[test]
+    fn precision_parses_and_displays() {
+        assert_eq!("f32".parse::<Precision>().unwrap(), Precision::F32);
+        assert_eq!("int8".parse::<Precision>().unwrap(), Precision::Int8);
+        assert!("fp16".parse::<Precision>().is_err());
+        assert_eq!(Precision::Int8.to_string(), "int8");
+        assert_eq!(Precision::default(), Precision::F32);
+    }
+
+    #[test]
+    fn quantized_snapshot_serves_the_same_interface() {
+        let (auth, _, _) = tiny_authenticator();
+        let trace = tiny_trace();
+        let calib: Vec<Tensor> = trace
+            .snapshots
+            .iter()
+            .map(|fb| auth.tensorize(fb))
+            .collect();
+        let frozen = auth.freeze();
+        let int8 = FrozenAuthenticator::quantized(&auth, &calib).unwrap();
+        assert_eq!(frozen.precision(), Precision::F32);
+        assert_eq!(int8.precision(), Precision::Int8);
+        assert_eq!(int8.input_shape(), auth.input_shape());
+        let mut ctx = int8.ctx();
+        for fb in &trace.snapshots {
+            let id = int8.classify_feedback(fb, &mut ctx);
+            assert!(id < 3);
+        }
+        // Empty calibration is rejected up front.
+        assert!(FrozenAuthenticator::quantized(&auth, &[]).is_err());
     }
 }

@@ -30,17 +30,67 @@
 //! construction (property-tested in `tests/proptests.rs`).
 
 use crate::tensor::Tensor;
+use std::fmt;
 
 /// Grows `buf` to exactly `len` elements, never shrinking its capacity —
 /// the steady-state path is a truncate/extend inside existing capacity,
 /// not an allocation.
-pub(crate) fn resize_buf(buf: &mut Vec<f32>, len: usize) {
+pub(crate) fn resize_buf<T: Default + Clone>(buf: &mut Vec<T>, len: usize) {
     if buf.len() < len {
-        buf.resize(len, 0.0);
+        buf.resize(len, T::default());
     } else {
         buf.truncate(len);
     }
 }
+
+/// Transposes the `r × c` row-major matrix `src` into the `c × r`
+/// row-major `dst`, in 32×32 tiles so both sides stay within a few open
+/// cache lines (the quantize/dequantize layout hops between the f32
+/// batch-innermost planes and the sample-major quantized planes).
+pub(crate) fn transpose_i16(src: &[i16], dst: &mut [i16], r: usize, c: usize) {
+    const T: usize = 32;
+    for r0 in (0..r).step_by(T) {
+        for c0 in (0..c).step_by(T) {
+            for i in r0..(r0 + T).min(r) {
+                for j in c0..(c0 + T).min(c) {
+                    dst[j * r + i] = src[i * c + j];
+                }
+            }
+        }
+    }
+}
+
+/// An op chain whose per-sample shapes do not connect: op `op_index`
+/// cannot accept the shape the previous op produces.
+///
+/// Returned by [`FrozenModel::validate`] / [`FrozenModel::from_ops_checked`]
+/// so a mis-assembled pipeline (most likely a hand-built one via
+/// [`FrozenModel::from_ops`], or an int8 chain quantized against the
+/// wrong calibration) fails at freeze time with a precise diagnosis,
+/// instead of panicking inside a serving worker at first inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// Index of the offending op in the chain.
+    pub op_index: usize,
+    /// The offending op's name.
+    pub op_name: String,
+    /// The per-sample shape arriving at the op.
+    pub in_shape: Vec<usize>,
+    /// Why the op rejected it.
+    pub reason: String,
+}
+
+impl fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "op {} ({}) cannot accept per-sample shape {:?}: {}",
+            self.op_index, self.op_name, self.in_shape, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
 
 /// One frozen layer: an immutable, thread-shareable inference op.
 ///
@@ -60,6 +110,18 @@ pub trait InferOp: Send + Sync {
 
     /// Transforms the context's current activation plane.
     fn apply(&self, ctx: &mut InferCtx);
+
+    /// The per-sample shape this op would produce for `in_shape`, or an
+    /// explanation when the op cannot accept it.
+    ///
+    /// This is the static half of the op contract:
+    /// [`FrozenModel::validate`] chains it across the whole pipeline so
+    /// a mis-assembled model fails at freeze time rather than at first
+    /// inference. The default is shape-preserving (element-wise ops);
+    /// shape-changing or rank-picky ops override it.
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>, String> {
+        Ok(in_shape.to_vec())
+    }
 }
 
 /// One worker's inference scratch: activation planes and op workspaces.
@@ -79,6 +141,24 @@ pub struct InferCtx {
     /// logits live here).
     pub(crate) scratch0: Vec<f32>,
     pub(crate) scratch1: Vec<f32>,
+    /// Quantized activation plane (int8-grid values `[-127, 127]`,
+    /// i16-materialized for the integer dot-product kernels; empty for
+    /// f32 models). **Sample-major** layout — `data[s * elems + e]` —
+    /// the transpose of `cur`, so each sample's elements are contiguous
+    /// (see `crate::quant::ops`).
+    pub(crate) qcur: Vec<i16>,
+    /// The quantized half of the ping-pong pair (see
+    /// [`InferCtx::produce_q`]).
+    qnxt: Vec<i16>,
+    /// Int8 op workspace (the quantized conv's im2col patches live
+    /// here).
+    pub(crate) qscratch: Vec<i16>,
+    /// `true` while the live activation is the quantized plane `qcur`
+    /// (scale in `qscale`) rather than the f32 plane `cur`.
+    pub(crate) int8: bool,
+    /// Activation scale of `qcur` when `int8` is set: real value ≈
+    /// `qcur[i] as f32 * qscale`.
+    pub(crate) qscale: f32,
     /// Per-sample shape of `cur`.
     shape: Vec<usize>,
     /// Samples interleaved in `cur`.
@@ -96,7 +176,8 @@ impl InferCtx {
     /// # Panics
     ///
     /// Panics if `xs` is empty or the samples disagree in shape.
-    fn load(&mut self, xs: &[Tensor]) {
+    pub(crate) fn load(&mut self, xs: &[Tensor]) {
+        self.int8 = false;
         assert!(!xs.is_empty(), "empty batch");
         let shape = xs[0].shape();
         let elems = xs[0].len();
@@ -115,6 +196,10 @@ impl InferCtx {
 
     /// De-interleaves the current plane into one tensor per sample.
     fn unload(&self) -> Vec<Tensor> {
+        assert!(
+            !self.int8,
+            "pipeline left its activation in the int8 domain (missing trailing dequantize op)"
+        );
         let elems = self.elems();
         (0..self.b)
             .map(|s| {
@@ -193,6 +278,84 @@ impl InferCtx {
         self.shape.clear();
         self.shape.extend_from_slice(out_shape);
     }
+
+    /// `true` while the live activation is the int8 plane.
+    pub fn is_int8(&self) -> bool {
+        self.int8
+    }
+
+    /// Quantizes the f32 plane into the quantized plane at `scale`
+    /// (round-to-nearest, clamped to the symmetric int8 grid
+    /// `[-127, 127]`), transposing from batch-innermost to the
+    /// sample-major layout the integer kernels want, and enters the
+    /// int8 domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is already in the int8 domain.
+    pub(crate) fn quantize_in_place(&mut self, scale: f32) {
+        assert!(!self.int8, "quantize op applied to an int8 plane");
+        resize_buf(&mut self.qnxt, self.cur.len());
+        resize_buf(&mut self.qcur, self.cur.len());
+        let inv = 1.0 / scale;
+        // Two passes: a sequential (auto-vectorized) quantize pass, then
+        // a pure-move i16 transpose — keeping the float math out of the
+        // scattered-access loop.
+        for (q, &x) in self.qnxt.iter_mut().zip(&self.cur) {
+            *q = (x * inv).round().clamp(-127.0, 127.0) as i16;
+        }
+        let (elems, b) = (self.elems(), self.b);
+        transpose_i16(&self.qnxt, &mut self.qcur, elems, b);
+        self.int8 = true;
+        self.qscale = scale;
+    }
+
+    /// Reconstructs the batch-innermost f32 plane from the sample-major
+    /// quantized plane (`x = q · scale`) and leaves the int8 domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is not in the int8 domain.
+    pub(crate) fn dequantize_in_place(&mut self) {
+        assert!(self.int8, "dequantize op applied to an f32 plane");
+        resize_buf(&mut self.cur, self.qcur.len());
+        resize_buf(&mut self.qnxt, self.qcur.len());
+        let scale = self.qscale;
+        // Mirror of `quantize_in_place`: move-only i16 transpose first,
+        // then a sequential (auto-vectorized) dequantize pass.
+        let (elems, b) = (self.elems(), self.b);
+        transpose_i16(&self.qcur, &mut self.qnxt, b, elems);
+        for (x, &q) in self.cur.iter_mut().zip(&self.qnxt) {
+            *x = f32::from(q) * scale;
+        }
+        self.int8 = false;
+    }
+
+    /// The int8 analogue of [`InferCtx::produce`]: runs a shape-changing
+    /// op over the quantized ping-pong pair (sample-major planes).
+    /// `out_scale` becomes the new plane's activation scale. Output
+    /// planes are handed over uninitialised-but-overwritten (every int8
+    /// kernel fully writes its output), so there is no zero-fill
+    /// variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is not in the int8 domain.
+    pub(crate) fn produce_q(
+        &mut self,
+        out_shape: &[usize],
+        out_scale: f32,
+        f: impl FnOnce(&[i16], &mut [i16], &[usize], usize),
+    ) {
+        assert!(self.int8, "int8 op applied to an f32 plane");
+        let out_len = out_shape.iter().product::<usize>() * self.b;
+        resize_buf(&mut self.qnxt, out_len);
+        f(&self.qcur, &mut self.qnxt, &self.shape, self.b);
+        std::mem::swap(&mut self.qcur, &mut self.qnxt);
+        self.qscale = out_scale;
+        self.shape.clear();
+        self.shape.extend_from_slice(out_shape);
+    }
 }
 
 /// Minimum samples routed to each thread of
@@ -226,7 +389,7 @@ pub const PAR_MIN_CHUNK: usize = 16;
 /// assert_eq!(y.shape(), &[2]);
 /// ```
 pub struct FrozenModel {
-    ops: Vec<Box<dyn InferOp>>,
+    pub(crate) ops: Vec<Box<dyn InferOp>>,
 }
 
 impl std::fmt::Debug for FrozenModel {
@@ -245,8 +408,51 @@ impl std::fmt::Debug for FrozenModel {
 impl FrozenModel {
     /// Wraps a pre-built op sequence (used by [`crate::Network::freeze`];
     /// also the seam for hand-assembled frozen pipelines).
+    ///
+    /// Performs no validation — when the expected input shape is known,
+    /// prefer [`FrozenModel::from_ops_checked`], which proves the op
+    /// shapes chain before the model can reach a serving worker.
     pub fn from_ops(ops: Vec<Box<dyn InferOp>>) -> Self {
         FrozenModel { ops }
+    }
+
+    /// Like [`FrozenModel::from_ops`], but first proves that the op
+    /// chain accepts per-sample inputs of `input_shape` — each op's
+    /// [`InferOp::out_shape`] must accept what the previous op produces.
+    ///
+    /// # Errors
+    ///
+    /// [`ShapeMismatch`] naming the first op that cannot accept its
+    /// incoming shape, so a mis-assembled pipeline (hand-built, or an
+    /// int8 chain quantized against the wrong calibration) fails at
+    /// freeze time instead of at first inference.
+    pub fn from_ops_checked(
+        ops: Vec<Box<dyn InferOp>>,
+        input_shape: &[usize],
+    ) -> Result<Self, ShapeMismatch> {
+        let model = FrozenModel { ops };
+        model.validate(input_shape)?;
+        Ok(model)
+    }
+
+    /// Statically chains every op's [`InferOp::out_shape`] from
+    /// `input_shape`, returning the model's per-sample output shape.
+    ///
+    /// # Errors
+    ///
+    /// [`ShapeMismatch`] for the first op that rejects its incoming
+    /// shape.
+    pub fn validate(&self, input_shape: &[usize]) -> Result<Vec<usize>, ShapeMismatch> {
+        let mut shape = input_shape.to_vec();
+        for (op_index, op) in self.ops.iter().enumerate() {
+            shape = op.out_shape(&shape).map_err(|reason| ShapeMismatch {
+                op_index,
+                op_name: op.name().to_string(),
+                in_shape: shape.clone(),
+                reason,
+            })?;
+        }
+        Ok(shape)
     }
 
     /// A fresh scratch context for one worker thread.
@@ -354,6 +560,7 @@ impl FrozenModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer::Layer;
     use crate::layers::{Dense, Selu};
     use crate::network::Network;
 
@@ -455,5 +662,43 @@ mod tests {
         let s = format!("{frozen:?}");
         assert!(s.contains("dense"), "{s}");
         assert!(s.contains("selu"), "{s}");
+    }
+
+    #[test]
+    fn validate_chains_shapes_through_the_model() {
+        let (_, frozen) = tiny_frozen();
+        assert_eq!(frozen.validate(&[3]).unwrap(), vec![2]);
+        // Rank-1 input of the wrong width is caught at the first op.
+        let err = frozen.validate(&[4]).unwrap_err();
+        assert_eq!(err.op_index, 0);
+        assert_eq!(err.op_name, "dense");
+        assert_eq!(err.in_shape, vec![4]);
+    }
+
+    #[test]
+    fn from_ops_checked_accepts_a_well_formed_chain() {
+        let ops = vec![Dense::new(3, 5, 1).freeze(), Dense::new(5, 2, 2).freeze()];
+        let model = FrozenModel::from_ops_checked(ops, &[3]).unwrap();
+        assert_eq!(model.len(), 2);
+        let mut ctx = model.ctx();
+        let y = model.infer(&Tensor::zeros(vec![3]), &mut ctx);
+        assert_eq!(y.shape(), &[2]);
+    }
+
+    #[test]
+    fn from_ops_checked_rejects_a_broken_chain_at_freeze_time() {
+        // 3 → 5, then an op expecting 4 inputs: the mis-assembly is
+        // diagnosed here, not at first inference.
+        let ops = vec![Dense::new(3, 5, 1).freeze(), Dense::new(4, 2, 2).freeze()];
+        let err = FrozenModel::from_ops_checked(ops, &[3]).unwrap_err();
+        assert_eq!(err.op_index, 1);
+        assert_eq!(err.op_name, "dense");
+        assert_eq!(err.in_shape, vec![5]);
+        assert!(err.to_string().contains("dense"), "{err}");
+        // The unchecked constructor still accepts it (compatibility),
+        // but validate() reports the same diagnosis.
+        let ops = vec![Dense::new(3, 5, 1).freeze(), Dense::new(4, 2, 2).freeze()];
+        let model = FrozenModel::from_ops(ops);
+        assert!(model.validate(&[3]).is_err());
     }
 }

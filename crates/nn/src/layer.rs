@@ -10,6 +10,7 @@
 //! weights.
 
 use crate::frozen::InferOp;
+use crate::quant::Int8Freeze;
 use crate::tensor::Tensor;
 
 /// A mutable view over one parameter tensor and its gradient accumulator.
@@ -53,6 +54,19 @@ pub trait Layer: Send {
     /// disagree. Parameters are copied once; later training steps on
     /// this layer do not affect already-frozen ops.
     fn freeze(&self) -> Box<dyn InferOp>;
+
+    /// Serve-only: snapshots the layer into an int8 inference op for a
+    /// quantized pipeline, given the calibrated activation scales at its
+    /// input and output boundaries.
+    ///
+    /// Returns `None` (the default) when the layer has no integer
+    /// kernel — [`crate::Network::freeze_int8`] then keeps the layer's
+    /// f32 op and hops domains around it. Training semantics are
+    /// untouched: like [`Layer::freeze`], this only *reads* the layer.
+    fn freeze_int8(&self, in_scale: f32, out_scale: f32) -> Option<Int8Freeze> {
+        let _ = (in_scale, out_scale);
+        None
+    }
 
     /// Mutable views of (parameters, gradients), in a stable order.
     fn params(&mut self) -> Vec<ParamView<'_>>;

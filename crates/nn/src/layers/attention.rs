@@ -113,6 +113,16 @@ impl InferOp for FrozenSpatialAttention {
             }
         }
     }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>, String> {
+        if in_shape.len() != 3 {
+            return Err(format!(
+                "attention needs a rank-3 input, got rank {}",
+                in_shape.len()
+            ));
+        }
+        Ok(in_shape.to_vec())
+    }
 }
 
 impl Layer for SpatialAttention {

@@ -3,6 +3,8 @@
 use crate::frozen::{InferCtx, InferOp};
 use crate::init::lecun_normal;
 use crate::layer::{Layer, ParamView};
+use crate::quant::ops::{conv_out_shape, Int8Conv2d};
+use crate::quant::{quantize_layer, Int8Freeze};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -234,6 +236,10 @@ impl InferOp for FrozenConv2d {
             self.run(xs, os, (c, h, w), b);
         });
     }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>, String> {
+        conv_out_shape(self.in_ch, self.out_ch, in_shape)
+    }
 }
 
 impl Layer for Conv2d {
@@ -337,6 +343,37 @@ impl Layer for Conv2d {
 
     fn freeze(&self) -> Box<dyn InferOp> {
         Box::new(self.frozen())
+    }
+
+    fn freeze_int8(&self, in_scale: f32, out_scale: f32) -> Option<Int8Freeze> {
+        // Widths outside the monomorphized im2col dispatch stay on the
+        // f32 op: the pipeline still assembles, this layer just rides
+        // between dequantize/quantize hops instead of panicking at
+        // first inference inside a serving worker.
+        if !Int8Conv2d::supports_width(self.kw) {
+            return None;
+        }
+        let parts = quantize_layer(
+            "conv2d",
+            &self.weight,
+            &self.bias,
+            self.out_ch,
+            in_scale,
+            out_scale,
+        );
+        Some(Int8Freeze::Requantized {
+            op: Box::new(Int8Conv2d {
+                in_ch: self.in_ch,
+                out_ch: self.out_ch,
+                kh: self.kh,
+                kw: self.kw,
+                weight: parts.weight,
+                m: parts.m,
+                bq: parts.bq,
+                out_scale,
+            }),
+            info: parts.info,
+        })
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {

@@ -3,6 +3,8 @@
 use crate::frozen::{InferCtx, InferOp};
 use crate::init::lecun_normal;
 use crate::layer::{Layer, ParamView};
+use crate::quant::ops::{dense_out_shape, Int8Dense};
+use crate::quant::{quantize_layer, Int8Freeze};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -155,6 +157,10 @@ impl InferOp for FrozenDense {
             self.run(xs, os, b);
         });
     }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>, String> {
+        dense_out_shape(self.in_dim, self.out_dim, in_shape)
+    }
 }
 
 impl Layer for Dense {
@@ -206,6 +212,28 @@ impl Layer for Dense {
             out_dim: self.out_dim,
             weight: self.weight.clone(),
             bias: self.bias.clone(),
+        })
+    }
+
+    fn freeze_int8(&self, in_scale: f32, out_scale: f32) -> Option<Int8Freeze> {
+        let parts = quantize_layer(
+            "dense",
+            &self.weight,
+            &self.bias,
+            self.out_dim,
+            in_scale,
+            out_scale,
+        );
+        Some(Int8Freeze::Requantized {
+            op: Box::new(Int8Dense {
+                in_dim: self.in_dim,
+                out_dim: self.out_dim,
+                weight: parts.weight,
+                m: parts.m,
+                bq: parts.bq,
+                out_scale,
+            }),
+            info: parts.info,
         })
     }
 

@@ -95,6 +95,14 @@ impl Layer for AlphaDropout {
         Box::new(FrozenAlphaDropout)
     }
 
+    fn freeze_int8(&self, _in_scale: f32, _out_scale: f32) -> Option<crate::quant::Int8Freeze> {
+        // The frozen identity is domain-agnostic: an int8 chain passes
+        // straight through without a float round trip.
+        Some(crate::quant::Int8Freeze::ScalePreserving(Box::new(
+            FrozenAlphaDropout,
+        )))
+    }
+
     fn params(&mut self) -> Vec<ParamView<'_>> {
         Vec::new()
     }

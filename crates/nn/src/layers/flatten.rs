@@ -2,6 +2,7 @@
 
 use crate::frozen::{InferCtx, InferOp};
 use crate::layer::{Layer, ParamView};
+use crate::quant::Int8Freeze;
 use crate::tensor::Tensor;
 
 /// Flattens any input to rank 1, restoring the shape on backward.
@@ -30,6 +31,10 @@ impl InferOp for FrozenFlatten {
         let elems = ctx.elems();
         ctx.set_shape(&[elems]);
     }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>, String> {
+        Ok(vec![in_shape.iter().product()])
+    }
 }
 
 impl Layer for Flatten {
@@ -49,6 +54,12 @@ impl Layer for Flatten {
 
     fn freeze(&self) -> Box<dyn InferOp> {
         Box::new(FrozenFlatten)
+    }
+
+    fn freeze_int8(&self, _in_scale: f32, _out_scale: f32) -> Option<Int8Freeze> {
+        // A reshape is a pure relabel in either domain — the int8 plane
+        // and its scale pass through untouched.
+        Some(Int8Freeze::ScalePreserving(Box::new(FrozenFlatten)))
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {

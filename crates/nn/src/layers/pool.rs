@@ -2,6 +2,8 @@
 
 use crate::frozen::{InferCtx, InferOp};
 use crate::layer::{Layer, ParamView};
+use crate::quant::ops::{pool_out_shape, Int8MaxPool};
+use crate::quant::Int8Freeze;
 use crate::tensor::Tensor;
 
 /// Max pooling with stride equal to the kernel (non-overlapping windows)
@@ -76,6 +78,10 @@ impl InferOp for FrozenMaxPool2d {
             }
         });
     }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>, String> {
+        pool_out_shape(in_shape, self.kh, self.kw)
+    }
 }
 
 impl Layer for MaxPool2d {
@@ -131,6 +137,17 @@ impl Layer for MaxPool2d {
             kh: self.kh,
             kw: self.kw,
         })
+    }
+
+    fn freeze_int8(&self, _in_scale: f32, _out_scale: f32) -> Option<Int8Freeze> {
+        // Max is monotone, so pooling the int8 plane directly is exact:
+        // the scale passes through untouched and no quantization error
+        // is introduced — an int8 conv → pool → conv block never leaves
+        // the integer domain.
+        Some(Int8Freeze::ScalePreserving(Box::new(Int8MaxPool {
+            kh: self.kh,
+            kw: self.kw,
+        })))
     }
 
     fn params(&mut self) -> Vec<ParamView<'_>> {

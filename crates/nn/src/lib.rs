@@ -21,6 +21,10 @@
 //!   `infer`/`infer_batch` are bit-equal to `forward(train = false)`,
 //!   and [`FrozenModel::infer_batch_par`] splits a batch's lane blocks
 //!   across threads without ever changing an output.
+//! * [`quant`] — the int8 serving backend: [`QuantSpec::calibrate`] +
+//!   [`Network::freeze_int8`] re-freeze conv/dense onto integer
+//!   dot-product kernels behind the same [`InferOp`] seam (top-1
+//!   agreement ≥ 99%, same thread-split bit-exactness).
 //! * [`softmax_cross_entropy`] — fused loss/gradient.
 //! * [`Adam`] / [`Sgd`] — optimizers.
 //! * [`Trainer`] — seeded mini-batch training with crossbeam-based
@@ -61,11 +65,12 @@ mod loss;
 mod metrics;
 mod network;
 mod optim;
+pub mod quant;
 mod tensor;
 mod train;
 
 pub use fastmath::poly_exp;
-pub use frozen::{FrozenModel, InferCtx, InferOp, PAR_MIN_CHUNK};
+pub use frozen::{FrozenModel, InferCtx, InferOp, ShapeMismatch, PAR_MIN_CHUNK};
 pub use layer::Layer;
 pub use layers::{
     AlphaDropout, Conv2d, Dense, Flatten, MaxPool2d, Selu, Sigmoid, SpatialAttention,
@@ -74,5 +79,6 @@ pub use loss::softmax_cross_entropy;
 pub use metrics::ConfusionMatrix;
 pub use network::Network;
 pub use optim::{Adam, Optimizer, Sgd};
+pub use quant::{ActRange, Int8Freeze, QuantError, QuantLayerInfo, QuantSpec};
 pub use tensor::Tensor;
 pub use train::{evaluate, predict, TrainConfig, TrainReport, Trainer};

@@ -2,6 +2,7 @@
 
 use crate::frozen::FrozenModel;
 use crate::layer::{Layer, ParamView};
+use crate::quant::{QuantError, QuantLayerInfo, QuantSpec};
 use crate::tensor::Tensor;
 
 /// A sequential stack of layers.
@@ -76,6 +77,47 @@ impl Network {
     /// its own [`crate::InferCtx`].
     pub fn freeze(&self) -> FrozenModel {
         FrozenModel::from_ops(self.layers.iter().map(|l| l.freeze()).collect())
+    }
+
+    /// Snapshots the network into a post-training-quantized **int8**
+    /// [`FrozenModel`]: conv/dense run integer kernels
+    /// (`i8 × i8 → i32`, requantized at layer exit), activations and the
+    /// attention block stay f32 behind dequantize/quantize hops, and the
+    /// whole chain serves behind the same [`crate::InferOp`] seam as the
+    /// f32 snapshot — including the bit-exact thread-parallel lane
+    /// split.
+    ///
+    /// `spec` comes from [`QuantSpec::calibrate`] run on this network's
+    /// f32 [`Network::freeze`] snapshot with a representative sample
+    /// batch. Outputs are *approximately* equal to `forward(x, false)` —
+    /// quantization trades a bounded per-layer rounding error (see
+    /// `crate::quant`) for integer arithmetic; it is the one deliberate
+    /// exception to the frozen path's bit-equality contract, which is
+    /// why it lives behind an explicit opt-in instead of a flag on
+    /// [`Network::freeze`].
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::BoundaryCount`] when `spec` was calibrated against
+    /// a different architecture, [`QuantError::Shape`] when the
+    /// assembled chain fails shape validation against the calibration
+    /// input shape.
+    pub fn freeze_int8(&self, spec: &QuantSpec) -> Result<FrozenModel, QuantError> {
+        Ok(self.freeze_int8_report(spec)?.0)
+    }
+
+    /// [`Network::freeze_int8`] plus per-layer quantization metadata
+    /// (weight scales and round-trip error bounds) for benchmarking and
+    /// diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::freeze_int8`].
+    pub fn freeze_int8_report(
+        &self,
+        spec: &QuantSpec,
+    ) -> Result<(FrozenModel, Vec<QuantLayerInfo>), QuantError> {
+        crate::quant::assemble(&self.layers, spec)
     }
 
     /// Immutable single-sample inference, bit-equal to

@@ -6,6 +6,7 @@
 //! deepcsi-served [--dataset PATH] [--model PATH] [--save-model PATH]
 //!                [--modules N] [--snapshots N] [--epochs N]
 //!                [--workers N] [--infer-threads N]
+//!                [--precision f32|int8] [--calib-samples N]
 //!                [--batch N] [--queue N] [--window N]
 //!                [--policy fixed|confidence|adaptive]
 //!                [--accept-threshold MASS] [--calibration N]
@@ -40,6 +41,12 @@
 //!   SIMD lane block, so a micro-batch engages at most `--batch / 16`
 //!   threads — raise `--batch` together with `N` (e.g. `--batch 64`
 //!   for `--infer-threads 4`).
+//! * `--precision f32|int8` selects the serving snapshot's numeric
+//!   backend (default `f32`, bit-identical to training). `int8`
+//!   calibrates activation scales on up to `--calib-samples` (default
+//!   256) tensorized reports from the dataset, quantizes the
+//!   conv/dense layers onto integer kernels, and serves the quantized
+//!   snapshot behind the same `Arc` — verdict plumbing untouched.
 //!
 //! Decision-policy knobs (see the crate docs for the semantics):
 //!
@@ -51,11 +58,13 @@
 //!   reports (default 20).
 
 use deepcsi_capture::{FollowSource, FrameSource, PcapFileSource};
-use deepcsi_core::{run_experiment, Authenticator, ExperimentConfig, ModelConfig};
+use deepcsi_core::{
+    run_experiment, Authenticator, ExperimentConfig, FrozenAuthenticator, ModelConfig,
+};
 use deepcsi_data::{d1_split, generate_d1, D1Set, Dataset, GenConfig, InputSpec};
 use deepcsi_nn::TrainConfig;
 use deepcsi_serve::{
-    Backpressure, DecisionPolicyConfig, Engine, EngineConfig, PolicyKind, ReplaySource,
+    Backpressure, DecisionPolicyConfig, Engine, EngineConfig, PolicyKind, Precision, ReplaySource,
     SourceStatus, Verdict, WindowConfig,
 };
 use std::time::{Duration, Instant};
@@ -69,6 +78,8 @@ struct Args {
     epochs: usize,
     workers: usize,
     infer_threads: usize,
+    precision: Precision,
+    calib_samples: usize,
     batch: usize,
     queue: usize,
     window: usize,
@@ -95,6 +106,8 @@ impl Args {
             epochs: 6,
             workers: 2,
             infer_threads: 1,
+            precision: Precision::default(),
+            calib_samples: 256,
             batch: 32,
             queue: 1024,
             window: 25,
@@ -127,6 +140,14 @@ impl Args {
                 "--workers" => args.workers = value("--workers").parse().expect("--workers"),
                 "--infer-threads" => {
                     args.infer_threads = value("--infer-threads").parse().expect("--infer-threads")
+                }
+                "--precision" => {
+                    args.precision = value("--precision")
+                        .parse()
+                        .unwrap_or_else(|e: String| panic!("--precision: {e}"))
+                }
+                "--calib-samples" => {
+                    args.calib_samples = value("--calib-samples").parse().expect("--calib-samples")
                 }
                 "--batch" => args.batch = value("--batch").parse().expect("--batch"),
                 "--queue" => args.queue = value("--queue").parse().expect("--queue"),
@@ -198,6 +219,12 @@ impl Args {
             panic!("--calibration must be positive");
         }
         assert!(args.infer_threads > 0, "--infer-threads must be positive");
+        if args.calib_samples == 0 {
+            panic!("--calib-samples must be positive");
+        }
+        if args.precision != Precision::Int8 && args.calib_samples != 256 {
+            eprintln!("warning: --calib-samples only applies with --precision int8");
+        }
         args
     }
 
@@ -393,11 +420,38 @@ fn main() {
     }
 
     // Freeze once: the workers all share this one immutable snapshot.
-    let frozen = std::sync::Arc::new(auth.freeze());
+    let frozen = std::sync::Arc::new(match args.precision {
+        Precision::F32 => auth.freeze(),
+        Precision::Int8 => {
+            // Calibrate activation scales on a representative slice of
+            // the capture the engine is about to serve. Stride across
+            // the whole dataset — traces are ordered by module, so a
+            // plain prefix would calibrate on one device's activations
+            // and clamp everyone else's.
+            let snapshots: Vec<_> = ds.traces.iter().flat_map(|t| t.snapshots.iter()).collect();
+            let step = (snapshots.len() / args.calib_samples).max(1);
+            let calib: Vec<deepcsi_nn::Tensor> = snapshots
+                .iter()
+                .step_by(step)
+                .take(args.calib_samples)
+                .map(|fb| auth.tensorize(fb))
+                .collect();
+            let t = Instant::now();
+            let quantized = FrozenAuthenticator::quantized(&auth, &calib)
+                .unwrap_or_else(|e| panic!("int8 quantization failed: {e}"));
+            println!(
+                "quantized to int8 on {} calibration reports ({:.1?})",
+                calib.len(),
+                t.elapsed()
+            );
+            quantized
+        }
+    });
     let engine = Engine::start_frozen(
         EngineConfig {
             workers: args.workers,
             infer_threads: args.infer_threads,
+            precision: args.precision,
             queue_capacity: args.queue,
             max_batch: args.batch,
             backpressure: if args.drop_on_full {
@@ -416,8 +470,8 @@ fn main() {
         registry.clone(),
     );
     println!(
-        "decision policy: {} ({} workers × {} inference threads)",
-        args.policy, args.workers, args.infer_threads
+        "decision policy: {} ({} workers × {} inference threads, {} inference)",
+        args.policy, args.workers, args.infer_threads, args.precision
     );
 
     let t = Instant::now();

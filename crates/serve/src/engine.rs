@@ -33,7 +33,7 @@ use crate::registry::{DeviceRegistry, Verdict, VerdictPolicy};
 use crate::telemetry::{EngineStats, Telemetry};
 use crate::window::{WindowConfig, WindowedDecision};
 use deepcsi_capture::{CaptureError, FrameSource, SourcePoll};
-use deepcsi_core::{Authenticator, FrozenAuthenticator};
+use deepcsi_core::{Authenticator, FrozenAuthenticator, Precision};
 use deepcsi_frame::{BeamformingReportFrame, CapturedReport, MacAddr};
 use deepcsi_nn::{InferCtx, Tensor};
 use std::collections::hash_map::DefaultHasher;
@@ -99,6 +99,19 @@ pub struct EngineConfig {
     ///
     /// [`PolicyKind::FixedMajority`]: crate::PolicyKind::FixedMajority
     pub decision: DecisionPolicyConfig,
+    /// The numeric backend the engine expects its frozen snapshot to
+    /// serve with. Defaults to [`Precision::F32`] — bit-identical to
+    /// the pre-quantization engine.
+    ///
+    /// This is a declared *expectation*, checked against the snapshot
+    /// at [`Engine::start_frozen`]: declaring `int8` while handing the
+    /// engine f32 weights (or vice versa) is a configuration bug, and
+    /// fails at startup rather than silently serving the wrong backend.
+    /// Build int8 snapshots with
+    /// [`deepcsi_core::FrozenAuthenticator::quantized`] — the verdict
+    /// plumbing (sharding, policies, registry) is identical at either
+    /// precision.
+    pub precision: Precision,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +126,7 @@ impl Default for EngineConfig {
             window: WindowConfig::default(),
             policy: VerdictPolicy::default(),
             decision: DecisionPolicyConfig::default(),
+            precision: Precision::default(),
         }
     }
 }
@@ -266,8 +280,18 @@ impl Engine {
     /// # Panics
     ///
     /// Panics on a zero worker count, queue capacity, batch size or
-    /// inference-thread count.
+    /// inference-thread count, or when `cfg.precision` is not
+    /// [`Precision::F32`] — quantization needs calibration data this
+    /// signature does not carry; build the snapshot with
+    /// [`FrozenAuthenticator::quantized`] and use
+    /// [`Engine::start_frozen`].
     pub fn start(cfg: EngineConfig, auth: Authenticator, registry: DeviceRegistry) -> Engine {
+        assert_eq!(
+            cfg.precision,
+            Precision::F32,
+            "Engine::start cannot calibrate an int8 snapshot; quantize with \
+             FrozenAuthenticator::quantized and use Engine::start_frozen"
+        );
         Self::start_frozen(cfg, auth.freeze(), registry)
     }
 
@@ -299,7 +323,10 @@ impl Engine {
     /// # Panics
     ///
     /// Panics on a zero worker count, queue capacity, batch size or
-    /// inference-thread count.
+    /// inference-thread count, and when the snapshot's
+    /// [`FrozenAuthenticator::precision`] disagrees with
+    /// [`EngineConfig::precision`] (serving the wrong numeric backend
+    /// is a configuration bug caught at startup).
     pub fn start_frozen(
         cfg: EngineConfig,
         auth: impl Into<Arc<FrozenAuthenticator>>,
@@ -310,12 +337,20 @@ impl Engine {
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         assert!(cfg.max_batch > 0, "batch size must be positive");
         assert!(cfg.infer_threads > 0, "need at least one inference thread");
+        assert_eq!(
+            auth.precision(),
+            cfg.precision,
+            "engine configured for {} but the frozen snapshot serves {}",
+            cfg.precision,
+            auth.precision()
+        );
         // Build (and thereby validate) the decision policy eagerly on
         // the caller thread: failing here beats panicking later inside a
         // worker while it holds a shard lock (which would poison it).
         let policy: Arc<dyn DecisionPolicy> = cfg.decision.build(cfg.window, cfg.policy);
         let telemetry = Arc::new(Telemetry::default());
         let _ = telemetry.policy.set(policy.name());
+        let _ = telemetry.precision.set(auth.precision().as_str());
         let state: Vec<ShardState> = (0..cfg.workers)
             .map(|_| Arc::new(Mutex::new(HashMap::new())))
             .collect();

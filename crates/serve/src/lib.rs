@@ -79,6 +79,7 @@ mod replay;
 mod telemetry;
 mod window;
 
+pub use deepcsi_core::Precision;
 pub use engine::{
     Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport, IngestOutcome, SourceStatus,
 };

@@ -149,6 +149,9 @@ pub struct Telemetry {
     pub reports_to_verdict: ReportCountHistogram,
     /// The active decision policy's name (set once at engine start).
     pub policy: OnceLock<&'static str>,
+    /// The serving snapshot's numeric backend (`"f32"` / `"int8"`, set
+    /// once at engine start).
+    pub precision: OnceLock<&'static str>,
     /// Capture-layer: container bytes read by the frame source.
     pub capture_bytes: AtomicU64,
     /// Capture-layer: packets decoded out of the container.
@@ -208,6 +211,7 @@ impl Telemetry {
             batch_latency_p50: self.batch_latency.quantile(0.50),
             batch_latency_p99: self.batch_latency.quantile(0.99),
             policy: self.policy.get().copied().unwrap_or(""),
+            precision: self.precision.get().copied().unwrap_or(""),
             verdicts_decided: self.verdicts_decided.load(Ordering::Relaxed),
             reports_to_verdict_p50: self.reports_to_verdict.quantile(0.50),
             reports_to_verdict_p99: self.reports_to_verdict.quantile(0.99),
@@ -245,6 +249,9 @@ pub struct EngineStats {
     /// The active decision policy's name (empty when snapshotted from a
     /// bare [`Telemetry`] outside an engine).
     pub policy: &'static str,
+    /// The serving snapshot's numeric backend (`"f32"` / `"int8"`;
+    /// empty outside an engine).
+    pub precision: &'static str,
     /// Device streams that reached a decisive verdict.
     pub verdicts_decided: u64,
     /// Median reports a stream needed before its first decisive verdict.
@@ -309,11 +316,16 @@ impl fmt::Display for EngineStats {
         )?;
         write!(
             f,
-            "policy {}  verdicts decided {}  reports-to-verdict p50 {} p99 {}",
+            "policy {}  precision {}  verdicts decided {}  reports-to-verdict p50 {} p99 {}",
             if self.policy.is_empty() {
                 "-"
             } else {
                 self.policy
+            },
+            if self.precision.is_empty() {
+                "-"
+            } else {
+                self.precision
             },
             self.verdicts_decided,
             fmt_reports(self.reports_to_verdict_p50),
