@@ -1,0 +1,169 @@
+//! Observability overhead sweep: end-to-end engine throughput with the
+//! instrumentation at each of its settings, normalised against a fully
+//! dark engine, plus the per-layer profiler's table for the paper CNN —
+//! as machine-readable `RESULT obs …` lines (collected by `run_all`
+//! into `BENCH_obs.json`; keys documented in `crates/bench/README.md`).
+//!
+//! The four engine rows:
+//!
+//! * `dark` — `stage_timing: false`, tracing disabled, no profiler: the
+//!   engine takes **zero** timestamps outside the batch-latency
+//!   histogram it has always kept. This is the baseline.
+//! * `default` — stage histograms on (the out-of-the-box config),
+//!   tracing disabled. Budget: ≤0.5% below `dark`.
+//! * `sampled` — stage histograms plus span tracing at the default
+//!   1-in-8 micro-batch sampling. Budget: ≤3% below `dark`.
+//! * `always` — every micro-batch traced *and* the per-layer profiler
+//!   attached: the worst case, reported for scale but not asserted.
+//!
+//! Rounds are interleaved (dark, default, sampled, always, dark, …) and
+//! each config keeps its best round, so a background hiccup degrades
+//! one round of one config instead of biasing a whole row. The budget
+//! assertions run only in full mode — `--tiny`/`--quick` runs are for
+//! smoke-testing the harness, not for measuring.
+
+use deepcsi_bench::result_line;
+use deepcsi_bench::serve_bench::{engine_reports_per_sec_cfg, inputs, paper_cnn, serve_dataset};
+use deepcsi_obs::{format_op_table, Profiler, TraceConfig};
+use deepcsi_serve::{Backpressure, EngineConfig};
+
+/// One row of the overhead sweep.
+struct ObsSetting {
+    name: &'static str,
+    stage_timing: bool,
+    trace: TraceConfig,
+    profile: bool,
+}
+
+fn settings() -> Vec<ObsSetting> {
+    vec![
+        ObsSetting {
+            name: "dark",
+            stage_timing: false,
+            trace: TraceConfig::default(),
+            profile: false,
+        },
+        ObsSetting {
+            name: "default",
+            stage_timing: true,
+            trace: TraceConfig::default(),
+            profile: false,
+        },
+        ObsSetting {
+            name: "sampled",
+            stage_timing: true,
+            trace: TraceConfig::sampled(),
+            profile: false,
+        },
+        ObsSetting {
+            name: "always",
+            stage_timing: true,
+            trace: TraceConfig::always(),
+            profile: true,
+        },
+    ]
+}
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--tiny" | "--quick" => quick = true,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let (snapshots, repeat, rounds, prof_batches) = if quick {
+        (6usize, 1usize, 2usize, 2usize)
+    } else {
+        (30, 2, 5, 20)
+    };
+
+    // --- Engine overhead sweep ---------------------------------------
+    println!("== engine throughput vs observability setting ==");
+    let ds = serve_dataset(2, snapshots);
+    let settings = settings();
+    let mut best = vec![0.0f64; settings.len()];
+    for _ in 0..rounds {
+        for (i, s) in settings.iter().enumerate() {
+            let rps = engine_reports_per_sec_cfg(
+                &ds,
+                EngineConfig {
+                    workers: 2,
+                    backpressure: Backpressure::Block,
+                    stage_timing: s.stage_timing,
+                    trace: s.trace.clone(),
+                    profile: s.profile,
+                    ..EngineConfig::default()
+                },
+                repeat,
+            );
+            best[i] = best[i].max(rps);
+        }
+    }
+    let baseline = best[0];
+    let mut overheads = vec![0.0f64; settings.len()];
+    for (i, s) in settings.iter().enumerate() {
+        // Negative "overhead" is measurement noise (the instrumented
+        // run happened to win); clamp so the report reads as a cost.
+        let pct = ((baseline - best[i]) / baseline * 100.0).max(0.0);
+        overheads[i] = pct;
+        println!(
+            "{:<8} {:>9.0} reports/s   overhead {:>5.2}%",
+            s.name, best[i], pct
+        );
+        result_line("obs", &format!("reports_per_sec_{}", s.name), best[i]);
+        if i > 0 {
+            result_line("obs", &format!("overhead_{}_pct", s.name), pct);
+        }
+    }
+
+    // --- Per-layer profiler: the paper CNN ---------------------------
+    println!("\n== per-layer profile: paper_cnn, batch 32 × {prof_batches} ==");
+    let w = paper_cnn();
+    let xs = inputs(&w, 32);
+    let frozen = w.net.freeze();
+    let mut ctx = frozen.ctx();
+    let _ = frozen.infer_batch(&xs, &mut ctx); // warm-up, unprofiled
+    ctx.set_profiler(Profiler::new());
+    for _ in 0..prof_batches {
+        std::hint::black_box(frozen.infer_batch(&xs, &mut ctx));
+    }
+    let ops = ctx.take_profiler().expect("profiler attached").into_ops();
+    print!("{}", format_op_table(&ops));
+    let total_ns: u64 = ops.iter().map(|o| o.ns).sum();
+    let samples: u64 = ops.first().map_or(0, |o| o.samples);
+    result_line(
+        "obs",
+        "profile_paper_cnn_ns_per_sample",
+        total_ns as f64 / samples.max(1) as f64,
+    );
+    for (i, op) in ops.iter().enumerate() {
+        result_line(
+            "obs",
+            &format!("profile_paper_cnn_op{i}_{}_share_pct", op.name),
+            100.0 * op.ns as f64 / total_ns.max(1) as f64,
+        );
+    }
+
+    // --- Budget assertions (full mode only) --------------------------
+    if !quick {
+        // The stage-histogram budget is ≈0% (a handful of `Instant`
+        // reads per micro-batch); allow 1% so scheduler noise on shared
+        // hosts can't fail a healthy build. Sampled tracing carries the
+        // ISSUE's 3% budget directly.
+        assert!(
+            overheads[1] <= 1.0,
+            "stage-timing overhead {:.2}% exceeds the ≈0% budget",
+            overheads[1]
+        );
+        assert!(
+            overheads[2] <= 3.0,
+            "sampled-tracing overhead {:.2}% exceeds the 3% budget",
+            overheads[2]
+        );
+        println!(
+            "\nbudgets ok: default {:.2}% (≤1%), sampled {:.2}% (≤3%)",
+            overheads[1], overheads[2]
+        );
+    }
+}

@@ -184,8 +184,8 @@ pub fn engine_reports_per_sec_threads(
     infer_threads: usize,
     repeat: usize,
 ) -> f64 {
-    let replay = ReplaySource::from_dataset(ds);
-    let engine = Engine::start(
+    engine_reports_per_sec_cfg(
+        ds,
         EngineConfig {
             workers,
             infer_threads,
@@ -195,6 +195,17 @@ pub fn engine_reports_per_sec_threads(
             backpressure: Backpressure::Block,
             ..EngineConfig::default()
         },
+        repeat,
+    )
+}
+
+/// End-to-end engine throughput under an arbitrary [`EngineConfig`] —
+/// the `obs_bench` overhead sweep varies only the observability fields
+/// (`stage_timing`, `trace`, `profile`) against a fixed serving setup.
+pub fn engine_reports_per_sec_cfg(ds: &Dataset, cfg: EngineConfig, repeat: usize) -> f64 {
+    let replay = ReplaySource::from_dataset(ds);
+    let engine = Engine::start(
+        cfg,
         serve_authenticator(ds, ds.modules().len().max(2)),
         ReplaySource::registry(ds),
     );

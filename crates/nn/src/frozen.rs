@@ -30,6 +30,7 @@
 //! construction (property-tested in `tests/proptests.rs`).
 
 use crate::tensor::Tensor;
+use deepcsi_obs::Profiler;
 use std::fmt;
 
 /// Grows `buf` to exactly `len` elements, never shrinking its capacity —
@@ -163,6 +164,11 @@ pub struct InferCtx {
     shape: Vec<usize>,
     /// Samples interleaved in `cur`.
     b: usize,
+    /// Optional per-op profiler. When attached,
+    /// [`FrozenModel::infer_batch`] wraps every op with a timestamp pair
+    /// and records wall time + activation bytes into it; when absent the
+    /// hot path pays a single `Option` branch per batch.
+    profiler: Option<Profiler>,
 }
 
 impl InferCtx {
@@ -282,6 +288,32 @@ impl InferCtx {
     /// `true` while the live activation is the int8 plane.
     pub fn is_int8(&self) -> bool {
         self.int8
+    }
+
+    /// Attaches a per-op profiler: every subsequent
+    /// [`FrozenModel::infer_batch`] through this context records each
+    /// op's wall time and activation bytes into it. Profiling is
+    /// observation-only — outputs stay bit-equal to the unprofiled call.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Detaches and returns the profiler (e.g. to aggregate a worker's
+    /// table at shutdown), leaving the context unprofiled.
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.profiler.take()
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Bytes occupied by the live activation plane (f32 plane at 4
+    /// bytes/element, the i16-materialized int8 plane at 2).
+    fn plane_bytes(&self) -> u64 {
+        let per = if self.int8 { 2 } else { 4 };
+        (self.elems() * self.b * per) as u64
     }
 
     /// Quantizes the f32 plane into the quantized plane at `scale`
@@ -491,8 +523,23 @@ impl FrozenModel {
             return Vec::new();
         }
         ctx.load(xs);
-        for op in &self.ops {
-            op.apply(ctx);
+        // The profiler is moved out for the loop so the ops can borrow
+        // the context mutably; observation only — both paths run the
+        // identical op sequence.
+        if let Some(mut prof) = ctx.profiler.take() {
+            prof.batch_begin();
+            let samples = ctx.b as u64;
+            for (i, op) in self.ops.iter().enumerate() {
+                let in_bytes = ctx.plane_bytes();
+                let t0 = std::time::Instant::now();
+                op.apply(ctx);
+                prof.record_op(i, op.name(), t0, in_bytes + ctx.plane_bytes(), samples);
+            }
+            ctx.profiler = Some(prof);
+        } else {
+            for op in &self.ops {
+                op.apply(ctx);
+            }
         }
         ctx.unload()
     }
@@ -654,6 +701,38 @@ mod tests {
         assert!(frozen.infer_batch(&[], &mut ctx).is_empty());
         let mut ctxs = [frozen.ctx(), frozen.ctx()];
         assert!(frozen.infer_batch_par(&[], &mut ctxs).is_empty());
+    }
+
+    #[test]
+    fn profiled_inference_is_bit_identical_and_fills_the_table() {
+        let (_, frozen) = tiny_frozen();
+        let xs: Vec<Tensor> = (0..6)
+            .map(|s| Tensor::from_vec(vec![s as f32 * 0.4, -0.9, 1.1], vec![3]))
+            .collect();
+        let mut plain = frozen.ctx();
+        let want = frozen.infer_batch(&xs, &mut plain);
+
+        let mut ctx = frozen.ctx();
+        ctx.set_profiler(Profiler::new());
+        for _ in 0..3 {
+            let got = frozen.infer_batch(&xs, &mut ctx);
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.as_slice(), g.as_slice());
+            }
+        }
+        let prof = ctx.take_profiler().expect("profiler still attached");
+        assert!(ctx.profiler().is_none());
+        let ops = prof.ops();
+        assert_eq!(ops.len(), frozen.len());
+        assert_eq!(
+            ops.iter().map(|o| o.name).collect::<Vec<_>>(),
+            vec!["dense", "selu", "dense"]
+        );
+        for o in ops {
+            assert_eq!(o.calls, 3);
+            assert_eq!(o.samples, 18);
+            assert!(o.bytes > 0, "activation traffic recorded");
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! `obs-check` — validates observability artifacts without a browser or
+//! a Prometheus server in the loop.
+//!
+//! ```text
+//! obs-check [--prom FILE]... [--trace FILE]...
+//! ```
+//!
+//! Each `--prom` file must parse as Prometheus text exposition with at
+//! least one sample and no NaNs; each `--trace` file must parse as a
+//! Chrome `trace_event` document. Exits non-zero naming the first
+//! offending file. CI points this at what `deepcsi-served
+//! --metrics-file/--trace-file` wrote.
+
+use deepcsi_obs::{parse_chrome_trace, parse_prometheus};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: obs-check [--prom FILE]... [--trace FILE]...");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut checked = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, path) = (args[i].as_str(), args.get(i + 1));
+        let Some(path) = path else {
+            eprintln!("obs-check: {flag} needs a file argument");
+            return usage();
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs-check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match flag {
+            "--prom" => match parse_prometheus(&text) {
+                Ok(samples) if samples.is_empty() => {
+                    eprintln!("obs-check: {path}: no samples");
+                    return ExitCode::FAILURE;
+                }
+                Ok(samples) => {
+                    println!("obs-check: {path}: {} samples ok", samples.len());
+                }
+                Err(e) => {
+                    eprintln!("obs-check: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match parse_chrome_trace(&text) {
+                Ok(spans) => {
+                    println!("obs-check: {path}: {} spans ok", spans.len());
+                }
+                Err(e) => {
+                    eprintln!("obs-check: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("obs-check: unknown flag {other}");
+                return usage();
+            }
+        }
+        checked += 1;
+        i += 2;
+    }
+    println!("obs-check: {checked} file(s) ok");
+    ExitCode::SUCCESS
+}

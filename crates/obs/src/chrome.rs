@@ -1,0 +1,180 @@
+//! Chrome `trace_event` export — the JSON format `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) load directly — plus the matching
+//! reader, so a trace round-trips through this crate without a browser
+//! in the loop (the CI smoke step leans on that).
+//!
+//! Spans are emitted as complete events (`"ph": "X"`) with microsecond
+//! timestamps, one pipeline stage per line:
+//!
+//! ```json
+//! {"traceEvents":[
+//! {"name":"infer","cat":"deepcsi","ph":"X","ts":12.3,"dur":4.5,"pid":1,"tid":2}
+//! ]}
+//! ```
+
+use crate::json::{escape, JsonValue};
+use crate::span::SpanEvent;
+use std::io::{self, Write};
+
+/// A span read back from a Chrome trace (names are owned — the original
+/// `&'static str` identity is gone after serialization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSpan {
+    /// Span name.
+    pub name: String,
+    /// Thread id.
+    pub tid: u32,
+    /// Start in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl ParsedSpan {
+    /// `true` when this parsed span matches a recorded event
+    /// (timestamps compared at the microsecond resolution the format
+    /// stores).
+    pub fn matches(&self, e: &SpanEvent) -> bool {
+        self.name == e.name
+            && self.tid == e.tid
+            && self.start_ns / 1_000 == e.start_ns / 1_000
+            && self.dur_ns / 1_000 == e.dur_ns / 1_000
+    }
+}
+
+/// Writes spans as a Chrome `trace_event` JSON document.
+pub fn write_chrome_trace<W: Write>(mut w: W, events: &[SpanEvent]) -> io::Result<()> {
+    writeln!(w, "{{\"traceEvents\":[")?;
+    for (i, e) in events.iter().enumerate() {
+        let mut name = String::new();
+        escape(e.name, &mut name);
+        let comma = if i + 1 == events.len() { "" } else { "," };
+        // ts/dur are microseconds (fractional for sub-µs spans), the
+        // unit the trace viewers expect.
+        writeln!(
+            w,
+            "{{\"name\":\"{name}\",\"cat\":\"deepcsi\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}{comma}",
+            e.start_ns as f64 / 1_000.0,
+            e.dur_ns as f64 / 1_000.0,
+            e.tid,
+        )?;
+    }
+    writeln!(w, "]}}")
+}
+
+/// Parses a Chrome `trace_event` document back into spans.
+///
+/// Accepts both container forms the format allows — an object with a
+/// `traceEvents` array, or a bare array — and skips event phases other
+/// than `"X"` (a foreign tool may add metadata events).
+///
+/// # Errors
+///
+/// A human-readable description of the first structural problem: not
+/// JSON, missing `traceEvents`, an event without a name, a negative or
+/// non-finite timestamp.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedSpan>, String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let events = match (&doc, doc.get("traceEvents")) {
+        (_, Some(JsonValue::Array(a))) => a.as_slice(),
+        (JsonValue::Array(a), None) => a.as_slice(),
+        _ => return Err("document has no traceEvents array".to_string()),
+    };
+    let mut spans = Vec::with_capacity(events.len());
+    for (i, e) in events.iter().enumerate() {
+        let phase = e.get("ph").and_then(JsonValue::as_str).unwrap_or("X");
+        if phase != "X" {
+            continue;
+        }
+        let name = e
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i} has no name"))?;
+        let ts = e
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i} ({name}) has no ts"))?;
+        let dur = e.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("event {i} ({name}) has a negative timestamp"));
+        }
+        let tid = e.get("tid").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        spans.push(ParsedSpan {
+            name: name.to_string(),
+            tid: tid as u32,
+            start_ns: (ts * 1_000.0).round() as u64,
+            dur_ns: (dur * 1_000.0).round() as u64,
+        });
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "queue_wait",
+                tid: 0,
+                start_ns: 1_000,
+                dur_ns: 2_500,
+            },
+            SpanEvent {
+                name: "infer",
+                tid: 1,
+                start_ns: 4_000,
+                dur_ns: 150_000,
+            },
+            SpanEvent {
+                name: "policy_apply",
+                tid: 1,
+                start_ns: 160_000,
+                dur_ns: 750,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let parsed = parse_chrome_trace(&text).expect("parse");
+        assert_eq!(parsed.len(), events.len());
+        for (p, e) in parsed.iter().zip(&events) {
+            assert!(p.matches(e), "{p:?} vs {e:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &[]).expect("write");
+        let parsed = parse_chrome_trace(std::str::from_utf8(&buf).unwrap()).expect("parse");
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn bare_array_and_foreign_phases_are_accepted() {
+        let text = r#"[
+            {"name":"meta","ph":"M","ts":0},
+            {"name":"infer","ph":"X","ts":10.0,"dur":5.0,"tid":3}
+        ]"#;
+        let parsed = parse_chrome_trace(text).expect("parse");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "infer");
+        assert_eq!(parsed[0].tid, 3);
+        assert_eq!(parsed[0].start_ns, 10_000);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{\"other\":1}").is_err());
+        assert!(parse_chrome_trace(r#"{"traceEvents":[{"ph":"X","ts":1}]}"#).is_err());
+        assert!(parse_chrome_trace(r#"{"traceEvents":[{"name":"x","ph":"X","ts":-4}]}"#).is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Machine-readable metrics export.
+//!
+//! A [`MetricsRegistry`] is a point-in-time collection of named metrics
+//! — counters, gauges and histogram snapshots — that renders in two
+//! formats from the same data:
+//!
+//! * [`MetricsRegistry::to_prometheus`] — Prometheus text-exposition
+//!   format (`# HELP` / `# TYPE` / samples, cumulative `le` buckets for
+//!   histograms), the thing a node-exporter-style scrape or a plain
+//!   `curl`-on-a-file reads.
+//! * [`MetricsRegistry::to_json_line`] — one flat JSON object on one
+//!   line, for an append-only `.jsonl` time series that `jq` consumes.
+//!
+//! The registry is rebuilt for every emission (it is a snapshot, not a
+//! live store); producers like `deepcsi_serve::Telemetry` own the live
+//! atomics and render into a fresh registry each interval.
+
+use crate::json::escape;
+use std::fmt::Write as _;
+
+/// A histogram snapshot: cumulative bucket counts at ascending upper
+/// bounds, plus the sum and count of all observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// `(upper_bound, cumulative_count)` pairs with strictly ascending
+    /// bounds. The implicit `+Inf` bucket is `count`; an explicit
+    /// non-finite bound is not stored.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of every observation (same unit as the bounds).
+    pub sum: f64,
+    /// Total observations.
+    pub count: u64,
+    /// Selected quantiles `(q, value)`, exported to the JSON line (the
+    /// Prometheus side derives quantiles from the buckets instead).
+    pub quantiles: Vec<(f64, f64)>,
+}
+
+/// A metric's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+    /// Distribution snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric with optional labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// Help text for the `# HELP` line.
+    pub help: String,
+    /// `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time collection of metrics, renderable as Prometheus
+/// text or a JSON line.
+///
+/// ```
+/// use deepcsi_obs::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.counter("frames_total", "Frames ingested.", 42);
+/// reg.gauge("mean_batch", "Mean micro-batch size.", 7.5);
+/// let text = reg.to_prometheus();
+/// assert!(text.contains("frames_total 42"));
+/// assert!(deepcsi_obs::parse_prometheus(&text).is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds a counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.push(name, help, Vec::new(), MetricValue::Counter(value));
+    }
+
+    /// Adds a gauge (non-finite values are clamped to 0 — the text
+    /// formats cannot represent them and a scrape must never see NaN).
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.push(name, help, Vec::new(), MetricValue::Gauge(v));
+    }
+
+    /// Adds a labeled gauge (e.g. an `_info`-style metric carrying
+    /// string dimensions).
+    pub fn labeled_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.push(name, help, labels, MetricValue::Gauge(v));
+    }
+
+    /// Adds a histogram snapshot.
+    pub fn histogram(&mut self, name: &str, help: &str, snapshot: HistogramSnapshot) {
+        self.push(name, help, Vec::new(), MetricValue::Histogram(snapshot));
+    }
+
+    fn push(&mut self, name: &str, help: &str, labels: Vec<(String, String)>, value: MetricValue) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            value,
+        });
+    }
+
+    /// The metrics added so far.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Renders Prometheus text-exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let _ = writeln!(out, "# HELP {} {}", m.name, m.help.replace('\n', " "));
+            let kind = match m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", m.name, label_set(&m.labels, None), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.name,
+                        label_set(&m.labels, None),
+                        fmt_f64(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    for &(le, cum) in &h.buckets {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            m.name,
+                            label_set(&m.labels, Some(&fmt_f64(le))),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        m.name,
+                        label_set(&m.labels, Some("+Inf")),
+                        h.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        m.name,
+                        label_set(&m.labels, None),
+                        fmt_f64(h.sum)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.name,
+                        label_set(&m.labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders one flat JSON object (no trailing newline): counters and
+    /// gauges as numbers, histograms as
+    /// `{"count":…,"sum":…,"p50":…,…}`, string labels inlined as
+    /// `<name>_<key>` string fields.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        let mut field = |out: &mut String, key: &str| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            escape(key, out);
+            out.push_str("\":");
+        };
+        for m in &self.metrics {
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    field(&mut out, &m.name);
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    field(&mut out, &m.name);
+                    out.push_str(&fmt_f64(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    field(&mut out, &m.name);
+                    let _ = write!(out, "{{\"count\":{},\"sum\":{}", h.count, fmt_f64(h.sum));
+                    for &(q, v) in &h.quantiles {
+                        let _ = write!(
+                            out,
+                            ",\"p{:02}\":{}",
+                            (q * 100.0).round() as u32,
+                            fmt_f64(v)
+                        );
+                    }
+                    out.push('}');
+                }
+            }
+            for (k, v) in &m.labels {
+                field(&mut out, &format!("{}_{}", m.name, k));
+                out.push('"');
+                escape(v, &mut out);
+                out.push('"');
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// `{k="v",le="x"}` or the empty string.
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let mut escaped = String::new();
+        escape(v, &mut escaped);
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Formats a finite f64 the way both text formats accept (no `inf`, no
+/// `NaN`, no exponent surprises for integral values).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+pub(crate) fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use crate::prom::parse_prometheus;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("deepcsi_ingested_total", "Frames handed to ingest.", 1000);
+        reg.gauge("deepcsi_mean_batch", "Mean micro-batch size.", 12.5);
+        reg.labeled_gauge(
+            "deepcsi_engine_info",
+            "Engine configuration.",
+            &[("policy", "fixed"), ("precision", "f32")],
+            1.0,
+        );
+        reg.histogram(
+            "deepcsi_batch_latency_seconds",
+            "Micro-batch latency.",
+            HistogramSnapshot {
+                buckets: vec![(0.001, 5), (0.01, 9), (0.1, 10)],
+                sum: 0.042,
+                count: 10,
+                quantiles: vec![(0.5, 0.0009), (0.99, 0.02)],
+            },
+        );
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_parses_and_has_expected_samples() {
+        let text = sample_registry().to_prometheus();
+        let samples = parse_prometheus(&text).expect("parse");
+        let find = |n: &str| samples.iter().find(|s| s.name == n).expect(n);
+        assert_eq!(find("deepcsi_ingested_total").value, 1000.0);
+        assert_eq!(find("deepcsi_mean_batch").value, 12.5);
+        let info = find("deepcsi_engine_info");
+        assert!(info
+            .labels
+            .iter()
+            .any(|(k, v)| k == "policy" && v == "fixed"));
+        // Cumulative buckets end at the +Inf bucket == count.
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "deepcsi_batch_latency_seconds_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 10.0);
+        assert_eq!(find("deepcsi_batch_latency_seconds_count").value, 10.0);
+    }
+
+    #[test]
+    fn json_line_is_valid_json_with_quantiles() {
+        let line = sample_registry().to_json_line();
+        let v = JsonValue::parse(&line).expect("json line parses");
+        assert_eq!(
+            v.get("deepcsi_ingested_total").unwrap().as_f64(),
+            Some(1000.0)
+        );
+        let hist = v.get("deepcsi_batch_latency_seconds").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_f64(), Some(10.0));
+        assert_eq!(hist.get("p99").unwrap().as_f64(), Some(0.02));
+        assert_eq!(
+            v.get("deepcsi_engine_info_policy").unwrap().as_str(),
+            Some("fixed")
+        );
+    }
+
+    #[test]
+    fn non_finite_gauges_are_clamped() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("bad", "a non-finite gauge", f64::NAN);
+        let text = reg.to_prometheus();
+        assert!(!text.contains("NaN"));
+        assert!(parse_prometheus(&text).is_ok());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("deepcsi_total"));
+        assert!(valid_name("_x:y9"));
+        assert!(!valid_name("9leading"));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name(""));
+    }
+}

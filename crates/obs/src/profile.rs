@@ -1,0 +1,259 @@
+//! Per-op inference profiling.
+//!
+//! A [`Profiler`] rides inside a `deepcsi_nn::InferCtx`: when one is
+//! attached, `FrozenModel::infer_batch` wraps every op with a timestamp
+//! pair and reports `(op index, name, wall time, activation bytes
+//! moved)` here. The profiler aggregates per op position — the
+//! per-layer table the mixed-precision autotuner needs to decide which
+//! layers are worth quantizing — and, when built with a tracer, also
+//! emits one span per op into the sampled trace so kernels show up on
+//! the Chrome timeline under the engine's `infer` stage.
+//!
+//! With no profiler attached the hot path pays a single `Option`
+//! branch per inference call; nothing is timed.
+
+use crate::span::ThreadTracer;
+use std::time::Instant;
+
+/// Aggregated cost of one op position across every profiled batch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpStat {
+    /// Op name (as reported by `InferOp::name`).
+    pub name: &'static str,
+    /// Inference calls that executed this op.
+    pub calls: u64,
+    /// Total wall time, nanoseconds.
+    pub ns: u64,
+    /// Activation bytes moved (input plane read + output plane
+    /// written). Weight traffic is not counted — it is a property of
+    /// the model, not the batch.
+    pub bytes: u64,
+    /// Samples processed across those calls.
+    pub samples: u64,
+}
+
+impl OpStat {
+    /// Mean nanoseconds per processed sample (0 when unused).
+    pub fn ns_per_sample(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.ns as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Accumulates per-op wall time and bytes, optionally emitting per-op
+/// spans into a trace.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    stats: Vec<OpStat>,
+    trace: Option<ThreadTracer>,
+    /// Whether the current batch emits spans (decided once per batch by
+    /// the tracer's sampling gate — aggregation is always on).
+    batch_sampled: bool,
+}
+
+impl Profiler {
+    /// A profiler that only aggregates (no span emission).
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// A profiler that additionally emits one span per op into `trace`
+    /// for sampled batches.
+    pub fn with_tracer(trace: ThreadTracer) -> Profiler {
+        Profiler {
+            stats: Vec::new(),
+            trace: Some(trace),
+            batch_sampled: false,
+        }
+    }
+
+    /// Called by the inference loop at the start of each batch: decides
+    /// whether this batch's ops emit spans.
+    pub fn batch_begin(&mut self) {
+        self.batch_sampled = self.trace.as_ref().is_some_and(|t| t.sample());
+    }
+
+    /// Records one executed op. `start` is the instant taken just
+    /// before `apply`; the end is now. `bytes` is the activation
+    /// traffic (in + out planes), `samples` the batch size.
+    pub fn record_op(
+        &mut self,
+        index: usize,
+        name: &'static str,
+        start: Instant,
+        bytes: u64,
+        samples: u64,
+    ) {
+        let end = Instant::now();
+        if index >= self.stats.len() {
+            self.stats.resize(index + 1, OpStat::default());
+        }
+        let stat = &mut self.stats[index];
+        stat.name = name;
+        stat.calls += 1;
+        stat.ns += end.duration_since(start).as_nanos() as u64;
+        stat.bytes += bytes;
+        stat.samples += samples;
+        if self.batch_sampled {
+            if let Some(t) = self.trace.as_mut() {
+                t.record(name, start, end);
+            }
+        }
+    }
+
+    /// The per-op table, indexed by op position.
+    pub fn ops(&self) -> &[OpStat] {
+        &self.stats
+    }
+
+    /// Folds another profiler's table into this one (worker aggregation
+    /// at shutdown). Panics if the two tables disagree on an op's name
+    /// — that would mean they profiled different models.
+    pub fn absorb(&mut self, other: &Profiler) {
+        merge_op_stats(&mut self.stats, &other.stats);
+    }
+
+    /// Consumes the profiler, returning its table (flushing any traced
+    /// spans).
+    pub fn into_ops(mut self) -> Vec<OpStat> {
+        if let Some(t) = self.trace.as_mut() {
+            t.flush();
+        }
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Folds `from` into `into`, position by position.
+///
+/// # Panics
+///
+/// Panics when the same position carries two different op names — the
+/// tables come from different models and summing them would be a bug.
+pub fn merge_op_stats(into: &mut Vec<OpStat>, from: &[OpStat]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), OpStat::default());
+    }
+    for (i, s) in from.iter().enumerate() {
+        let dst = &mut into[i];
+        assert!(
+            dst.calls == 0 || s.calls == 0 || dst.name == s.name,
+            "op {i} name mismatch: {:?} vs {:?} (different models?)",
+            dst.name,
+            s.name
+        );
+        if s.calls > 0 {
+            dst.name = s.name;
+        }
+        dst.calls += s.calls;
+        dst.ns += s.ns;
+        dst.bytes += s.bytes;
+        dst.samples += s.samples;
+    }
+}
+
+/// Renders an aggregated op table as an aligned, human-readable block
+/// (one line per op: share of total time, ns/sample, MiB moved).
+pub fn format_op_table(ops: &[OpStat]) -> String {
+    use std::fmt::Write as _;
+    let total_ns: u64 = ops.iter().map(|o| o.ns).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>3}  {:<12} {:>7}  {:>12}  {:>10}  {:>10}",
+        "op", "name", "share", "ns/sample", "total ms", "MiB moved"
+    );
+    for (i, o) in ops.iter().enumerate() {
+        if o.calls == 0 {
+            continue;
+        }
+        let share = if total_ns == 0 {
+            0.0
+        } else {
+            o.ns as f64 / total_ns as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "{i:>3}  {:<12} {share:>6.1}%  {:>12.0}  {:>10.3}  {:>10.2}",
+            o.name,
+            o.ns_per_sample(),
+            o.ns as f64 / 1e6,
+            o.bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{TraceConfig, Tracer};
+
+    #[test]
+    fn records_aggregate_per_position() {
+        let mut p = Profiler::new();
+        let t0 = Instant::now();
+        p.batch_begin();
+        p.record_op(0, "conv", t0, 1024, 8);
+        p.record_op(1, "selu", t0, 512, 8);
+        p.batch_begin();
+        p.record_op(0, "conv", t0, 1024, 4);
+        let ops = p.ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].name, "conv");
+        assert_eq!(ops[0].calls, 2);
+        assert_eq!(ops[0].bytes, 2048);
+        assert_eq!(ops[0].samples, 12);
+        assert!(ops[0].ns_per_sample() >= 0.0);
+    }
+
+    #[test]
+    fn absorb_sums_matching_tables() {
+        let t0 = Instant::now();
+        let mut a = Profiler::new();
+        a.record_op(0, "dense", t0, 10, 1);
+        let mut b = Profiler::new();
+        b.record_op(0, "dense", t0, 30, 3);
+        b.record_op(1, "selu", t0, 5, 3);
+        a.absorb(&b);
+        assert_eq!(a.ops()[0].calls, 2);
+        assert_eq!(a.ops()[0].bytes, 40);
+        assert_eq!(a.ops()[1].name, "selu");
+    }
+
+    #[test]
+    #[should_panic(expected = "name mismatch")]
+    fn absorb_rejects_mismatched_models() {
+        let t0 = Instant::now();
+        let mut a = Profiler::new();
+        a.record_op(0, "dense", t0, 10, 1);
+        let mut b = Profiler::new();
+        b.record_op(0, "conv", t0, 10, 1);
+        a.absorb(&b);
+    }
+
+    #[test]
+    fn traced_profiler_emits_spans_for_sampled_batches() {
+        let tracer = Tracer::new(TraceConfig::always());
+        let mut p = Profiler::with_tracer(tracer.thread());
+        p.batch_begin();
+        let t0 = Instant::now();
+        p.record_op(0, "conv", t0, 64, 2);
+        let ops = p.into_ops(); // flushes
+        assert_eq!(ops[0].calls, 1);
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "conv");
+    }
+
+    #[test]
+    fn table_formats() {
+        let mut p = Profiler::new();
+        p.record_op(0, "conv", Instant::now(), 4096, 16);
+        let table = format_op_table(p.ops());
+        assert!(table.contains("conv"));
+        assert!(table.contains("share"));
+    }
+}

@@ -1,0 +1,172 @@
+//! A Prometheus text-exposition parser/validator.
+//!
+//! Covers the subset [`crate::MetricsRegistry::to_prometheus`] emits —
+//! `# HELP`/`# TYPE` comments and `name{labels} value` samples — which
+//! is also the subset any conformant scraper must accept. Its job is
+//! validation without a Prometheus server in the loop: the CI smoke
+//! step parses the file `deepcsi-served --metrics-file` wrote and fails
+//! on bad names, bad label syntax or non-finite values.
+
+use crate::metrics::valid_name;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sample name (for histograms, includes the `_bucket`/`_sum`/
+    /// `_count` suffix).
+    pub name: String,
+    /// Label `(key, value)` pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// The value. `+Inf`-valued samples are represented as
+    /// [`f64::INFINITY`]; NaN is rejected during parsing.
+    pub value: f64,
+}
+
+/// Parses a text exposition, validating as it goes.
+///
+/// # Errors
+///
+/// A message naming the first offending line: invalid metric/label
+/// name, malformed label set, unparsable or NaN value.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        samples.push(sample);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    // name[{labels}] value
+    let (head, value_text) = line
+        .rsplit_once(|c: char| c.is_whitespace())
+        .ok_or_else(|| format!("no value in {line:?}"))?;
+    let head = head.trim();
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in {line:?}"))?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    if !valid_name(&name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let value = match value_text {
+        "+Inf" | "Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("unparsable value {v:?}"))?,
+    };
+    if value.is_nan() {
+        return Err(format!("NaN value for {name}"));
+    }
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {body:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) || key.contains(':') {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(format!("unquoted label value in {body:?}"));
+        }
+        // Scan to the closing quote, honoring backslash escapes.
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("unterminated label value in {body:?}")),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'"') => value.push('"'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("bad escape in label value in {body:?}")),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    let s = &rest[i..];
+                    let ch = s.chars().next().expect("non-empty");
+                    value.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        labels.push((key, value));
+        rest = rest[i + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels in {body:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_labeled_samples() {
+        let text = "\
+# HELP x_total things
+# TYPE x_total counter
+x_total 5
+lat_bucket{le=\"0.01\"} 3
+lat_bucket{le=\"+Inf\"} 4
+info{policy=\"fixed\",precision=\"int8\"} 1
+";
+        let samples = parse_prometheus(text).expect("parse");
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].name, "x_total");
+        assert_eq!(samples[0].value, 5.0);
+        assert_eq!(
+            samples[1].labels,
+            vec![("le".to_string(), "0.01".to_string())]
+        );
+        assert_eq!(samples[2].value, 4.0);
+        assert_eq!(samples[2].labels[0].1, "+Inf");
+        assert_eq!(samples[3].labels.len(), 2);
+    }
+
+    #[test]
+    fn rejects_nan_bad_names_and_broken_labels() {
+        assert!(parse_prometheus("x NaN").is_err());
+        assert!(parse_prometheus("9bad 1").is_err());
+        assert!(parse_prometheus("x{le=\"0.1\" 1").is_err());
+        assert!(parse_prometheus("x{le=0.1} 1").is_err());
+        assert!(parse_prometheus("x{le=\"0.1} 1").is_err());
+        assert!(parse_prometheus("x").is_err());
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let samples = parse_prometheus("x{k=\"a\\\"b\\\\c\"} 1").expect("parse");
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c");
+    }
+}

@@ -13,6 +13,9 @@
 //!                [--repeat N] [--drop] [--garbage N]
 //!                [--export-pcap PATH] [--pcap PATH] [--follow]
 //!                [--idle-exit SECS]
+//!                [--metrics-file PATH] [--metrics-json PATH]
+//!                [--metrics-interval SECS]
+//!                [--trace-file PATH] [--trace-sample N] [--profile]
 //! ```
 //!
 //! Without `--dataset` a synthetic D1 capture is generated; without
@@ -56,6 +59,23 @@
 //!   mass gate, in `(0.5, 1]` (default 0.9).
 //! * `--calibration N` sets the adaptive policy's warm-up length in
 //!   reports (default 20).
+//!
+//! Observability knobs (see ARCHITECTURE.md § Observability):
+//!
+//! * `--metrics-file PATH` rewrites a Prometheus text-exposition file
+//!   every `--metrics-interval` seconds (default 5) and once more at
+//!   shutdown — point a node-exporter textfile collector (or a test's
+//!   `obs-check --prom`) at it.
+//! * `--metrics-json PATH` appends one flat JSON object per interval to
+//!   a JSONL file, including interval rates computed via
+//!   `EngineStats::delta` (`*_per_sec` fields).
+//! * `--trace-file PATH` enables span tracing and writes a Chrome
+//!   `trace_event` JSON at shutdown — load it in `chrome://tracing` or
+//!   Perfetto. `--trace-sample N` records one micro-batch in `N`
+//!   (default 8; `1` traces everything).
+//! * `--profile` attaches a per-layer profiler to every inference
+//!   context and prints the merged per-op table (share of inference
+//!   time, ns/sample, bytes moved) after shutdown.
 
 use deepcsi_capture::{FollowSource, FrameSource, PcapFileSource};
 use deepcsi_core::{
@@ -63,10 +83,13 @@ use deepcsi_core::{
 };
 use deepcsi_data::{d1_split, generate_d1, D1Set, Dataset, GenConfig, InputSpec};
 use deepcsi_nn::TrainConfig;
+use deepcsi_obs::{format_op_table, write_chrome_trace, TraceConfig};
 use deepcsi_serve::{
-    Backpressure, DecisionPolicyConfig, Engine, EngineConfig, PolicyKind, Precision, ReplaySource,
-    SourceStatus, Verdict, WindowConfig,
+    Backpressure, DecisionPolicyConfig, Engine, EngineConfig, EngineStats, PolicyKind, Precision,
+    ReplaySource, SourceStatus, Telemetry, Verdict, WindowConfig,
 };
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -93,6 +116,12 @@ struct Args {
     pcap: Option<String>,
     follow: bool,
     idle_exit: Option<u64>,
+    metrics_file: Option<String>,
+    metrics_json: Option<String>,
+    metrics_interval: u64,
+    trace_file: Option<String>,
+    trace_sample: u32,
+    profile: bool,
 }
 
 impl Args {
@@ -121,6 +150,12 @@ impl Args {
             pcap: None,
             follow: false,
             idle_exit: None,
+            metrics_file: None,
+            metrics_json: None,
+            metrics_interval: 5,
+            trace_file: None,
+            trace_sample: 8,
+            profile: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -176,6 +211,18 @@ impl Args {
                 "--idle-exit" => {
                     args.idle_exit = Some(value("--idle-exit").parse().expect("--idle-exit"))
                 }
+                "--metrics-file" => args.metrics_file = Some(value("--metrics-file")),
+                "--metrics-json" => args.metrics_json = Some(value("--metrics-json")),
+                "--metrics-interval" => {
+                    args.metrics_interval = value("--metrics-interval")
+                        .parse()
+                        .expect("--metrics-interval")
+                }
+                "--trace-file" => args.trace_file = Some(value("--trace-file")),
+                "--trace-sample" => {
+                    args.trace_sample = value("--trace-sample").parse().expect("--trace-sample")
+                }
+                "--profile" => args.profile = true,
                 "--help" | "-h" => {
                     println!("see the module docs at the top of src/bin/served.rs");
                     std::process::exit(0);
@@ -225,7 +272,31 @@ impl Args {
         if args.precision != Precision::Int8 && args.calib_samples != 256 {
             eprintln!("warning: --calib-samples only applies with --precision int8");
         }
+        assert!(
+            args.metrics_interval > 0,
+            "--metrics-interval must be positive"
+        );
+        assert!(args.trace_sample > 0, "--trace-sample must be positive");
+        if args.metrics_interval != 5 && args.metrics_file.is_none() && args.metrics_json.is_none()
+        {
+            eprintln!("warning: --metrics-interval needs --metrics-file or --metrics-json");
+        }
+        if args.trace_sample != 8 && args.trace_file.is_none() {
+            eprintln!("warning: --trace-sample only applies with --trace-file");
+        }
         args
+    }
+
+    /// The span-tracing configuration the flags describe: disabled
+    /// unless a trace file was requested.
+    fn trace(&self) -> TraceConfig {
+        if self.trace_file.is_none() {
+            return TraceConfig::default();
+        }
+        TraceConfig {
+            sample_every: self.trace_sample,
+            ..TraceConfig::always()
+        }
     }
 
     /// The decision-policy configuration the flags describe.
@@ -387,6 +458,89 @@ fn serve_from_capture(engine: &Engine, args: &Args, path: &str) {
     }
 }
 
+/// One metrics publication: render the registry (plus interval rates
+/// from `prev` → now) to the Prometheus file (rewritten whole) and/or
+/// the JSONL file (appended). Returns the snapshot taken, so the caller
+/// can thread it back in as the next interval's `prev`.
+fn emit_metrics(
+    telemetry: &Telemetry,
+    prev: &EngineStats,
+    prom_path: Option<&str>,
+    json_path: Option<&str>,
+) -> EngineStats {
+    let now = telemetry.snapshot();
+    let delta = now.delta(prev);
+    let mut reg = telemetry.metrics();
+    reg.gauge(
+        "deepcsi_interval_seconds",
+        "wall seconds covered by this interval's rate gauges",
+        delta.wall.as_secs_f64(),
+    );
+    reg.gauge(
+        "deepcsi_ingested_per_sec",
+        "frames ingested per second over the last interval",
+        delta.ingested_per_sec(),
+    );
+    reg.gauge(
+        "deepcsi_classified_per_sec",
+        "reports classified per second over the last interval",
+        delta.classified_per_sec(),
+    );
+    reg.gauge(
+        "deepcsi_dropped_per_sec",
+        "reports dropped per second over the last interval",
+        delta.dropped_per_sec(),
+    );
+    if let Some(path) = prom_path {
+        std::fs::write(path, reg.to_prometheus())
+            .unwrap_or_else(|e| panic!("writing metrics file {path}: {e}"));
+    }
+    if let Some(path) = json_path {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("opening metrics JSONL {path}: {e}"));
+        writeln!(f, "{}", reg.to_json_line())
+            .unwrap_or_else(|e| panic!("appending metrics JSONL {path}: {e}"));
+    }
+    now
+}
+
+/// Periodic metrics publisher: a thread that calls [`emit_metrics`]
+/// every `interval` until told to stop. Created only when at least one
+/// metrics output was requested.
+struct MetricsEmitter {
+    stop: mpsc::Sender<()>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl MetricsEmitter {
+    fn spawn(telemetry: Arc<Telemetry>, args: &Args) -> MetricsEmitter {
+        let (stop, rx) = mpsc::channel::<()>();
+        let interval = Duration::from_secs(args.metrics_interval);
+        let prom = args.metrics_file.clone();
+        let json = args.metrics_json.clone();
+        let handle = std::thread::spawn(move || {
+            let mut prev = telemetry.snapshot();
+            loop {
+                match rx.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                }
+                prev = emit_metrics(&telemetry, &prev, prom.as_deref(), json.as_deref());
+            }
+        });
+        MetricsEmitter { stop, handle }
+    }
+
+    fn stop(self) {
+        let _ = self.stop.send(());
+        self.handle.join().expect("metrics emitter panicked");
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let ds = load_or_generate_dataset(&args);
@@ -464,6 +618,8 @@ fn main() {
                 ..WindowConfig::default()
             },
             decision: args.decision(),
+            trace: args.trace(),
+            profile: args.profile,
             ..EngineConfig::default()
         },
         frozen,
@@ -473,6 +629,14 @@ fn main() {
         "decision policy: {} ({} workers × {} inference threads, {} inference)",
         args.policy, args.workers, args.infer_threads, args.precision
     );
+
+    // Observability plumbing: keep a telemetry handle (it outlives the
+    // engine) and a run-start snapshot so the final dump can report
+    // whole-run rates; publish periodically while serving.
+    let telemetry = engine.telemetry_handle();
+    let run_start = telemetry.snapshot();
+    let emitter = (args.metrics_file.is_some() || args.metrics_json.is_some())
+        .then(|| MetricsEmitter::spawn(Arc::clone(&telemetry), &args));
 
     let t = Instant::now();
     match &args.pcap {
@@ -494,6 +658,34 @@ fn main() {
     engine.drain();
     let elapsed = t.elapsed();
     let report = engine.shutdown();
+
+    // Final publication after every counter has settled: rewrite the
+    // Prometheus file and append one last JSON line covering the run.
+    if let Some(emitter) = emitter {
+        emitter.stop();
+        emit_metrics(
+            &telemetry,
+            &run_start,
+            args.metrics_file.as_deref(),
+            args.metrics_json.as_deref(),
+        );
+        for path in [&args.metrics_file, &args.metrics_json]
+            .into_iter()
+            .flatten()
+        {
+            println!("metrics written to {path}");
+        }
+    }
+    if let Some(path) = &args.trace_file {
+        let file =
+            std::fs::File::create(path).unwrap_or_else(|e| panic!("creating trace {path}: {e}"));
+        write_chrome_trace(std::io::BufWriter::new(file), &report.spans)
+            .unwrap_or_else(|e| panic!("writing trace {path}: {e}"));
+        println!(
+            "trace: {} spans written to {path} (open in chrome://tracing or Perfetto)",
+            report.spans.len()
+        );
+    }
 
     println!("\n--- per-device verdicts ---");
     for d in &report.decisions {
@@ -521,6 +713,11 @@ fn main() {
                 d.source, expected, d.verdict
             ),
         }
+    }
+
+    if let Some(ops) = &report.layer_profile {
+        println!("\n--- per-layer inference profile ---");
+        print!("{}", format_op_table(ops));
     }
 
     println!("\n--- engine telemetry ---");

@@ -30,12 +30,13 @@
 
 use crate::policy::{DecisionPolicy, DecisionPolicyConfig, PolicyState};
 use crate::registry::{DeviceRegistry, Verdict, VerdictPolicy};
-use crate::telemetry::{EngineStats, Telemetry};
+use crate::telemetry::{EngineStats, Stage, Telemetry};
 use crate::window::{WindowConfig, WindowedDecision};
 use deepcsi_capture::{CaptureError, FrameSource, SourcePoll};
 use deepcsi_core::{Authenticator, FrozenAuthenticator, Precision};
 use deepcsi_frame::{BeamformingReportFrame, CapturedReport, MacAddr};
 use deepcsi_nn::{InferCtx, Tensor};
+use deepcsi_obs::{merge_op_stats, OpStat, Profiler, SpanEvent, ThreadTracer, TraceConfig, Tracer};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -112,6 +113,23 @@ pub struct EngineConfig {
     /// plumbing (sharding, policies, registry) is identical at either
     /// precision.
     pub precision: Precision,
+    /// Span tracing configuration. Disabled by default; when enabled,
+    /// 1 in [`TraceConfig::sample_every`] micro-batches records spans
+    /// for every pipeline stage it passes through (plus per-frame
+    /// `decode` spans at the same rate), collected into
+    /// [`EngineReport::spans`] at shutdown.
+    pub trace: TraceConfig,
+    /// When `true`, every worker's [`InferCtx`]s carry a
+    /// [`Profiler`]: each frozen op's wall time and activation bytes
+    /// are aggregated into the per-layer table returned as
+    /// [`EngineReport::layer_profile`]. Observation-only — verdicts are
+    /// bit-identical either way.
+    pub profile: bool,
+    /// When `true` (the default), the engine timestamps each pipeline
+    /// stage into [`Telemetry::stages`]. Costs a few `Instant::now`
+    /// calls per report/batch; turn off to measure (or serve at) the
+    /// bare-engine baseline.
+    pub stage_timing: bool,
 }
 
 impl Default for EngineConfig {
@@ -127,6 +145,9 @@ impl Default for EngineConfig {
             policy: VerdictPolicy::default(),
             decision: DecisionPolicyConfig::default(),
             precision: Precision::default(),
+            trace: TraceConfig::default(),
+            profile: false,
+            stage_timing: true,
         }
     }
 }
@@ -174,6 +195,23 @@ pub struct EngineReport {
     pub stats: EngineStats,
     /// Final per-device decisions, sorted by source address.
     pub decisions: Vec<DeviceDecision>,
+    /// Every sampled span, sorted by start time (empty unless
+    /// [`EngineConfig::trace`] was enabled). Render with
+    /// [`deepcsi_obs::write_chrome_trace`].
+    pub spans: Vec<SpanEvent>,
+    /// The aggregated per-layer inference profile across all workers
+    /// (`Some` iff [`EngineConfig::profile`] was set). Render with
+    /// [`deepcsi_obs::format_op_table`].
+    pub layer_profile: Option<Vec<OpStat>>,
+}
+
+/// A report on a shard queue, stamped with its enqueue instant so the
+/// dequeuing worker can attribute queue-wait time (`None` when both
+/// stage timing and tracing are off — the fully-dark path takes no
+/// timestamps at all).
+struct Queued {
+    report: CapturedReport,
+    enqueued_at: Option<Instant>,
 }
 
 struct DeviceState {
@@ -256,12 +294,20 @@ type ShardState = Arc<Mutex<HashMap<MacAddr, DeviceState>>>;
 /// ```
 pub struct Engine {
     cfg: EngineConfig,
-    senders: Vec<SyncSender<CapturedReport>>,
+    senders: Vec<SyncSender<Queued>>,
     workers: Vec<JoinHandle<()>>,
     telemetry: Arc<Telemetry>,
     state: Vec<ShardState>,
     registry: Arc<DeviceRegistry>,
     in_flight: Arc<InFlight>,
+    tracer: Tracer,
+    /// The ingest thread's span recorder. `ingest_frame` takes `&self`,
+    /// so the ring sits behind a mutex — uncontended in practice (one
+    /// ingest caller), and only ever locked for sampled frames.
+    ingest_spans: Mutex<ThreadTracer>,
+    /// Per-layer profile tables folded in by workers as they exit
+    /// (empty until shutdown unless a worker exits early).
+    profile: Arc<Mutex<Vec<OpStat>>>,
 }
 
 impl Engine {
@@ -356,6 +402,8 @@ impl Engine {
             .collect();
         let registry = Arc::new(registry);
         let in_flight = Arc::new(InFlight::default());
+        let tracer = Tracer::new(cfg.trace.clone());
+        let profile = Arc::new(Mutex::new(Vec::new()));
         // Pin the accepted tensor shape when the model recorded one.
         // Without a recorded shape the engine never learns shapes from
         // traffic (each micro-batch group stands on its own), so crafted
@@ -382,6 +430,10 @@ impl Engine {
                 max_batch: cfg.max_batch,
                 linger: cfg.batch_linger,
                 infer_threads: cfg.infer_threads,
+                tracer: tracer.clone(),
+                stage_timing: cfg.stage_timing,
+                profile_enabled: cfg.profile,
+                profile: Arc::clone(&profile),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -390,6 +442,7 @@ impl Engine {
                     .expect("spawn worker"),
             );
         }
+        let ingest_spans = Mutex::new(tracer.thread());
         Engine {
             cfg,
             senders,
@@ -398,13 +451,37 @@ impl Engine {
             state,
             registry,
             in_flight,
+            tracer,
+            ingest_spans,
+            profile,
         }
     }
 
     /// Parses one captured frame and routes it to its shard.
     pub fn ingest_frame(&self, bytes: &[u8]) -> IngestOutcome {
         self.telemetry.ingested.fetch_add(1, Ordering::Relaxed);
-        match BeamformingReportFrame::parse(bytes) {
+        // Stage timing and span sampling are both resolved before the
+        // parse so the decode measurement covers exactly the codec.
+        let sampled = self.tracer.enabled() && self.tracer.sample();
+        let t0 = if self.cfg.stage_timing || sampled {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let parsed = BeamformingReportFrame::parse(bytes);
+        if let Some(t0) = t0 {
+            let end = Instant::now();
+            if self.cfg.stage_timing {
+                self.telemetry.record_stage(Stage::Decode, end - t0);
+            }
+            if sampled {
+                self.ingest_spans
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .record(Stage::Decode.name(), t0, end);
+            }
+        }
+        match parsed {
             Ok(frame) => {
                 let report = CapturedReport {
                     source: frame.source(),
@@ -463,12 +540,22 @@ impl Engine {
     fn route(&self, report: CapturedReport) -> IngestOutcome {
         let shard = shard_of(report.source, self.senders.len());
         self.in_flight.add(1);
+        let queued = Queued {
+            report,
+            // Tracing also needs the stamp (for queue-wait spans), so
+            // only the fully-dark configuration skips the clock read.
+            enqueued_at: if self.cfg.stage_timing || self.tracer.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        };
         let outcome = match self.cfg.backpressure {
-            Backpressure::Block => match self.senders[shard].send(report) {
+            Backpressure::Block => match self.senders[shard].send(queued) {
                 Ok(()) => IngestOutcome::Enqueued,
                 Err(_) => IngestOutcome::Dropped, // worker gone (shutdown race)
             },
-            Backpressure::DropNewest => match self.senders[shard].try_send(report) {
+            Backpressure::DropNewest => match self.senders[shard].try_send(queued) {
                 Ok(()) => IngestOutcome::Enqueued,
                 Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                     IngestOutcome::Dropped
@@ -499,6 +586,19 @@ impl Engine {
     /// Current telemetry.
     pub fn stats(&self) -> EngineStats {
         self.telemetry.snapshot()
+    }
+
+    /// A shared handle to the engine's live telemetry — the seam a
+    /// periodic metrics emitter uses to render
+    /// [`Telemetry::metrics`] on its own thread while the engine runs.
+    pub fn telemetry_handle(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// The engine's span tracer (disabled unless
+    /// [`EngineConfig::trace`] enabled it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current per-device decisions (sorted by source address).
@@ -546,15 +646,32 @@ impl Engine {
     /// Drains, stops the workers and returns the final report.
     pub fn shutdown(mut self) -> EngineReport {
         self.drain();
-        let report = EngineReport {
-            stats: self.stats(),
-            decisions: self.decisions(),
-        };
+        let stats = self.stats();
+        let decisions = self.decisions();
         self.senders.clear(); // disconnect queues → workers exit
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        report
+        // Workers flushed their span rings and folded their profiler
+        // tables on exit; the ingest ring flushes here.
+        self.ingest_spans
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .flush();
+        let spans = self.tracer.drain();
+        let layer_profile = if self.cfg.profile {
+            Some(std::mem::take(
+                &mut *self.profile.lock().unwrap_or_else(|p| p.into_inner()),
+            ))
+        } else {
+            None
+        };
+        EngineReport {
+            stats,
+            decisions,
+            spans,
+            layer_profile,
+        }
     }
 }
 
@@ -575,7 +692,7 @@ fn shard_of(mac: MacAddr, workers: usize) -> usize {
 
 struct WorkerCtx {
     shard: usize,
-    rx: Receiver<CapturedReport>,
+    rx: Receiver<Queued>,
     /// The one weight snapshot every worker shares — cloning this is an
     /// atomic refcount bump, never a weight copy.
     auth: Arc<FrozenAuthenticator>,
@@ -595,6 +712,14 @@ struct WorkerCtx {
     linger: Duration,
     /// Lane-split width for each micro-batch inference call.
     infer_threads: usize,
+    /// Shared tracing gate + span-recorder factory.
+    tracer: Tracer,
+    /// Whether to timestamp pipeline stages into [`Telemetry::stages`].
+    stage_timing: bool,
+    /// Whether the worker's [`InferCtx`]s carry per-op profilers.
+    profile_enabled: bool,
+    /// Where the worker folds its profiler tables as it exits.
+    profile: Arc<Mutex<Vec<OpStat>>>,
 }
 
 impl WorkerCtx {
@@ -605,18 +730,27 @@ impl WorkerCtx {
         // mark after the first full batches, then the hot path stops
         // allocating.
         let mut ctxs: Vec<InferCtx> = (0..self.infer_threads).map(|_| self.auth.ctx()).collect();
-        let mut batch: Vec<CapturedReport> = Vec::with_capacity(self.max_batch);
-        loop {
-            // Block for the batch opener; exit once all senders are gone.
-            match self.rx.recv() {
-                Ok(report) => batch.push(report),
-                Err(_) => return,
+        if self.profile_enabled {
+            for ctx in &mut ctxs {
+                // With tracing on, the profiler also emits one span per
+                // op for sampled batches (its own ring/tid per context).
+                ctx.set_profiler(if self.tracer.enabled() {
+                    Profiler::with_tracer(self.tracer.thread())
+                } else {
+                    Profiler::new()
+                });
             }
+        }
+        let mut spans = self.tracer.thread();
+        let mut batch: Vec<Queued> = Vec::with_capacity(self.max_batch);
+        // Block for each batch opener; exit once all senders are gone.
+        while let Ok(opener) = self.rx.recv() {
+            batch.push(opener);
             // Linger briefly to fill the micro-batch.
             let deadline = Instant::now() + self.linger;
             while batch.len() < self.max_batch {
-                if let Ok(report) = self.rx.try_recv() {
-                    batch.push(report);
+                if let Ok(q) = self.rx.try_recv() {
+                    batch.push(q);
                     continue;
                 }
                 let now = Instant::now();
@@ -624,11 +758,15 @@ impl WorkerCtx {
                     break;
                 }
                 match self.rx.recv_timeout(deadline - now) {
-                    Ok(report) => batch.push(report),
+                    Ok(q) => batch.push(q),
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
+            // One sampling decision per micro-batch: a sampled batch
+            // records a span for every stage it passes through.
+            let sampled = self.tracer.enabled() && spans.sample();
+            self.account_queue_wait(&batch, sampled, &mut spans);
             // Safety net: no classification panic may take the worker
             // down, or `drain()` would wait forever on its queue.
             // `classify` accounts every report it handles (classified or
@@ -637,7 +775,7 @@ impl WorkerCtx {
             // always reconciles.
             let accounted = std::cell::Cell::new(0u64);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.classify(&batch, &accounted, &mut ctxs);
+                self.classify(&batch, &accounted, &mut ctxs, sampled, &mut spans);
             }));
             if outcome.is_err() {
                 self.telemetry
@@ -646,6 +784,47 @@ impl WorkerCtx {
             }
             self.in_flight.sub(batch.len() as i64);
             batch.clear();
+        }
+        // Exit path: fold this worker's per-layer tables into the
+        // engine's shared profile (the span rings flush on drop).
+        if self.profile_enabled {
+            let mut table: Vec<OpStat> = Vec::new();
+            for ctx in &mut ctxs {
+                if let Some(prof) = ctx.take_profiler() {
+                    merge_op_stats(&mut table, &prof.into_ops());
+                }
+            }
+            let mut shared = self.profile.lock().unwrap_or_else(|p| p.into_inner());
+            merge_op_stats(&mut shared, &table);
+        }
+    }
+
+    /// Attributes each just-dequeued report's time-on-queue: one
+    /// histogram observation per report, plus (for a sampled batch) a
+    /// single span covering the longest wait.
+    fn account_queue_wait(&self, batch: &[Queued], sampled: bool, spans: &mut ThreadTracer) {
+        if !self.stage_timing && !sampled {
+            return;
+        }
+        let now = Instant::now();
+        let mut earliest: Option<Instant> = None;
+        for q in batch {
+            let Some(at) = q.enqueued_at else { continue };
+            if self.stage_timing {
+                self.telemetry.record_stage(
+                    Stage::QueueWait,
+                    now.checked_duration_since(at).unwrap_or_default(),
+                );
+            }
+            earliest = Some(match earliest {
+                Some(e) if e <= at => e,
+                _ => at,
+            });
+        }
+        if sampled {
+            if let Some(start) = earliest {
+                spans.record(Stage::QueueWait.name(), start, now);
+            }
         }
     }
 
@@ -660,10 +839,13 @@ impl WorkerCtx {
     /// reject itself, never the legitimate reports sharing its batch.
     fn classify(
         &self,
-        batch: &[CapturedReport],
+        batch: &[Queued],
         accounted: &std::cell::Cell<u64>,
         ctxs: &mut [InferCtx],
+        sampled: bool,
+        spans: &mut ThreadTracer,
     ) {
+        let timed = self.stage_timing || sampled;
         let reject = |n: usize| {
             self.telemetry
                 .rejected
@@ -675,36 +857,58 @@ impl WorkerCtx {
             reports: Vec<&'a CapturedReport>,
             tensors: Vec<Tensor>,
         }
-        let mut groups: Vec<Group<'_>> = Vec::new();
-        for report in batch {
-            if !self.auth.spec().compatible(&report.feedback) {
-                reject(1);
-                continue;
+        // A helper wrapping one stage in a timestamp pair: records the
+        // histogram (stage timing) and a span (sampled batch). All
+        // timing is observation-only — the untimed path runs the same
+        // closure bare.
+        let stage = |stage: Stage, sampled: bool, spans: &mut ThreadTracer, f: &mut dyn FnMut()| {
+            if !timed {
+                f();
+                return;
             }
-            // `compatible` should make tensorize infallible, but this is
-            // the adversarial surface: a report that still panics here
-            // rejects itself, not its batch.
-            let t = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.auth.tensorize(&report.feedback)
-            })) {
-                Ok(t) => t,
-                Err(_) => {
+            let t0 = Instant::now();
+            f();
+            let end = Instant::now();
+            if self.stage_timing {
+                self.telemetry.record_stage(stage, end - t0);
+            }
+            if sampled {
+                spans.record(stage.name(), t0, end);
+            }
+        };
+        let mut groups: Vec<Group<'_>> = Vec::new();
+        stage(Stage::Tensorize, sampled, spans, &mut || {
+            for q in batch {
+                let report = &q.report;
+                if !self.auth.spec().compatible(&report.feedback) {
                     reject(1);
                     continue;
                 }
-            };
-            match groups.iter_mut().find(|g| g.shape[..] == *t.shape()) {
-                Some(g) => {
-                    g.reports.push(report);
-                    g.tensors.push(t);
+                // `compatible` should make tensorize infallible, but this
+                // is the adversarial surface: a report that still panics
+                // here rejects itself, not its batch.
+                let t = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.auth.tensorize(&report.feedback)
+                })) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        reject(1);
+                        continue;
+                    }
+                };
+                match groups.iter_mut().find(|g| g.shape[..] == *t.shape()) {
+                    Some(g) => {
+                        g.reports.push(report);
+                        g.tensors.push(t);
+                    }
+                    None => groups.push(Group {
+                        shape: t.shape().to_vec(),
+                        reports: vec![report],
+                        tensors: vec![t],
+                    }),
                 }
-                None => groups.push(Group {
-                    shape: t.shape().to_vec(),
-                    reports: vec![report],
-                    tensors: vec![t],
-                }),
             }
-        }
+        });
         for group in groups {
             let group_started = Instant::now();
             // A shape recorded by the model rejects mismatches outright.
@@ -720,41 +924,45 @@ impl WorkerCtx {
             // The shape gate plus `compatible` should make this
             // infallible, but an over-the-air surface warrants defense in
             // depth: a group the network rejects only rejects itself.
-            let outputs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.auth.model().infer_batch_par(&group.tensors, ctxs)
-            }));
-            let Ok(outputs) = outputs else {
+            let mut infer_outcome = None;
+            stage(Stage::Infer, sampled, spans, &mut || {
+                infer_outcome = Some(std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || self.auth.model().infer_batch_par(&group.tensors, ctxs),
+                )));
+            });
+            let Ok(outputs) = infer_outcome.expect("infer stage ran") else {
                 reject(group.reports.len());
                 continue;
             };
-            // Recover a poisoned lock: on a caught panic the map is at
-            // worst missing one window push, which is fine to keep
-            // serving.
-            let mut state = self
-                .state
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            for (report, logits) in group.reports.iter().zip(outputs.iter()) {
-                let module = logits.argmax();
-                let confidence = softmax_peak(logits.as_slice());
-                let dev = state.entry(report.source).or_insert_with(|| DeviceState {
-                    state: self.policy.new_state(),
-                    decided_at: None,
-                });
-                dev.state.push(module, confidence);
-                // Catch the stream's first decisive verdict the moment
-                // it happens — the reports-to-verdict distribution is
-                // the policy's decision latency.
-                if dev.decided_at.is_none() {
-                    let expected = self.registry.expected(report.source).map(|d| d.0 as usize);
-                    if dev.state.verdict(expected) != Verdict::Unknown {
-                        let n = dev.state.decision().map_or(0, |d| d.observations);
-                        dev.decided_at = Some(n);
-                        self.telemetry.record_verdict(n);
+            stage(Stage::PolicyApply, sampled, spans, &mut || {
+                // Recover a poisoned lock: on a caught panic the map is
+                // at worst missing one window push, which is fine to
+                // keep serving.
+                let mut state = self
+                    .state
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                for (report, logits) in group.reports.iter().zip(outputs.iter()) {
+                    let module = logits.argmax();
+                    let confidence = softmax_peak(logits.as_slice());
+                    let dev = state.entry(report.source).or_insert_with(|| DeviceState {
+                        state: self.policy.new_state(),
+                        decided_at: None,
+                    });
+                    dev.state.push(module, confidence);
+                    // Catch the stream's first decisive verdict the
+                    // moment it happens — the reports-to-verdict
+                    // distribution is the policy's decision latency.
+                    if dev.decided_at.is_none() {
+                        let expected = self.registry.expected(report.source).map(|d| d.0 as usize);
+                        if dev.state.verdict(expected) != Verdict::Unknown {
+                            let n = dev.state.decision().map_or(0, |d| d.observations);
+                            dev.decided_at = Some(n);
+                            self.telemetry.record_verdict(n);
+                        }
                     }
                 }
-            }
-            drop(state);
+            });
             accounted.set(accounted.get() + group.reports.len() as u64);
             // One record per inference call, timed from its own start, so
             // mixed-shape batches neither double-count latency nor skew

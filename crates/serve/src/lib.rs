@@ -90,5 +90,8 @@ pub use policy::{
 };
 pub use registry::{DeviceRegistry, Verdict, VerdictPolicy};
 pub use replay::ReplaySource;
-pub use telemetry::{EngineStats, LatencyHistogram, ReportCountHistogram, Telemetry};
+pub use telemetry::{
+    EngineStats, LatencyHistogram, ReportCountHistogram, Stage, StageSnapshot, StatsDelta,
+    Telemetry,
+};
 pub use window::{DecisionWindow, WindowConfig, WindowedDecision};

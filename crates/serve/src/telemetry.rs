@@ -1,29 +1,71 @@
-//! Engine-wide counters and batch-latency tracking.
+//! Engine-wide counters, stage/batch latency tracking, and metrics
+//! export.
 //!
 //! All counters are lock-free atomics updated from the ingest thread and
 //! every worker; [`Telemetry::snapshot`] renders a plain-data
-//! [`EngineStats`] for reporting. Batch latency goes into a small
-//! power-of-two histogram from which p50/p99 are read without storing
-//! individual observations.
+//! [`EngineStats`] for reporting, and [`Telemetry::metrics`] renders the
+//! same numbers as a `deepcsi_obs::MetricsRegistry` for the Prometheus /
+//! JSONL exporters. Latencies go into log-linear histograms from which
+//! p50/p99 are read without storing individual observations.
 
 use deepcsi_capture::CaptureCounters;
+use deepcsi_obs::{HistogramSnapshot, MetricsRegistry};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-const BUCKETS: usize = 48;
+/// Sub-buckets per octave: each power-of-two range is split in 4, so a
+/// bucket's width is at most 1/4 of its lower bound and the midpoint
+/// estimate is within ±12.5% of any observation it holds.
+const SUBS: usize = 4;
 
-/// Lock-free log₂ histogram of nanosecond durations.
+/// 63 octaves × 4 sub-buckets + the 4 exact small buckets ≈ 256 — the
+/// whole u64 nanosecond range with no saturation cliff in practice.
+const BUCKETS: usize = 256;
+
+/// Bucket index for a (non-zero) nanosecond value.
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < SUBS as u64 {
+        return nanos as usize; // 0..4 ns: exact
+    }
+    let exp = 63 - nanos.leading_zeros() as usize;
+    let sub = ((nanos >> (exp - 2)) & 0b11) as usize;
+    (((exp - 1) << 2) + sub).min(BUCKETS - 1)
+}
+
+/// `[lo, hi)` nanosecond bounds of a bucket.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUBS {
+        return (idx as u64, idx as u64 + 1);
+    }
+    let exp = (idx >> 2) + 1;
+    let sub = (idx & 0b11) as u64;
+    let step = 1u64 << (exp - 2);
+    let lo = (1u64 << exp) + sub * step;
+    (lo, lo.saturating_add(step))
+}
+
+/// Lock-free log-linear histogram of nanosecond durations.
+///
+/// Buckets follow the HdrHistogram shape: each power-of-two octave is
+/// split into 4 equal sub-buckets, so quantiles resolve to a
+/// bucket midpoint that is within ±12.5% of the true value (a pure log₂
+/// histogram is only within ±41%). Values 1–3 ns get exact unit
+/// buckets.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     counts: [AtomicU64; BUCKETS],
+    /// Total nanoseconds across all observations (the Prometheus
+    /// `_sum`).
+    sum_ns: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
         }
     }
 }
@@ -32,8 +74,8 @@ impl LatencyHistogram {
     /// Records one duration.
     pub fn record(&self, d: Duration) {
         let nanos = d.as_nanos().max(1) as u64;
-        let bucket = (63 - nanos.leading_zeros() as usize).min(BUCKETS - 1);
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.counts[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Total recorded observations.
@@ -41,8 +83,14 @@ impl LatencyHistogram {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
+    /// Sum of all recorded durations.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed))
+    }
+
     /// The `q`-quantile (`0 < q ≤ 1`) as a duration, resolved to the
-    /// geometric midpoint of the containing bucket; `None` when empty.
+    /// midpoint of the containing log-linear bucket (within ±12.5% of
+    /// the true value); `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         let total = self.count();
         if total == 0 {
@@ -53,12 +101,40 @@ impl LatencyHistogram {
         for (i, c) in self.counts.iter().enumerate() {
             seen += c.load(Ordering::Relaxed);
             if seen >= target {
-                // Bucket i spans [2^i, 2^(i+1)) ns; use its geometric mid.
-                let nanos = (1u64 << i) as f64 * std::f64::consts::SQRT_2;
-                return Some(Duration::from_nanos(nanos as u64));
+                let (lo, hi) = bucket_bounds(i);
+                // Small buckets are exact; log-linear buckets resolve to
+                // their midpoint.
+                let nanos = if i < SUBS { lo } else { lo + (hi - lo) / 2 };
+                return Some(Duration::from_nanos(nanos));
             }
         }
         None
+    }
+
+    /// A snapshot for the metrics exporters: cumulative counts at each
+    /// non-empty bucket's upper bound, in **seconds** (the Prometheus
+    /// base unit), plus sum, count and p50/p99.
+    pub fn export(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            let (_, hi) = bucket_bounds(i);
+            buckets.push((hi as f64 / 1e9, cum));
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum().as_secs_f64(),
+            count: cum,
+            quantiles: [0.5, 0.99]
+                .iter()
+                .filter_map(|&q| self.quantile(q).map(|d| (q, d.as_secs_f64())))
+                .collect(),
+        }
     }
 }
 
@@ -117,6 +193,80 @@ impl ReportCountHistogram {
         }
         None
     }
+
+    /// A snapshot for the metrics exporters: cumulative counts at
+    /// power-of-two report-count bounds (1, 2, 4, … 1024), plus sum,
+    /// count and p50/p99 — coarser than the exact store, but a scrape
+    /// does not need 1025 buckets.
+    pub fn export(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut cum = 0u64;
+        let mut sum = 0u64;
+        let mut next_bound = 1usize;
+        for (reports, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            cum += n;
+            sum += n * reports as u64;
+            if reports == next_bound {
+                buckets.push((reports as f64, cum));
+                next_bound *= 2;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: sum as f64,
+            count: cum,
+            quantiles: [0.5, 0.99]
+                .iter()
+                .filter_map(|&q| self.quantile(q).map(|v| (q, v as f64)))
+                .collect(),
+        }
+    }
+}
+
+/// A pipeline stage with its own latency histogram in
+/// [`Telemetry::stage`].
+///
+/// The taxonomy mirrors a report's life: `decode` (frame bytes →
+/// parsed report, on the ingest thread), `queue_wait` (enqueue → batch
+/// assembly, the backpressure signal), then per micro-batch on a worker:
+/// `tensorize` (feedback → input tensors), `infer` (the batched forward
+/// pass) and `policy_apply` (window pushes + verdict checks under the
+/// shard lock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Frame bytes → parsed report (ingest thread).
+    Decode = 0,
+    /// Enqueue → micro-batch assembly (per report).
+    QueueWait = 1,
+    /// Feedback → input tensors (per micro-batch).
+    Tensorize = 2,
+    /// The batched forward pass (per inference call).
+    Infer = 3,
+    /// Window pushes + verdict checks (per inference call).
+    PolicyApply = 4,
+}
+
+impl Stage {
+    /// Every stage, histogram-index order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Decode,
+        Stage::QueueWait,
+        Stage::Tensorize,
+        Stage::Infer,
+        Stage::PolicyApply,
+    ];
+
+    /// The stage's span/metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::QueueWait => "queue_wait",
+            Stage::Tensorize => "tensorize",
+            Stage::Infer => "infer",
+            Stage::PolicyApply => "policy_apply",
+        }
+    }
 }
 
 /// Shared atomic telemetry for one engine.
@@ -160,6 +310,10 @@ pub struct Telemetry {
     pub capture_skipped: AtomicU64,
     /// Capture-layer: radiotap/pcap per-packet decode errors.
     pub capture_errors: AtomicU64,
+    /// Per-stage latency distributions, indexed by [`Stage`]. Empty
+    /// histograms (stage timing off, or a stage that never ran) simply
+    /// export nothing.
+    pub stages: [LatencyHistogram; 5],
 }
 
 impl Telemetry {
@@ -191,11 +345,34 @@ impl Telemetry {
         self.reports_to_verdict.record(reports);
     }
 
+    /// Records one observation of a pipeline stage's latency.
+    pub fn record_stage(&self, stage: Stage, d: Duration) {
+        self.stages[stage as usize].record(d);
+    }
+
+    /// The latency histogram of one pipeline stage.
+    pub fn stage(&self, stage: Stage) -> &LatencyHistogram {
+        &self.stages[stage as usize]
+    }
+
     /// A plain-data snapshot of every counter.
     pub fn snapshot(&self) -> EngineStats {
         let batches = self.batches.load(Ordering::Relaxed);
         let classified = self.classified.load(Ordering::Relaxed);
         EngineStats {
+            captured_at: Instant::now(),
+            stages: Stage::ALL
+                .iter()
+                .map(|&s| {
+                    let h = self.stage(s);
+                    StageSnapshot {
+                        stage: s.name(),
+                        count: h.count(),
+                        p50: h.quantile(0.50),
+                        p99: h.quantile(0.99),
+                    }
+                })
+                .collect(),
             ingested: self.ingested.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
@@ -221,11 +398,142 @@ impl Telemetry {
             capture_errors: self.capture_errors.load(Ordering::Relaxed),
         }
     }
+
+    /// Renders every counter and histogram as a
+    /// [`deepcsi_obs::MetricsRegistry`] — the one source both exporters
+    /// (Prometheus text and JSONL) draw from. Counter names follow the
+    /// Prometheus conventions (`deepcsi_` prefix, `_total` suffix,
+    /// seconds as the time unit).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        reg.labeled_gauge(
+            "deepcsi_engine_info",
+            "Engine configuration (dimensions as labels, value always 1).",
+            &[
+                ("policy", self.policy.get().copied().unwrap_or("")),
+                ("precision", self.precision.get().copied().unwrap_or("")),
+            ],
+            1.0,
+        );
+        reg.counter(
+            "deepcsi_ingested_total",
+            "Frames handed to ingest.",
+            c(&self.ingested),
+        );
+        reg.counter(
+            "deepcsi_decode_errors_total",
+            "Frames that failed to decode.",
+            c(&self.decode_errors),
+        );
+        reg.counter(
+            "deepcsi_dropped_total",
+            "Reports dropped by backpressure.",
+            c(&self.dropped),
+        );
+        reg.counter(
+            "deepcsi_enqueued_total",
+            "Reports accepted onto worker queues.",
+            c(&self.enqueued),
+        );
+        reg.counter(
+            "deepcsi_rejected_total",
+            "Reports rejected before inference.",
+            c(&self.rejected),
+        );
+        reg.counter(
+            "deepcsi_classified_total",
+            "Reports classified by workers.",
+            c(&self.classified),
+        );
+        reg.counter(
+            "deepcsi_batches_total",
+            "Micro-batches executed.",
+            c(&self.batches),
+        );
+        reg.counter(
+            "deepcsi_verdicts_decided_total",
+            "Device streams whose verdict first left Unknown.",
+            c(&self.verdicts_decided),
+        );
+        let batches = c(&self.batches);
+        reg.gauge(
+            "deepcsi_mean_batch",
+            "Mean micro-batch size.",
+            if batches == 0 {
+                0.0
+            } else {
+                c(&self.classified) as f64 / batches as f64
+            },
+        );
+        reg.counter(
+            "deepcsi_capture_bytes_total",
+            "Capture-layer container bytes read.",
+            c(&self.capture_bytes),
+        );
+        reg.counter(
+            "deepcsi_capture_packets_total",
+            "Capture-layer packets decoded.",
+            c(&self.capture_packets),
+        );
+        reg.counter(
+            "deepcsi_capture_skipped_total",
+            "Capture-layer pre-filter skips.",
+            c(&self.capture_skipped),
+        );
+        reg.counter(
+            "deepcsi_capture_errors_total",
+            "Capture-layer per-packet decode errors.",
+            c(&self.capture_errors),
+        );
+        reg.histogram(
+            "deepcsi_batch_latency_seconds",
+            "Micro-batch latency (batch assembled to decisions applied).",
+            self.batch_latency.export(),
+        );
+        reg.histogram(
+            "deepcsi_reports_to_verdict",
+            "Reports a stream needed before its first decisive verdict.",
+            self.reports_to_verdict.export(),
+        );
+        for s in Stage::ALL {
+            let h = self.stage(s);
+            if h.count() == 0 {
+                continue; // stage timing off, or the stage never ran
+            }
+            reg.histogram(
+                &format!("deepcsi_stage_{}_seconds", s.name()),
+                "Per-stage pipeline latency.",
+                h.export(),
+            );
+        }
+        reg
+    }
+}
+
+/// One pipeline stage's latency summary inside an [`EngineStats`]
+/// snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    /// The stage's name (see [`Stage::name`]).
+    pub stage: &'static str,
+    /// Observations recorded.
+    pub count: u64,
+    /// Median stage latency.
+    pub p50: Option<Duration>,
+    /// 99th-percentile stage latency.
+    pub p99: Option<Duration>,
 }
 
 /// Point-in-time engine statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineStats {
+    /// When this snapshot was taken (the denominator of
+    /// [`EngineStats::delta`]'s rates).
+    pub captured_at: Instant,
+    /// Per-stage latency summaries (all five stages, zero-count when a
+    /// stage never ran or stage timing is off).
+    pub stages: Vec<StageSnapshot>,
     /// Frames handed to ingest.
     pub ingested: u64,
     /// Frames that failed to decode.
@@ -281,6 +589,84 @@ impl EngineStats {
                 + self.dropped
                 + self.enqueued
     }
+
+    /// The change between an `earlier` snapshot and this one — the
+    /// interval view a periodic reporter needs (reports/s, drops/s over
+    /// the last tick, not since engine start).
+    ///
+    /// Counter differences saturate at zero, so a snapshot pair taken
+    /// across an engine restart degrades to zeros instead of underflow.
+    pub fn delta(&self, earlier: &EngineStats) -> StatsDelta {
+        StatsDelta {
+            wall: self
+                .captured_at
+                .checked_duration_since(earlier.captured_at)
+                .unwrap_or(Duration::ZERO),
+            ingested: self.ingested.saturating_sub(earlier.ingested),
+            decode_errors: self.decode_errors.saturating_sub(earlier.decode_errors),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            enqueued: self.enqueued.saturating_sub(earlier.enqueued),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            classified: self.classified.saturating_sub(earlier.classified),
+            batches: self.batches.saturating_sub(earlier.batches),
+            verdicts_decided: self
+                .verdicts_decided
+                .saturating_sub(earlier.verdicts_decided),
+        }
+    }
+}
+
+/// Counter changes between two [`EngineStats`] snapshots (see
+/// [`EngineStats::delta`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsDelta {
+    /// Wall time between the two snapshots (zero when the pair is
+    /// reversed).
+    pub wall: Duration,
+    /// Frames ingested in the interval.
+    pub ingested: u64,
+    /// Decode errors in the interval.
+    pub decode_errors: u64,
+    /// Backpressure drops in the interval.
+    pub dropped: u64,
+    /// Reports enqueued in the interval.
+    pub enqueued: u64,
+    /// Reports rejected in the interval.
+    pub rejected: u64,
+    /// Reports classified in the interval.
+    pub classified: u64,
+    /// Micro-batches executed in the interval.
+    pub batches: u64,
+    /// Streams newly decided in the interval.
+    pub verdicts_decided: u64,
+}
+
+impl StatsDelta {
+    /// Converts an interval count to a per-second rate (0 when the
+    /// interval has no measurable width).
+    pub fn rate(&self, count: u64) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            count as f64 / secs
+        }
+    }
+
+    /// Reports classified per second over the interval.
+    pub fn classified_per_sec(&self) -> f64 {
+        self.rate(self.classified)
+    }
+
+    /// Frames ingested per second over the interval.
+    pub fn ingested_per_sec(&self) -> f64 {
+        self.rate(self.ingested)
+    }
+
+    /// Reports dropped per second over the interval.
+    pub fn dropped_per_sec(&self) -> f64 {
+        self.rate(self.dropped)
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -314,6 +700,20 @@ impl fmt::Display for EngineStats {
             fmt_latency(self.batch_latency_p50),
             fmt_latency(self.batch_latency_p99),
         )?;
+        let timed: Vec<&StageSnapshot> = self.stages.iter().filter(|s| s.count > 0).collect();
+        if !timed.is_empty() {
+            write!(f, "stages:")?;
+            for s in timed {
+                write!(
+                    f,
+                    "  {} p50 {} p99 {}",
+                    s.stage,
+                    fmt_latency(s.p50),
+                    fmt_latency(s.p99)
+                )?;
+            }
+            writeln!(f)?;
+        }
         write!(
             f,
             "policy {}  precision {}  verdicts decided {}  reports-to-verdict p50 {} p99 {}",
@@ -408,6 +808,186 @@ mod tests {
         assert_eq!(s.reports_to_verdict_p50, Some(4));
         assert_eq!(s.reports_to_verdict_p99, Some(10));
         assert!(format!("{s}").contains("reports-to-verdict"));
+    }
+
+    #[test]
+    fn log_linear_buckets_pin_quantile_resolution() {
+        // The whole point of the log-linear layout: a quantile read
+        // resolves to within ±12.5% of the true value, where the old
+        // pure-log₂ buckets allowed ±41%.
+        for &nanos in &[
+            5u64,
+            77,
+            1_000,
+            12_345,
+            1_000_000,
+            7_777_777,
+            123_456_789,
+            5_000_000_000,
+        ] {
+            let h = LatencyHistogram::default();
+            h.record(Duration::from_nanos(nanos));
+            let got = h.quantile(0.5).unwrap().as_nanos() as f64;
+            let err = (got - nanos as f64).abs() / nanos as f64;
+            assert!(err <= 0.125, "{nanos} ns read back as {got} ({err:.3})");
+        }
+        // Tiny durations are exact.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(3));
+        assert_eq!(h.quantile(0.5), Some(Duration::from_nanos(3)));
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotonic() {
+        // Every nanosecond value must land in a bucket whose bounds
+        // contain it, and bucket indexes must be monotonic in the value.
+        let mut prev = 0usize;
+        let mut check = |n: u64| {
+            let idx = bucket_of(n);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= n && n < hi, "{n} not in [{lo},{hi}) (bucket {idx})");
+            assert!(idx >= prev, "bucket index regressed at {n}");
+            prev = idx;
+        };
+        // Exhaustive through several octaves, then spot checks up high.
+        for n in 1..=4096u64 {
+            check(n);
+        }
+        for exp in 13..40 {
+            for off in [0u64, 1, (1 << exp) / 3, (1 << exp) - 1] {
+                check((1u64 << exp) + off);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_sum_accumulates() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(250));
+        assert_eq!(h.sum(), Duration::from_nanos(350));
+        let snap = h.export();
+        assert_eq!(snap.count, 2);
+        assert!((snap.sum - 350e-9).abs() < 1e-12);
+        // Cumulative buckets end at the total count.
+        assert_eq!(snap.buckets.last().unwrap().1, 2);
+    }
+
+    #[test]
+    fn delta_reports_interval_rates() {
+        let t = Telemetry::default();
+        t.ingested.store(100, Ordering::Relaxed);
+        t.record_batch(50, Duration::from_micros(10));
+        let a = t.snapshot();
+        t.ingested.store(300, Ordering::Relaxed);
+        t.record_batch(150, Duration::from_micros(10));
+        std::thread::sleep(Duration::from_millis(5));
+        let b = t.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.ingested, 200);
+        assert_eq!(d.classified, 150);
+        assert_eq!(d.batches, 1);
+        assert!(d.wall >= Duration::from_millis(5));
+        let rate = d.classified_per_sec();
+        assert!(rate > 0.0 && rate.is_finite());
+        // Reversed pair saturates to zeros rather than underflowing.
+        let rev = a.delta(&b);
+        assert_eq!(rev.ingested, 0);
+        assert_eq!(rev.wall, Duration::ZERO);
+        assert_eq!(rev.classified_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn stage_histograms_feed_snapshot_and_metrics() {
+        let t = Telemetry::default();
+        t.record_stage(Stage::Decode, Duration::from_micros(2));
+        t.record_stage(Stage::Infer, Duration::from_micros(500));
+        t.record_stage(Stage::Infer, Duration::from_micros(600));
+        let s = t.snapshot();
+        let infer = s.stages.iter().find(|x| x.stage == "infer").unwrap();
+        assert_eq!(infer.count, 2);
+        assert!(infer.p50.is_some());
+        assert!(format!("{s}").contains("stages:"));
+        let text = t.metrics().to_prometheus();
+        assert!(text.contains("deepcsi_stage_infer_seconds_bucket"));
+        assert!(text.contains("deepcsi_stage_decode_seconds_count 1"));
+        // Stages that never ran export nothing.
+        assert!(!text.contains("deepcsi_stage_tensorize_seconds"));
+        assert!(deepcsi_obs::parse_prometheus(&text).is_ok());
+    }
+
+    #[test]
+    fn metrics_render_both_formats() {
+        let t = Telemetry::default();
+        t.policy.set("fixed").unwrap();
+        t.precision.set("int8").unwrap();
+        t.ingested.store(10, Ordering::Relaxed);
+        t.record_batch(8, Duration::from_micros(120));
+        t.record_verdict(6);
+        let reg = t.metrics();
+        let text = reg.to_prometheus();
+        let samples = deepcsi_obs::parse_prometheus(&text).expect("prometheus parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "deepcsi_ingested_total" && s.value == 10.0));
+        assert!(samples.iter().any(|s| {
+            s.name == "deepcsi_engine_info"
+                && s.labels
+                    .iter()
+                    .any(|(k, v)| k == "precision" && v == "int8")
+        }));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "deepcsi_reports_to_verdict_count" && s.value == 1.0));
+        let line = reg.to_json_line();
+        let v = deepcsi_obs::JsonValue::parse(&line).expect("json line parses");
+        assert_eq!(
+            v.get("deepcsi_classified_total").unwrap().as_f64(),
+            Some(8.0)
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_preserves_counter_sums() {
+        // 4 writer threads hammer record_batch/record_verdict while the
+        // snapshot path reads concurrently; afterwards the aggregate
+        // counters must equal exactly what was written.
+        let t = std::sync::Arc::new(Telemetry::default());
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 2_000;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        t.record_batch(3, Duration::from_nanos(50 + i));
+                        t.record_stage(Stage::Infer, Duration::from_nanos(40 + i));
+                        if i % 10 == 0 {
+                            t.record_verdict(i % 64);
+                        }
+                    }
+                });
+            }
+            // Concurrent reader: snapshots must never tear into
+            // impossible states (classified always a multiple of the
+            // fixed batch size only at quiescence, but monotonic here).
+            let t2 = std::sync::Arc::clone(&t);
+            s.spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..50 {
+                    let s = t2.snapshot();
+                    assert!(s.classified >= last);
+                    last = s.classified;
+                }
+            });
+        });
+        let s = t.snapshot();
+        assert_eq!(s.batches, THREADS * PER_THREAD);
+        assert_eq!(s.classified, 3 * THREADS * PER_THREAD);
+        assert_eq!(s.verdicts_decided, THREADS * PER_THREAD / 10);
+        assert_eq!(t.batch_latency.count(), THREADS * PER_THREAD);
+        assert_eq!(t.stage(Stage::Infer).count(), THREADS * PER_THREAD);
+        assert_eq!(t.reports_to_verdict.count(), s.verdicts_decided);
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Observability integration: tracing and profiling must be *pure
+//! observers* — verdicts bit-identical with them on or off, at both
+//! precisions — and the exported artifacts (Chrome trace JSON,
+//! Prometheus text) must survive a round trip through the `obs` crate's
+//! own parsers.
+
+use std::sync::Arc;
+
+use deepcsi_core::{Authenticator, FrozenAuthenticator, ModelConfig};
+use deepcsi_data::{generate_d1, Dataset, GenConfig, InputSpec};
+use deepcsi_obs::{
+    parse_chrome_trace, parse_prometheus, write_chrome_trace, JsonValue, TraceConfig,
+};
+use deepcsi_serve::{
+    Backpressure, Engine, EngineConfig, EngineReport, Precision, ReplaySource, Stage,
+};
+
+fn spec() -> InputSpec {
+    InputSpec {
+        stride: 4, // narrow inputs keep the tests fast
+        ..InputSpec::default()
+    }
+}
+
+fn dataset(modules: u32, snapshots: usize) -> Dataset {
+    generate_d1(&GenConfig {
+        num_modules: modules,
+        snapshots_per_trace: snapshots,
+        ..GenConfig::default()
+    })
+}
+
+/// An untrained classifier: observability must not perturb *whatever*
+/// the model decides, so accuracy is irrelevant here — determinism is
+/// what's under test.
+fn authenticator(ds: &Dataset, modules: usize) -> Authenticator {
+    let spec = spec();
+    let probe = spec.tensor(&ds.traces[0].snapshots[0]);
+    Authenticator::new(ModelConfig::fast(modules, 0).build_for(&probe), spec)
+}
+
+/// Freezes at the requested precision (int8 calibrates on the dataset's
+/// own snapshots, like `deepcsi-served` does).
+fn frozen(auth: &Authenticator, ds: &Dataset, precision: Precision) -> Arc<FrozenAuthenticator> {
+    Arc::new(match precision {
+        Precision::F32 => auth.freeze(),
+        Precision::Int8 => {
+            let calib: Vec<_> = ds
+                .traces
+                .iter()
+                .flat_map(|t| t.snapshots.iter())
+                .map(|fb| auth.tensorize(fb))
+                .collect();
+            FrozenAuthenticator::quantized(auth, &calib).expect("int8 quantization")
+        }
+    })
+}
+
+fn serve(
+    frozen: &Arc<FrozenAuthenticator>,
+    ds: &Dataset,
+    precision: Precision,
+    stage_timing: bool,
+    trace: TraceConfig,
+    profile: bool,
+) -> EngineReport {
+    let engine = Engine::start_frozen(
+        EngineConfig {
+            workers: 2,
+            precision,
+            backpressure: Backpressure::Block,
+            stage_timing,
+            trace,
+            profile,
+            ..EngineConfig::default()
+        },
+        Arc::clone(frozen),
+        ReplaySource::registry(ds),
+    );
+    for frame in ReplaySource::from_dataset(ds).frames() {
+        engine.ingest_frame(frame);
+    }
+    engine.shutdown()
+}
+
+/// One device's decision, flattened for comparison:
+/// (source, verdict, decided module, observations, decided_at).
+type DecisionRow = (String, String, Option<usize>, u64, Option<u64>);
+
+/// Everything decision-shaped in a report, in comparable form.
+fn decision_vector(report: &EngineReport) -> Vec<DecisionRow> {
+    report
+        .decisions
+        .iter()
+        .map(|d| {
+            (
+                d.source.to_string(),
+                format!("{:?}", d.verdict),
+                d.decision.as_ref().map(|w| w.module),
+                d.decision.as_ref().map_or(0, |w| w.observations),
+                d.decided_at,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn observability_does_not_change_verdicts_at_either_precision() {
+    let ds = dataset(3, 20);
+    let auth = authenticator(&ds, 3);
+    for precision in [Precision::F32, Precision::Int8] {
+        let model = frozen(&auth, &ds, precision);
+        // Fully dark (no timestamps at all) vs everything on (every
+        // batch traced, every layer profiled).
+        let dark = serve(&model, &ds, precision, false, TraceConfig::default(), false);
+        let lit = serve(&model, &ds, precision, true, TraceConfig::always(), true);
+        assert_eq!(
+            decision_vector(&dark),
+            decision_vector(&lit),
+            "{precision} verdicts changed when observability was enabled"
+        );
+        assert_eq!(dark.stats.classified, lit.stats.classified);
+        // The dark run really was dark, and the lit run really did
+        // observe: spans on one side only.
+        assert!(dark.spans.is_empty() && dark.layer_profile.is_none());
+        assert!(!lit.spans.is_empty() && lit.layer_profile.is_some());
+    }
+}
+
+#[test]
+fn spans_cover_every_stage_and_round_trip_through_chrome_json() {
+    let ds = dataset(2, 15);
+    let auth = authenticator(&ds, 2);
+    let model = frozen(&auth, &ds, Precision::F32);
+    let report = serve(
+        &model,
+        &ds,
+        Precision::F32,
+        true,
+        TraceConfig::always(),
+        false,
+    );
+
+    // With sample_every = 1 every pipeline stage must have fired.
+    for stage in Stage::ALL {
+        assert!(
+            report.spans.iter().any(|s| s.name == stage.name()),
+            "no {:?} span in {} spans",
+            stage.name(),
+            report.spans.len()
+        );
+    }
+    // Spans arrive sorted and with sane extents.
+    for pair in report.spans.windows(2) {
+        assert!(pair[0].start_ns <= pair[1].start_ns, "spans not sorted");
+    }
+
+    // Chrome trace_event JSON round trip through the obs parser.
+    let mut buf = Vec::new();
+    write_chrome_trace(&mut buf, &report.spans).expect("write trace");
+    let text = String::from_utf8(buf).expect("utf8 trace");
+    let parsed = parse_chrome_trace(&text).expect("parse trace");
+    assert_eq!(parsed.len(), report.spans.len());
+    for (p, e) in parsed.iter().zip(&report.spans) {
+        assert!(p.matches(e), "span {:?} did not round-trip", e.name);
+    }
+}
+
+#[test]
+fn metrics_artifacts_parse_cleanly_after_a_run() {
+    let ds = dataset(2, 15);
+    let auth = authenticator(&ds, 2);
+    let model = frozen(&auth, &ds, Precision::F32);
+    let engine = Engine::start_frozen(
+        EngineConfig {
+            workers: 2,
+            backpressure: Backpressure::Block,
+            ..EngineConfig::default()
+        },
+        Arc::clone(&model),
+        ReplaySource::registry(&ds),
+    );
+    let telemetry = engine.telemetry_handle();
+    for frame in ReplaySource::from_dataset(&ds).frames() {
+        engine.ingest_frame(frame);
+    }
+    engine.drain();
+
+    let reg = telemetry.metrics();
+    let text = reg.to_prometheus();
+    let samples = parse_prometheus(&text).expect("prometheus text parses");
+    assert!(!samples.is_empty());
+    assert!(!text.contains("NaN"), "non-finite value leaked:\n{text}");
+    let classified = samples
+        .iter()
+        .find(|s| s.name == "deepcsi_classified_total")
+        .expect("classified counter exported");
+    assert_eq!(classified.value as u64, telemetry.snapshot().classified);
+
+    let line = reg.to_json_line();
+    let json = JsonValue::parse(&line).expect("JSON line parses");
+    assert_eq!(
+        json.get("deepcsi_classified_total")
+            .and_then(|v| v.as_f64()),
+        Some(classified.value)
+    );
+
+    let report = engine.shutdown();
+    assert_eq!(report.stats.classified, classified.value as u64);
+}
+
+#[test]
+fn layer_profile_merges_every_worker_and_accounts_every_sample() {
+    let ds = dataset(2, 15);
+    let auth = authenticator(&ds, 2);
+    let model = frozen(&auth, &ds, Precision::F32);
+    let report = serve(
+        &model,
+        &ds,
+        Precision::F32,
+        true,
+        TraceConfig::default(),
+        true,
+    );
+    let ops = report.layer_profile.as_ref().expect("profile requested");
+    assert!(!ops.is_empty());
+    // Every op saw every classified sample exactly once, on every row.
+    for op in ops {
+        assert_eq!(
+            op.samples, report.stats.classified,
+            "op {} sample count diverges from classified",
+            op.name
+        );
+        assert!(op.calls > 0 && op.bytes > 0);
+    }
+    assert_eq!(model.model().len(), ops.len());
+}

@@ -7,12 +7,16 @@
 //!   ever pushed.
 //! * Ties resolve to the smallest winning module id, independent of
 //!   arrival order.
+//! * [`LatencyHistogram`] quantiles stay within ±12.5% of the exact
+//!   order statistic (log-linear buckets, 4 sub-buckets per octave),
+//!   and its export accounts for every observation.
 
 use deepcsi_serve::{
-    ConfidenceWeighted, DecisionPolicy, DecisionWindow, VerdictPolicy, WindowConfig,
-    WindowedDecision,
+    ConfidenceWeighted, DecisionPolicy, DecisionWindow, LatencyHistogram, VerdictPolicy,
+    WindowConfig, WindowedDecision,
 };
 use proptest::prelude::*;
+use std::time::Duration;
 
 fn window_config() -> impl Strategy<Value = WindowConfig> {
     (1usize..40, 0.01f64..1.0).prop_map(|(len, ema_alpha)| WindowConfig { len, ema_alpha })
@@ -107,5 +111,77 @@ proptest! {
                 d.vote_fraction
             );
         }
+    }
+}
+
+/// Observation streams spanning the histogram's whole dynamic range:
+/// exact sub-4ns buckets, microsecond-scale, and values deep into the
+/// high octaves, freely mixed.
+fn observations() -> impl Strategy<Value = Vec<u64>> {
+    // A 10-bit mantissa shifted across 50 octaves: zeros, exact sub-4ns
+    // values, and everything up to ~10³ seconds, all in one stream.
+    let any_magnitude = (0u32..50, 0u64..1024).prop_map(|(e, m)| m << e);
+    proptest::collection::vec(any_magnitude, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn log_linear_quantile_tracks_the_exact_order_statistic(
+        (ns, q) in (observations(), 0.01f64..1.0)
+    ) {
+        // The docs promise: `quantile(q)` lands in the bucket holding
+        // the ceil(n·q)-th smallest observation, resolved to its
+        // midpoint — within ±12.5% of that order statistic (exact below
+        // 4ns, where buckets are 1ns wide).
+        let h = LatencyHistogram::default();
+        for &n in &ns {
+            h.record(Duration::from_nanos(n));
+        }
+        // `record` clamps to ≥ 1ns (an observation always happened);
+        // mirror that in the reference order statistics.
+        let mut sorted: Vec<u64> = ns.iter().map(|&n| n.max(1)).collect();
+        sorted.sort_unstable();
+        let target = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[target - 1];
+        let est = h.quantile(q).expect("non-empty").as_nanos() as u64;
+        if exact < 4 {
+            prop_assert_eq!(est, exact, "sub-4ns buckets are exact");
+        } else {
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(
+                err <= 0.125,
+                "quantile {est} is {:.1}% from order statistic {exact}",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_export_accounts_every_observation(ns in observations()) {
+        let h = LatencyHistogram::default();
+        let mut total_ns = 0u128;
+        for &n in &ns {
+            h.record(Duration::from_nanos(n));
+            total_ns += n.max(1) as u128;
+        }
+        let snap = h.export();
+        // Cumulative buckets are monotone, and the last one owns the
+        // whole population.
+        for pair in snap.buckets.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1, "cumulative counts regressed");
+            prop_assert!(pair[0].0 < pair[1].0, "bucket bounds not increasing");
+        }
+        prop_assert_eq!(snap.count, ns.len() as u64);
+        prop_assert_eq!(snap.buckets.last().expect("non-empty").1, ns.len() as u64);
+        // The exported sum (seconds) matches the recorded nanoseconds.
+        let expect_s = total_ns as f64 * 1e-9;
+        prop_assert!(
+            (snap.sum - expect_s).abs() <= expect_s * 1e-9 + 1e-12,
+            "sum {} != {}",
+            snap.sum,
+            expect_s
+        );
     }
 }

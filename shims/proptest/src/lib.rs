@@ -323,6 +323,10 @@ macro_rules! prop_assert_eq {
         let (a, b) = (&$a, &$b);
         $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
     }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
 }
 
 /// Asserts inequality inside a property.
@@ -331,6 +335,10 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (a, b) = (&$a, &$b);
         $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
     }};
 }
 
