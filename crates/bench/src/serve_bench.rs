@@ -203,12 +203,28 @@ pub fn engine_reports_per_sec_threads(
 /// the `obs_bench` overhead sweep varies only the observability fields
 /// (`stage_timing`, `trace`, `profile`) against a fixed serving setup.
 pub fn engine_reports_per_sec_cfg(ds: &Dataset, cfg: EngineConfig, repeat: usize) -> f64 {
+    engine_reports_per_sec_observed(ds, cfg, repeat, |_| (), |()| ())
+}
+
+/// [`engine_reports_per_sec_cfg`] with observer hooks: `attach` runs
+/// once the engine is up (bind a scrape plane, launch scraper threads)
+/// and `detach` runs after the replay has drained and the clock has
+/// stopped (tear the observers down before engine shutdown) — the
+/// `obs_bench` live-plane overhead rows.
+pub fn engine_reports_per_sec_observed<T>(
+    ds: &Dataset,
+    cfg: EngineConfig,
+    repeat: usize,
+    attach: impl FnOnce(&Engine) -> T,
+    detach: impl FnOnce(T),
+) -> f64 {
     let replay = ReplaySource::from_dataset(ds);
     let engine = Engine::start(
         cfg,
         serve_authenticator(ds, ds.modules().len().max(2)),
         ReplaySource::registry(ds),
     );
+    let observers = attach(&engine);
     let t = Instant::now();
     for _ in 0..repeat {
         for frame in replay.frames() {
@@ -217,6 +233,7 @@ pub fn engine_reports_per_sec_cfg(ds: &Dataset, cfg: EngineConfig, repeat: usize
     }
     engine.drain();
     let elapsed = t.elapsed().as_secs_f64();
+    detach(observers);
     let report = engine.shutdown();
     report.stats.classified as f64 / elapsed
 }

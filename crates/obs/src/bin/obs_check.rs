@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! obs-check [--prom FILE]... [--trace FILE]...
+//!           [--scrape ADDR [--scrape-timeout SECS]]
 //! ```
 //!
 //! Each `--prom` file must parse as Prometheus text exposition with at
@@ -10,13 +11,87 @@
 //! Chrome `trace_event` document. Exits non-zero naming the first
 //! offending file. CI points this at what `deepcsi-served
 //! --metrics-file/--trace-file` wrote.
+//!
+//! `--scrape ADDR` validates a *live* observability plane over loopback
+//! instead of (or in addition to) files: it retries `/readyz` until the
+//! plane answers 200 (up to `--scrape-timeout`, default 30 s), then
+//! fetches `/metrics` (must parse as Prometheus text with samples),
+//! `/healthz` (must be JSON with a `state`), `/stats.json` (JSON
+//! object) and `/audit/tail?n=5` (JSON array). CI points this at a
+//! backgrounded `deepcsi-served --obs-listen ADDR --obs-linger SECS`.
 
-use deepcsi_obs::{parse_chrome_trace, parse_prometheus};
+use deepcsi_obs::{http_get, parse_chrome_trace, parse_prometheus, JsonValue};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: obs-check [--prom FILE]... [--trace FILE]...");
+    eprintln!(
+        "usage: obs-check [--prom FILE]... [--trace FILE]... \
+         [--scrape ADDR [--scrape-timeout SECS]]"
+    );
     ExitCode::FAILURE
+}
+
+/// Polls `/readyz` until the plane answers 200, then validates every
+/// scrape endpoint with the same parsers the file checks use. Returns
+/// an error string naming the first failing endpoint.
+fn check_scrape(addr: &str, timeout: Duration) -> Result<(), String> {
+    let per_request = Duration::from_secs(5).min(timeout);
+    // The served process may still be training/loading its model when
+    // CI launches the check — wait for readiness, not just for bind.
+    let deadline = Instant::now() + timeout;
+    loop {
+        match http_get(addr, "/readyz", per_request) {
+            Ok((200, _)) => break,
+            Ok((status, _)) if Instant::now() >= deadline => {
+                return Err(format!("/readyz still {status} after {timeout:?}"));
+            }
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("/readyz unreachable after {timeout:?}: {e}"));
+            }
+            _ => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+    println!("obs-check: {addr}: /readyz ok");
+
+    let get = |path: &str| -> Result<String, String> {
+        match http_get(addr, path, per_request) {
+            Ok((200, body)) => Ok(body),
+            Ok((status, body)) => Err(format!("{path}: status {status}: {body}")),
+            Err(e) => Err(format!("{path}: {e}")),
+        }
+    };
+
+    let metrics = get("/metrics")?;
+    match parse_prometheus(&metrics) {
+        Ok(samples) if samples.is_empty() => return Err("/metrics: no samples".to_string()),
+        Ok(samples) => println!("obs-check: {addr}: /metrics {} samples ok", samples.len()),
+        Err(e) => return Err(format!("/metrics: {e}")),
+    }
+
+    let healthz = get("/healthz")?;
+    let health = JsonValue::parse(&healthz).map_err(|e| format!("/healthz: {e}"))?;
+    let state = health
+        .get("state")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .ok_or_else(|| format!("/healthz: no state in {healthz}"))?;
+    println!("obs-check: {addr}: /healthz state {state} ok");
+
+    let stats = get("/stats.json")?;
+    let parsed = JsonValue::parse(&stats).map_err(|e| format!("/stats.json: {e}"))?;
+    if parsed.get("deepcsi_ingested_total").is_none() {
+        return Err(format!("/stats.json: no deepcsi_ingested_total in {stats}"));
+    }
+    println!("obs-check: {addr}: /stats.json ok");
+
+    let tail = get("/audit/tail?n=5")?;
+    let events = JsonValue::parse(&tail)
+        .map_err(|e| format!("/audit/tail: {e}"))?
+        .as_array()
+        .map(<[JsonValue]>::len)
+        .ok_or_else(|| format!("/audit/tail: not an array: {tail}"))?;
+    println!("obs-check: {addr}: /audit/tail {events} event(s) ok");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -24,44 +99,67 @@ fn main() -> ExitCode {
     if args.is_empty() {
         return usage();
     }
+    // --scrape-timeout applies to --scrape; find it in a first pass so
+    // flag order doesn't matter.
+    let mut scrape_timeout = Duration::from_secs(30);
+    if let Some(i) = args.iter().position(|a| a == "--scrape-timeout") {
+        let Some(secs) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+            eprintln!("obs-check: --scrape-timeout needs a positive integer");
+            return usage();
+        };
+        scrape_timeout = Duration::from_secs(secs);
+    }
+
     let mut checked = 0usize;
     let mut i = 0;
     while i < args.len() {
-        let (flag, path) = (args[i].as_str(), args.get(i + 1));
-        let Some(path) = path else {
-            eprintln!("obs-check: {flag} needs a file argument");
+        let (flag, value) = (args[i].as_str(), args.get(i + 1));
+        let Some(value) = value else {
+            eprintln!("obs-check: {flag} needs an argument");
             return usage();
         };
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("obs-check: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
         match flag {
-            "--prom" => match parse_prometheus(&text) {
-                Ok(samples) if samples.is_empty() => {
-                    eprintln!("obs-check: {path}: no samples");
+            "--scrape" => {
+                if let Err(e) = check_scrape(value, scrape_timeout) {
+                    eprintln!("obs-check: {value}: {e}");
                     return ExitCode::FAILURE;
                 }
-                Ok(samples) => {
-                    println!("obs-check: {path}: {} samples ok", samples.len());
+            }
+            "--scrape-timeout" => {} // consumed in the first pass
+            "--prom" | "--trace" => {
+                let path = value;
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("obs-check: cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match flag {
+                    "--prom" => match parse_prometheus(&text) {
+                        Ok(samples) if samples.is_empty() => {
+                            eprintln!("obs-check: {path}: no samples");
+                            return ExitCode::FAILURE;
+                        }
+                        Ok(samples) => {
+                            println!("obs-check: {path}: {} samples ok", samples.len());
+                        }
+                        Err(e) => {
+                            eprintln!("obs-check: {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    _ => match parse_chrome_trace(&text) {
+                        Ok(spans) => {
+                            println!("obs-check: {path}: {} spans ok", spans.len());
+                        }
+                        Err(e) => {
+                            eprintln!("obs-check: {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
                 }
-                Err(e) => {
-                    eprintln!("obs-check: {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--trace" => match parse_chrome_trace(&text) {
-                Ok(spans) => {
-                    println!("obs-check: {path}: {} spans ok", spans.len());
-                }
-                Err(e) => {
-                    eprintln!("obs-check: {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            },
+            }
             other => {
                 eprintln!("obs-check: unknown flag {other}");
                 return usage();
@@ -70,6 +168,6 @@ fn main() -> ExitCode {
         checked += 1;
         i += 2;
     }
-    println!("obs-check: {checked} file(s) ok");
+    println!("obs-check: {checked} check(s) ok");
     ExitCode::SUCCESS
 }

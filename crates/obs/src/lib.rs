@@ -28,23 +28,47 @@
 //!   validates an exposition (names, finite values) without a
 //!   Prometheus server in the loop.
 //!
+//! PR 7 adds the **live observability plane** on top of the same
+//! substrate:
+//!
+//! * **Embedded HTTP server** ([`ObsServer`] / [`http_get`]) — a
+//!   dependency-free, bounded, `GET`-only HTTP/1.1 scrape surface so
+//!   metrics, health and the audit tail are readable from a *running*
+//!   engine, not just from files after the fact.
+//! * **SLO monitoring** ([`SloMonitor`] / [`SloConfig`]) — sliding-
+//!   window burn rates over p99 batch latency, drop rate, reject rate
+//!   and capture reconciliation, driving the `/healthz` `ok → degraded
+//!   → failing` state machine and structured [`SloBreach`] events.
+//! * **Audit trail** ([`AuditLog`] / [`AuditEvent`]) — one structured
+//!   JSONL event per decided verdict, in a bounded ring (served at
+//!   `/audit/tail`) plus an optional append-only file.
+//!
 //! The `obs-check` binary wraps the two parsers for CI smoke steps:
 //! `obs-check --prom metrics.prom --trace trace.json` exits non-zero
-//! when either artifact fails to parse.
+//! when either artifact fails to parse, and `obs-check --scrape ADDR`
+//! validates a live plane over loopback.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod chrome;
+mod http;
 mod json;
 mod metrics;
 mod profile;
 mod prom;
+mod slo;
 mod span;
 
+pub use audit::{AuditEvent, AuditLog};
 pub use chrome::{parse_chrome_trace, write_chrome_trace, ParsedSpan};
+pub use http::{
+    http_get, HttpHandler, HttpRequest, HttpResponse, ObsServer, ObsServerConfig, ServerCounters,
+};
 pub use json::JsonValue;
 pub use metrics::{HistogramSnapshot, Metric, MetricValue, MetricsRegistry};
 pub use profile::{format_op_table, merge_op_stats, OpStat, Profiler};
 pub use prom::{parse_prometheus, PromSample};
+pub use slo::{HealthReport, HealthState, RuleStatus, SloBreach, SloConfig, SloMonitor, SloSample};
 pub use span::{SpanEvent, ThreadTracer, TraceConfig, TraceSink, Tracer};

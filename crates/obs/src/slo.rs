@@ -1,0 +1,580 @@
+//! Online SLO monitoring: sliding-window burn rates over the engine's
+//! cumulative telemetry, driving a three-state health machine.
+//!
+//! Post-mortem metrics files tell you *that* fingerprint confidence
+//! drifted; an operator needs to know *while it drifts*. The
+//! [`SloMonitor`] is the live half: every tick the plane feeds it one
+//! [`SloSample`] of **cumulative** counters plus the cumulative batch
+//! latency histogram, and the monitor evaluates windowed (not
+//! lifetime) rates against declarative [`SloConfig`] thresholds:
+//!
+//! | rule | windowed quantity |
+//! |---|---|
+//! | `p99_batch_latency` | p99 of batches observed inside the window |
+//! | `drop_rate` | Δdropped / Δingested |
+//! | `reject_rate` | Δrejected / Δ(classified + rejected) |
+//! | `capture_reconcile` | ticks in the window with a failed reconcile |
+//!
+//! Windowing is what makes it a *burn-rate* monitor: a latency spike an
+//! hour ago must not keep `/healthz` red, and lifetime averages would
+//! dilute a live incident into invisibility. The windowed p99 is
+//! computed by differencing the cumulative histogram snapshots at the
+//! window edges — no per-batch samples are retained.
+//!
+//! State machine: `ok → degraded` on the first breaching evaluation,
+//! `degraded → failing` after [`SloConfig::failing_after`] consecutive
+//! breaching evaluations, and back to `ok` on the first clean one
+//! (the sliding window already provides the hysteresis; a breach stays
+//! visible for up to `window` ticks after the underlying pressure
+//! stops). Each rule's ok→breaching edge appends a structured
+//! [`SloBreach`] event to a bounded log for the audit/ops trail.
+//!
+//! The monitor is deliberately pull-driven and allocation-light: it
+//! owns a ring of `window` samples and does arithmetic — no threads, no
+//! clocks, no I/O — so a test can drive `observe()` tick by tick and
+//! assert the exact transition tick.
+
+use crate::json::escape;
+use crate::metrics::HistogramSnapshot;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The `/healthz` state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// No SLO rule is breaching.
+    Ok,
+    /// At least one rule breached on the latest evaluation.
+    Degraded,
+    /// Rules have breached for [`SloConfig::failing_after`] consecutive
+    /// evaluations.
+    Failing,
+}
+
+impl HealthState {
+    /// The lowercase wire name (`"ok"` / `"degraded"` / `"failing"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Failing => "failing",
+        }
+    }
+}
+
+/// One tick's worth of **cumulative** engine telemetry. Counters are
+/// since-start totals (the monitor differences them itself); only
+/// `capture_reconciled` is an instantaneous judgement.
+#[derive(Debug, Clone)]
+pub struct SloSample {
+    /// Cumulative batch-latency histogram snapshot (seconds).
+    pub latency: HistogramSnapshot,
+    /// Reports handed to ingest, cumulative.
+    pub ingested: u64,
+    /// Reports shed by backpressure, cumulative.
+    pub dropped: u64,
+    /// Reports rejected by the decision policy, cumulative.
+    pub rejected: u64,
+    /// Reports classified (accepted into a device window), cumulative.
+    pub classified: u64,
+    /// Whether capture-vs-engine counter reconciliation currently holds.
+    pub capture_reconciled: bool,
+}
+
+impl SloSample {
+    /// The all-zero baseline the first real sample is differenced
+    /// against.
+    fn zero() -> SloSample {
+        SloSample {
+            latency: HistogramSnapshot {
+                buckets: Vec::new(),
+                sum: 0.0,
+                count: 0,
+                quantiles: Vec::new(),
+            },
+            ingested: 0,
+            dropped: 0,
+            rejected: 0,
+            classified: 0,
+            capture_reconciled: true,
+        }
+    }
+}
+
+/// Declarative SLO thresholds. All rates are evaluated over the
+/// sliding window, not over process lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Sliding-window length in ticks (samples retained).
+    pub window: usize,
+    /// Windowed p99 batch latency above this breaches
+    /// `p99_batch_latency`.
+    pub max_p99_batch_latency: Duration,
+    /// Windowed `dropped/ingested` above this breaches `drop_rate`.
+    pub max_drop_ratio: f64,
+    /// Windowed `rejected/(classified+rejected)` above this breaches
+    /// `reject_rate` (the reject-anomaly guard: a fleet suddenly
+    /// failing authentication is an incident even at good latency).
+    pub max_reject_ratio: f64,
+    /// More than this many failed-reconcile ticks in the window
+    /// breaches `capture_reconcile`. The default tolerates one: a tick
+    /// that races the engine's capture-counter mirror mid-poll can see
+    /// a transiently inconsistent state that is not an incident.
+    pub max_reconcile_failures: u64,
+    /// Consecutive breaching evaluations before `degraded` escalates to
+    /// `failing`.
+    pub failing_after: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            window: 12,
+            max_p99_batch_latency: Duration::from_millis(250),
+            max_drop_ratio: 0.05,
+            max_reject_ratio: 0.5,
+            max_reconcile_failures: 1,
+            failing_after: 5,
+        }
+    }
+}
+
+/// A structured breach event: recorded when a rule transitions from
+/// clean to breaching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloBreach {
+    /// Monitor tick (1-based observe() count) at which the rule began
+    /// breaching.
+    pub tick: u64,
+    /// Rule name (`p99_batch_latency`, `drop_rate`, `reject_rate`,
+    /// `capture_reconcile`).
+    pub rule: &'static str,
+    /// The windowed value that breached.
+    pub value: f64,
+    /// The configured threshold it exceeded.
+    pub threshold: f64,
+    /// Overall health state after this evaluation.
+    pub state: HealthState,
+}
+
+impl SloBreach {
+    /// One-line JSON rendering for logs and the `/healthz` payload.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"tick\":{},\"rule\":\"{}\",\"value\":{},\"threshold\":{},\"state\":\"{}\"}}",
+            self.tick,
+            self.rule,
+            fmt_ratio(self.value),
+            fmt_ratio(self.threshold),
+            self.state.as_str()
+        );
+        out
+    }
+}
+
+/// One rule's windowed value vs threshold in a [`HealthReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleStatus {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Windowed value at the latest evaluation.
+    pub value: f64,
+    /// Configured threshold.
+    pub threshold: f64,
+    /// Whether the rule is currently breaching.
+    pub breaching: bool,
+}
+
+/// The outcome of one [`SloMonitor::observe`] evaluation — what
+/// `/healthz` serves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Overall state.
+    pub state: HealthState,
+    /// Monitor tick of this evaluation (1-based).
+    pub tick: u64,
+    /// Consecutive breaching evaluations ending at this tick.
+    pub consecutive_breaching: u64,
+    /// Every rule's windowed value vs threshold.
+    pub rules: Vec<RuleStatus>,
+}
+
+impl HealthReport {
+    /// JSON rendering for the `/healthz` endpoint.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"state\":\"{}\",\"tick\":{},\"consecutive_breaching\":{},\"rules\":[",
+            self.state.as_str(),
+            self.tick,
+            self.consecutive_breaching
+        );
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut rule = String::new();
+            escape(r.rule, &mut rule);
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"value\":{},\"threshold\":{},\"breaching\":{}}}",
+                rule,
+                fmt_ratio(r.value),
+                fmt_ratio(r.threshold),
+                r.breaching
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The sliding-window burn-rate monitor. See the module docs
+/// for the rule set and state machine.
+#[derive(Debug)]
+pub struct SloMonitor {
+    cfg: SloConfig,
+    ring: VecDeque<SloSample>,
+    state: HealthState,
+    consecutive_breaching: u64,
+    ticks: u64,
+    breaching_rules: Vec<&'static str>,
+    events: VecDeque<SloBreach>,
+}
+
+/// Bound on the retained breach-event log.
+const MAX_EVENTS: usize = 256;
+
+impl SloMonitor {
+    /// A monitor in the `ok` state with an empty window.
+    pub fn new(cfg: SloConfig) -> SloMonitor {
+        assert!(cfg.window >= 1, "SLO window must hold at least one tick");
+        assert!(cfg.failing_after >= 1, "failing_after must be >= 1");
+        SloMonitor {
+            cfg,
+            ring: VecDeque::new(),
+            state: HealthState::Ok,
+            consecutive_breaching: 0,
+            ticks: 0,
+            breaching_rules: Vec::new(),
+            events: VecDeque::new(),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Current state without a new evaluation.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Breach events recorded so far (bounded; oldest dropped first).
+    pub fn events(&self) -> impl Iterator<Item = &SloBreach> {
+        self.events.iter()
+    }
+
+    /// Feeds one cumulative sample, slides the window, evaluates every
+    /// rule, advances the state machine and returns the health report.
+    pub fn observe(&mut self, sample: SloSample) -> HealthReport {
+        self.ticks += 1;
+        self.ring.push_back(sample);
+        while self.ring.len() > self.cfg.window {
+            self.ring.pop_front();
+        }
+        // The window baseline: the sample just before the oldest
+        // retained one — all-zero until the ring has ever been full.
+        let zero = SloSample::zero();
+        let oldest = if self.ring.len() < self.cfg.window || self.ring.len() == 1 {
+            &zero
+        } else {
+            &self.ring[0]
+        };
+        let newest = self.ring.back().expect("ring is never empty here");
+
+        let p99 = windowed_p99(&newest.latency, &oldest.latency);
+        let d_ingested = newest.ingested.saturating_sub(oldest.ingested);
+        let d_dropped = newest.dropped.saturating_sub(oldest.dropped);
+        let d_rejected = newest.rejected.saturating_sub(oldest.rejected);
+        let d_classified = newest.classified.saturating_sub(oldest.classified);
+        let drop_rate = ratio(d_dropped, d_ingested);
+        let reject_rate = ratio(d_rejected, d_classified + d_rejected);
+        let reconcile_failures = self.ring.iter().filter(|s| !s.capture_reconciled).count() as u64;
+
+        let rules = vec![
+            RuleStatus {
+                rule: "p99_batch_latency",
+                value: p99,
+                threshold: self.cfg.max_p99_batch_latency.as_secs_f64(),
+                breaching: p99 > self.cfg.max_p99_batch_latency.as_secs_f64(),
+            },
+            RuleStatus {
+                rule: "drop_rate",
+                value: drop_rate,
+                threshold: self.cfg.max_drop_ratio,
+                breaching: drop_rate > self.cfg.max_drop_ratio,
+            },
+            RuleStatus {
+                rule: "reject_rate",
+                value: reject_rate,
+                threshold: self.cfg.max_reject_ratio,
+                breaching: reject_rate > self.cfg.max_reject_ratio,
+            },
+            RuleStatus {
+                rule: "capture_reconcile",
+                value: reconcile_failures as f64,
+                threshold: self.cfg.max_reconcile_failures as f64,
+                breaching: reconcile_failures > self.cfg.max_reconcile_failures,
+            },
+        ];
+
+        let any_breaching = rules.iter().any(|r| r.breaching);
+        if any_breaching {
+            self.consecutive_breaching += 1;
+        } else {
+            self.consecutive_breaching = 0;
+        }
+        self.state = if self.consecutive_breaching == 0 {
+            HealthState::Ok
+        } else if self.consecutive_breaching >= self.cfg.failing_after {
+            HealthState::Failing
+        } else {
+            HealthState::Degraded
+        };
+
+        // Record an event on each rule's clean → breaching edge.
+        for r in rules.iter().filter(|r| r.breaching) {
+            if !self.breaching_rules.contains(&r.rule) {
+                self.events.push_back(SloBreach {
+                    tick: self.ticks,
+                    rule: r.rule,
+                    value: r.value,
+                    threshold: r.threshold,
+                    state: self.state,
+                });
+                while self.events.len() > MAX_EVENTS {
+                    self.events.pop_front();
+                }
+            }
+        }
+        self.breaching_rules = rules
+            .iter()
+            .filter(|r| r.breaching)
+            .map(|r| r.rule)
+            .collect();
+
+        HealthReport {
+            state: self.state,
+            tick: self.ticks,
+            consecutive_breaching: self.consecutive_breaching,
+            rules,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    num as f64 / den.max(1) as f64
+}
+
+/// Formats a finite value for embedding in JSON (NaN/inf would be
+/// invalid JSON; the monitor never produces them but defence is cheap).
+fn fmt_ratio(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// The p99 of the observations made *between* two cumulative histogram
+/// snapshots, as the upper bound of the bucket containing the q=0.99
+/// rank. Conservative: reports the bound, never interpolates below an
+/// observation. Returns 0 when the window holds no observations.
+fn windowed_p99(newest: &HistogramSnapshot, oldest: &HistogramSnapshot) -> f64 {
+    // Cumulative count the older snapshot had at-or-below bound `b`.
+    // Bucket layouts may differ between snapshots (log-linear grids
+    // grow), so map by bound value, not by index.
+    let old_at = |b: f64| -> u64 {
+        oldest
+            .buckets
+            .iter()
+            .take_while(|&&(ob, _)| ob <= b)
+            .last()
+            .map_or(0, |&(_, c)| c)
+    };
+    let total = newest.count.saturating_sub(oldest.count);
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((total as f64) * 0.99).ceil() as u64;
+    for &(b, cum) in &newest.buckets {
+        if cum.saturating_sub(old_at(b)) >= rank {
+            return b;
+        }
+    }
+    // Rank falls in the implicit +Inf bucket: report the largest finite
+    // bound (or the mean when the histogram has no buckets at all).
+    newest
+        .buckets
+        .last()
+        .map_or(newest.sum / newest.count.max(1) as f64, |&(b, _)| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn hist(buckets: Vec<(f64, u64)>, sum: f64, count: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets,
+            sum,
+            count,
+            quantiles: Vec::new(),
+        }
+    }
+
+    fn quiet(ingested: u64) -> SloSample {
+        SloSample {
+            latency: hist(vec![(0.001, ingested), (0.01, ingested)], 0.0, ingested),
+            ingested,
+            dropped: 0,
+            rejected: 0,
+            classified: ingested,
+            capture_reconciled: true,
+        }
+    }
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            window: 4,
+            max_p99_batch_latency: Duration::from_millis(100),
+            max_drop_ratio: 0.05,
+            max_reject_ratio: 0.5,
+            max_reconcile_failures: 0,
+            failing_after: 3,
+        }
+    }
+
+    #[test]
+    fn healthy_stream_stays_ok() {
+        let mut mon = SloMonitor::new(cfg());
+        for i in 1..=10 {
+            let r = mon.observe(quiet(i * 100));
+            assert_eq!(r.state, HealthState::Ok, "tick {i}");
+        }
+        assert_eq!(mon.events().count(), 0);
+    }
+
+    #[test]
+    fn drop_pressure_walks_ok_degraded_failing_then_recovers() {
+        let mut mon = SloMonitor::new(cfg());
+        assert_eq!(mon.observe(quiet(100)).state, HealthState::Ok);
+        // Drops start: 50% of new ingest is shed.
+        let mut s = quiet(200);
+        s.dropped = 50;
+        assert_eq!(mon.observe(s.clone()).state, HealthState::Degraded);
+        s.ingested = 300;
+        assert_eq!(mon.observe(s.clone()).state, HealthState::Degraded);
+        s.ingested = 400;
+        let r = mon.observe(s.clone());
+        // failing_after = 3
+        assert_eq!(r.state, HealthState::Failing);
+        // One breach event for the rule's clean → breaching edge.
+        let events: Vec<_> = mon.events().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].rule, "drop_rate");
+        assert_eq!(events[0].tick, 2);
+        // Pressure stops; once the window slides past the incident the
+        // state returns to ok.
+        for i in 5..=12 {
+            s.ingested = i * 100;
+            mon.observe(s.clone());
+        }
+        assert_eq!(mon.state(), HealthState::Ok);
+    }
+
+    #[test]
+    fn latency_spike_breaches_p99_and_is_forgotten_after_window() {
+        let mut mon = SloMonitor::new(cfg());
+        mon.observe(quiet(100));
+        // 100 new batches all at ~0.5 s.
+        let spike = SloSample {
+            latency: hist(vec![(0.001, 100), (0.01, 100), (1.0, 200)], 50.0, 200),
+            ingested: 200,
+            dropped: 0,
+            rejected: 0,
+            classified: 200,
+            capture_reconciled: true,
+        };
+        let r = mon.observe(spike.clone());
+        assert_eq!(r.state, HealthState::Degraded);
+        let p99 = r
+            .rules
+            .iter()
+            .find(|r| r.rule == "p99_batch_latency")
+            .unwrap();
+        assert!(p99.breaching && p99.value >= 0.5, "p99 {}", p99.value);
+        // No further slow batches: after `window` quiet ticks the spike
+        // has slid out and p99 is clean again.
+        let mut after = spike;
+        for _ in 0..5 {
+            after.ingested += 100;
+            mon.observe(after.clone());
+        }
+        assert_eq!(mon.state(), HealthState::Ok);
+    }
+
+    #[test]
+    fn reject_anomaly_and_reconcile_rules_fire() {
+        let mut mon = SloMonitor::new(cfg());
+        let mut s = quiet(100);
+        s.rejected = 80;
+        s.classified = 20;
+        s.capture_reconciled = false;
+        let r = mon.observe(s);
+        assert_eq!(r.state, HealthState::Degraded);
+        let breaching: Vec<_> = r
+            .rules
+            .iter()
+            .filter(|r| r.breaching)
+            .map(|r| r.rule)
+            .collect();
+        assert!(breaching.contains(&"reject_rate"), "{breaching:?}");
+        assert!(breaching.contains(&"capture_reconcile"), "{breaching:?}");
+        assert_eq!(mon.events().count(), 2);
+    }
+
+    #[test]
+    fn report_and_breach_render_valid_json() {
+        let mut mon = SloMonitor::new(cfg());
+        let mut s = quiet(100);
+        s.dropped = 50;
+        let report = mon.observe(s);
+        let v = JsonValue::parse(&report.to_json()).expect("health json");
+        assert_eq!(v.get("state").unwrap().as_str(), Some("degraded"));
+        let rules = v.get("rules").unwrap().as_array().unwrap();
+        assert_eq!(rules.len(), 4);
+        let breach = mon.events().next().expect("one breach");
+        let b = JsonValue::parse(&breach.to_json()).expect("breach json");
+        assert_eq!(b.get("rule").unwrap().as_str(), Some("drop_rate"));
+    }
+
+    #[test]
+    fn windowed_p99_differences_cumulative_snapshots() {
+        // Old snapshot: 100 obs all <= 1ms. New: +100 obs at <= 1s.
+        let old = hist(vec![(0.001, 100), (0.01, 100)], 0.1, 100);
+        let new = hist(vec![(0.001, 100), (0.01, 100), (1.0, 200)], 50.0, 200);
+        let p99 = windowed_p99(&new, &old);
+        assert_eq!(p99, 1.0);
+        // Lifetime p99 over the same new snapshot would still be 1.0
+        // here, but differencing against new-as-old yields no data.
+        assert_eq!(windowed_p99(&new, &new), 0.0);
+    }
+}

@@ -16,6 +16,8 @@
 //!                [--metrics-file PATH] [--metrics-json PATH]
 //!                [--metrics-interval SECS]
 //!                [--trace-file PATH] [--trace-sample N] [--profile]
+//!                [--obs-listen ADDR] [--obs-linger SECS]
+//!                [--audit-file PATH] [--audit-capacity N]
 //! ```
 //!
 //! Without `--dataset` a synthetic D1 capture is generated; without
@@ -76,6 +78,23 @@
 //! * `--profile` attaches a per-layer profiler to every inference
 //!   context and prints the merged per-op table (share of inference
 //!   time, ns/sample, bytes moved) after shutdown.
+//!
+//! Live observability plane (ARCHITECTURE.md § Live observability
+//! plane):
+//!
+//! * `--obs-listen ADDR` binds the embedded scrape server (e.g.
+//!   `127.0.0.1:9644`; port `0` picks a free port and prints it).
+//!   Endpoints: `/metrics`, `/stats.json`, `/healthz`, `/readyz`,
+//!   `/profile` (with `--profile`), `/audit/tail?n=N`. The plane is a
+//!   pure observer — verdicts are bit-identical with it on or off.
+//! * `--obs-linger SECS` keeps the plane up (and `/readyz` green) that
+//!   long after the replay drains, so an external scraper — CI's
+//!   `obs-check --scrape` — can read the settled counters before exit.
+//! * `--audit-file PATH` streams one JSON line per decided verdict
+//!   (source, verdict, policy, confidence trajectory) to PATH; the
+//!   in-memory ring behind `/audit/tail` is on whenever `--obs-listen`
+//!   or `--audit-file` is.
+//! * `--audit-capacity N` sizes that ring (default 4096 events).
 
 use deepcsi_capture::{FollowSource, FrameSource, PcapFileSource};
 use deepcsi_core::{
@@ -85,10 +104,10 @@ use deepcsi_data::{d1_split, generate_d1, D1Set, Dataset, GenConfig, InputSpec};
 use deepcsi_nn::TrainConfig;
 use deepcsi_obs::{format_op_table, write_chrome_trace, TraceConfig};
 use deepcsi_serve::{
-    Backpressure, DecisionPolicyConfig, Engine, EngineConfig, EngineStats, PolicyKind, Precision,
-    ReplaySource, SourceStatus, Telemetry, Verdict, WindowConfig,
+    AuditConfig, Backpressure, DecisionPolicyConfig, Engine, EngineConfig, MetricsEmitter,
+    ObsPlane, ObsPlaneConfig, PolicyKind, Precision, ReplaySource, SourceStatus, Verdict,
+    WindowConfig,
 };
-use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -122,6 +141,10 @@ struct Args {
     trace_file: Option<String>,
     trace_sample: u32,
     profile: bool,
+    obs_listen: Option<String>,
+    obs_linger: u64,
+    audit_file: Option<String>,
+    audit_capacity: usize,
 }
 
 impl Args {
@@ -156,6 +179,10 @@ impl Args {
             trace_file: None,
             trace_sample: 8,
             profile: false,
+            obs_listen: None,
+            obs_linger: 0,
+            audit_file: None,
+            audit_capacity: 4096,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -223,6 +250,15 @@ impl Args {
                     args.trace_sample = value("--trace-sample").parse().expect("--trace-sample")
                 }
                 "--profile" => args.profile = true,
+                "--obs-listen" => args.obs_listen = Some(value("--obs-listen")),
+                "--obs-linger" => {
+                    args.obs_linger = value("--obs-linger").parse().expect("--obs-linger")
+                }
+                "--audit-file" => args.audit_file = Some(value("--audit-file")),
+                "--audit-capacity" => {
+                    args.audit_capacity =
+                        value("--audit-capacity").parse().expect("--audit-capacity")
+                }
                 "--help" | "-h" => {
                     println!("see the module docs at the top of src/bin/served.rs");
                     std::process::exit(0);
@@ -284,7 +320,23 @@ impl Args {
         if args.trace_sample != 8 && args.trace_file.is_none() {
             eprintln!("warning: --trace-sample only applies with --trace-file");
         }
+        assert!(args.audit_capacity > 0, "--audit-capacity must be positive");
+        if args.obs_linger > 0 && args.obs_listen.is_none() {
+            eprintln!("warning: --obs-linger only applies with --obs-listen; ignored");
+        }
+        if args.audit_capacity != 4096 && args.obs_listen.is_none() && args.audit_file.is_none() {
+            eprintln!("warning: --audit-capacity needs --obs-listen or --audit-file");
+        }
         args
+    }
+
+    /// The audit-trail configuration the flags describe: on whenever the
+    /// scrape plane or an audit file is requested.
+    fn audit(&self) -> Option<AuditConfig> {
+        (self.obs_listen.is_some() || self.audit_file.is_some()).then(|| AuditConfig {
+            capacity: self.audit_capacity,
+            file: self.audit_file.as_ref().map(std::path::PathBuf::from),
+        })
     }
 
     /// The span-tracing configuration the flags describe: disabled
@@ -458,89 +510,6 @@ fn serve_from_capture(engine: &Engine, args: &Args, path: &str) {
     }
 }
 
-/// One metrics publication: render the registry (plus interval rates
-/// from `prev` → now) to the Prometheus file (rewritten whole) and/or
-/// the JSONL file (appended). Returns the snapshot taken, so the caller
-/// can thread it back in as the next interval's `prev`.
-fn emit_metrics(
-    telemetry: &Telemetry,
-    prev: &EngineStats,
-    prom_path: Option<&str>,
-    json_path: Option<&str>,
-) -> EngineStats {
-    let now = telemetry.snapshot();
-    let delta = now.delta(prev);
-    let mut reg = telemetry.metrics();
-    reg.gauge(
-        "deepcsi_interval_seconds",
-        "wall seconds covered by this interval's rate gauges",
-        delta.wall.as_secs_f64(),
-    );
-    reg.gauge(
-        "deepcsi_ingested_per_sec",
-        "frames ingested per second over the last interval",
-        delta.ingested_per_sec(),
-    );
-    reg.gauge(
-        "deepcsi_classified_per_sec",
-        "reports classified per second over the last interval",
-        delta.classified_per_sec(),
-    );
-    reg.gauge(
-        "deepcsi_dropped_per_sec",
-        "reports dropped per second over the last interval",
-        delta.dropped_per_sec(),
-    );
-    if let Some(path) = prom_path {
-        std::fs::write(path, reg.to_prometheus())
-            .unwrap_or_else(|e| panic!("writing metrics file {path}: {e}"));
-    }
-    if let Some(path) = json_path {
-        use std::io::Write;
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .unwrap_or_else(|e| panic!("opening metrics JSONL {path}: {e}"));
-        writeln!(f, "{}", reg.to_json_line())
-            .unwrap_or_else(|e| panic!("appending metrics JSONL {path}: {e}"));
-    }
-    now
-}
-
-/// Periodic metrics publisher: a thread that calls [`emit_metrics`]
-/// every `interval` until told to stop. Created only when at least one
-/// metrics output was requested.
-struct MetricsEmitter {
-    stop: mpsc::Sender<()>,
-    handle: std::thread::JoinHandle<()>,
-}
-
-impl MetricsEmitter {
-    fn spawn(telemetry: Arc<Telemetry>, args: &Args) -> MetricsEmitter {
-        let (stop, rx) = mpsc::channel::<()>();
-        let interval = Duration::from_secs(args.metrics_interval);
-        let prom = args.metrics_file.clone();
-        let json = args.metrics_json.clone();
-        let handle = std::thread::spawn(move || {
-            let mut prev = telemetry.snapshot();
-            loop {
-                match rx.recv_timeout(interval) {
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
-                }
-                prev = emit_metrics(&telemetry, &prev, prom.as_deref(), json.as_deref());
-            }
-        });
-        MetricsEmitter { stop, handle }
-    }
-
-    fn stop(self) {
-        let _ = self.stop.send(());
-        self.handle.join().expect("metrics emitter panicked");
-    }
-}
-
 fn main() {
     let args = Args::parse();
     let ds = load_or_generate_dataset(&args);
@@ -620,6 +589,7 @@ fn main() {
             decision: args.decision(),
             trace: args.trace(),
             profile: args.profile,
+            audit: args.audit(),
             ..EngineConfig::default()
         },
         frozen,
@@ -630,13 +600,36 @@ fn main() {
         args.policy, args.workers, args.infer_threads, args.precision
     );
 
-    // Observability plumbing: keep a telemetry handle (it outlives the
-    // engine) and a run-start snapshot so the final dump can report
-    // whole-run rates; publish periodically while serving.
+    // Observability plumbing: the file emitter publishes periodically
+    // while serving (and flushes the final partial interval on stop);
+    // the live plane, when requested, scrapes the same telemetry over
+    // HTTP. Both hold Arc handles that outlive the engine.
     let telemetry = engine.telemetry_handle();
-    let run_start = telemetry.snapshot();
-    let emitter = (args.metrics_file.is_some() || args.metrics_json.is_some())
-        .then(|| MetricsEmitter::spawn(Arc::clone(&telemetry), &args));
+    let audit = engine.audit_handle();
+    let emitter = (args.metrics_file.is_some() || args.metrics_json.is_some()).then(|| {
+        MetricsEmitter::spawn(
+            Arc::clone(&telemetry),
+            Duration::from_secs(args.metrics_interval),
+            args.metrics_file.clone(),
+            args.metrics_json.clone(),
+        )
+    });
+    let plane = args.obs_listen.as_ref().map(|addr| {
+        let plane = ObsPlane::start(
+            ObsPlaneConfig {
+                listen: addr.clone(),
+                ..ObsPlaneConfig::default()
+            },
+            &engine,
+        )
+        .unwrap_or_else(|e| panic!("binding observability listener {addr}: {e}"));
+        println!(
+            "observability plane listening on http://{}",
+            plane.local_addr()
+        );
+        plane.set_ready(true);
+        plane
+    });
 
     let t = Instant::now();
     match &args.pcap {
@@ -657,23 +650,39 @@ fn main() {
     }
     engine.drain();
     let elapsed = t.elapsed();
+    // Hold the plane open over the settled counters before tearing
+    // anything down — CI's loopback scrape runs inside this window.
+    if let Some(plane) = &plane {
+        if args.obs_linger > 0 {
+            plane.tick_now();
+            println!("lingering {}s for scrapes (--obs-linger)", args.obs_linger);
+            std::thread::sleep(Duration::from_secs(args.obs_linger));
+        }
+        plane.set_ready(false);
+    }
     let report = engine.shutdown();
+    if let Some(plane) = plane {
+        plane.shutdown();
+    }
 
-    // Final publication after every counter has settled: rewrite the
-    // Prometheus file and append one last JSON line covering the run.
+    // Final publication after every counter has settled: the emitter's
+    // stop() flushes the partial interval since its last timer fire.
     if let Some(emitter) = emitter {
         emitter.stop();
-        emit_metrics(
-            &telemetry,
-            &run_start,
-            args.metrics_file.as_deref(),
-            args.metrics_json.as_deref(),
-        );
         for path in [&args.metrics_file, &args.metrics_json]
             .into_iter()
             .flatten()
         {
             println!("metrics written to {path}");
+        }
+    }
+    if let Some(audit) = &audit {
+        if let Some(path) = &args.audit_file {
+            println!(
+                "audit trail: {} events written to {path} ({} write errors)",
+                audit.appended(),
+                audit.write_errors()
+            );
         }
     }
     if let Some(path) = &args.trace_file {

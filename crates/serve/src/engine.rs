@@ -36,7 +36,10 @@ use deepcsi_capture::{CaptureError, FrameSource, SourcePoll};
 use deepcsi_core::{Authenticator, FrozenAuthenticator, Precision};
 use deepcsi_frame::{BeamformingReportFrame, CapturedReport, MacAddr};
 use deepcsi_nn::{InferCtx, Tensor};
-use deepcsi_obs::{merge_op_stats, OpStat, Profiler, SpanEvent, ThreadTracer, TraceConfig, Tracer};
+use deepcsi_obs::{
+    merge_op_stats, AuditEvent, AuditLog, OpStat, Profiler, SpanEvent, ThreadTracer, TraceConfig,
+    Tracer,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -44,7 +47,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// What to do with a report whose shard queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +59,30 @@ pub enum Backpressure {
     /// Block the ingest caller until the worker catches up (lossless
     /// replay).
     Block,
+}
+
+/// Audit-trail configuration (see [`EngineConfig::audit`]).
+///
+/// Plain data on purpose: the [`Engine`] builds the actual
+/// [`deepcsi_obs::AuditLog`] at startup, so `EngineConfig` stays
+/// `Clone + PartialEq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Events retained in the in-memory ring (served at
+    /// `/audit/tail`).
+    pub capacity: usize,
+    /// Optional JSONL file every event is also appended to (created or
+    /// truncated at engine start).
+    pub file: Option<std::path::PathBuf>,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            capacity: 4096,
+            file: None,
+        }
+    }
 }
 
 /// Engine construction parameters.
@@ -130,6 +157,12 @@ pub struct EngineConfig {
     /// calls per report/batch; turn off to measure (or serve at) the
     /// bare-engine baseline.
     pub stage_timing: bool,
+    /// When `Some`, every decided verdict appends one structured
+    /// [`deepcsi_obs::AuditEvent`] to a bounded in-memory ring (read it
+    /// via [`Engine::audit_handle`], served live at `/audit/tail`) and,
+    /// when [`AuditConfig::file`] is set, to an append-only JSONL file.
+    /// Observation-only — verdicts are bit-identical either way.
+    pub audit: Option<AuditConfig>,
 }
 
 impl Default for EngineConfig {
@@ -148,6 +181,7 @@ impl Default for EngineConfig {
             trace: TraceConfig::default(),
             profile: false,
             stage_timing: true,
+            audit: None,
         }
     }
 }
@@ -305,9 +339,45 @@ pub struct Engine {
     /// so the ring sits behind a mutex — uncontended in practice (one
     /// ingest caller), and only ever locked for sampled frames.
     ingest_spans: Mutex<ThreadTracer>,
-    /// Per-layer profile tables folded in by workers as they exit
-    /// (empty until shutdown unless a worker exits early).
-    profile: Arc<Mutex<Vec<OpStat>>>,
+    /// One per-layer profile slot per worker. Each worker periodically
+    /// *replaces* its slot with its cumulative table (and once more on
+    /// exit), so a live `/profile` scrape merges the slots at any time
+    /// without stopping anything — the tables are cumulative, so
+    /// replacement is idempotent and nothing double-counts.
+    profile: Arc<Vec<Mutex<Vec<OpStat>>>>,
+    /// The per-verdict audit trail (`None` unless
+    /// [`EngineConfig::audit`] is set).
+    audit: Option<Arc<AuditLog>>,
+}
+
+/// A cloneable live view of the engine's per-layer inference profile
+/// (see [`Engine::profile_handle`]): merging the per-worker slots at
+/// read time yields the same cumulative table
+/// [`EngineReport::layer_profile`] holds at shutdown, but while the
+/// engine still runs.
+#[derive(Clone)]
+pub struct LayerProfile {
+    slots: Arc<Vec<Mutex<Vec<OpStat>>>>,
+}
+
+impl LayerProfile {
+    /// The merged per-op table across all workers, as of each worker's
+    /// last publish (workers publish every few batches and on exit).
+    pub fn merged(&self) -> Vec<OpStat> {
+        let mut table: Vec<OpStat> = Vec::new();
+        for slot in self.slots.iter() {
+            merge_op_stats(&mut table, &slot.lock().unwrap_or_else(|p| p.into_inner()));
+        }
+        table
+    }
+}
+
+impl std::fmt::Debug for LayerProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayerProfile")
+            .field("workers", &self.slots.len())
+            .finish()
+    }
 }
 
 impl Engine {
@@ -395,6 +465,7 @@ impl Engine {
         // worker while it holds a shard lock (which would poison it).
         let policy: Arc<dyn DecisionPolicy> = cfg.decision.build(cfg.window, cfg.policy);
         let telemetry = Arc::new(Telemetry::default());
+        let _ = telemetry.started.set(Instant::now());
         let _ = telemetry.policy.set(policy.name());
         let _ = telemetry.precision.set(auth.precision().as_str());
         let state: Vec<ShardState> = (0..cfg.workers)
@@ -403,7 +474,19 @@ impl Engine {
         let registry = Arc::new(registry);
         let in_flight = Arc::new(InFlight::default());
         let tracer = Tracer::new(cfg.trace.clone());
-        let profile = Arc::new(Mutex::new(Vec::new()));
+        let profile: Arc<Vec<Mutex<Vec<OpStat>>>> =
+            Arc::new((0..cfg.workers).map(|_| Mutex::new(Vec::new())).collect());
+        // An unwritable audit file is a configuration bug on the same
+        // footing as a precision mismatch: fail at startup, not at the
+        // first verdict.
+        let audit: Option<Arc<AuditLog>> = cfg.audit.as_ref().map(|a| {
+            let log = match &a.file {
+                Some(path) => AuditLog::with_file(a.capacity, path)
+                    .unwrap_or_else(|e| panic!("cannot create audit file {}: {e}", path.display())),
+                None => AuditLog::new(a.capacity),
+            };
+            Arc::new(log)
+        });
         // Pin the accepted tensor shape when the model recorded one.
         // Without a recorded shape the engine never learns shapes from
         // traffic (each micro-batch group stands on its own), so crafted
@@ -434,6 +517,7 @@ impl Engine {
                 stage_timing: cfg.stage_timing,
                 profile_enabled: cfg.profile,
                 profile: Arc::clone(&profile),
+                audit: audit.clone(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -454,6 +538,7 @@ impl Engine {
             tracer,
             ingest_spans,
             profile,
+            audit,
         }
     }
 
@@ -601,6 +686,22 @@ impl Engine {
         &self.tracer
     }
 
+    /// A shared handle to the per-verdict audit trail (`None` unless
+    /// [`EngineConfig::audit`] is set) — the seam the observability
+    /// plane's `/audit/tail` endpoint reads from.
+    pub fn audit_handle(&self) -> Option<Arc<AuditLog>> {
+        self.audit.clone()
+    }
+
+    /// A live view of the per-layer inference profile (`None` unless
+    /// [`EngineConfig::profile`] is set) — the seam the observability
+    /// plane's `/profile` endpoint reads from while the engine runs.
+    pub fn profile_handle(&self) -> Option<LayerProfile> {
+        self.cfg.profile.then(|| LayerProfile {
+            slots: Arc::clone(&self.profile),
+        })
+    }
+
     /// Current per-device decisions (sorted by source address).
     pub fn decisions(&self) -> Vec<DeviceDecision> {
         let mut seen: Vec<DeviceDecision> = Vec::new();
@@ -652,20 +753,25 @@ impl Engine {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        // Workers flushed their span rings and folded their profiler
-        // tables on exit; the ingest ring flushes here.
+        // Workers flushed their span rings and published their final
+        // profiler tables on exit; the ingest ring flushes here.
         self.ingest_spans
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .flush();
         let spans = self.tracer.drain();
         let layer_profile = if self.cfg.profile {
-            Some(std::mem::take(
-                &mut *self.profile.lock().unwrap_or_else(|p| p.into_inner()),
-            ))
+            let mut table: Vec<OpStat> = Vec::new();
+            for slot in self.profile.iter() {
+                merge_op_stats(&mut table, &slot.lock().unwrap_or_else(|p| p.into_inner()));
+            }
+            Some(table)
         } else {
             None
         };
+        if let Some(audit) = &self.audit {
+            audit.flush();
+        }
         EngineReport {
             stats,
             decisions,
@@ -718,13 +824,26 @@ struct WorkerCtx {
     stage_timing: bool,
     /// Whether the worker's [`InferCtx`]s carry per-op profilers.
     profile_enabled: bool,
-    /// Where the worker folds its profiler tables as it exits.
-    profile: Arc<Mutex<Vec<OpStat>>>,
+    /// The per-worker profile slots; this worker publishes its
+    /// cumulative table into `profile[self.shard]` after every batch
+    /// (before the in-flight count drops, so a scrape racing
+    /// [`Engine::drain`] sees every drained batch) and on exit.
+    profile: Arc<Vec<Mutex<Vec<OpStat>>>>,
+    /// The per-verdict audit trail, shared with the engine (`None`
+    /// when auditing is off).
+    audit: Option<Arc<AuditLog>>,
+}
+
+/// Wall-clock milliseconds since the Unix epoch (0 if the clock is
+/// before the epoch, which only a broken clock reports).
+fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
 }
 
 impl WorkerCtx {
     fn run(self) {
-        let _ = self.shard;
         // This worker's only mutable inference state: one scratch
         // context per inference thread. Buffers reach their high-water
         // mark after the first full batches, then the hot path stops
@@ -782,21 +901,39 @@ impl WorkerCtx {
                     .rejected
                     .fetch_add(batch.len() as u64 - accounted.get(), Ordering::Relaxed);
             }
+            // Publish the live profile before the in-flight count drops:
+            // once `drain()` returns, every drained batch is visible to
+            // `/profile`. A publish is a small table clone under an
+            // uncontended mutex — noise next to the batch inference it
+            // accounts.
+            if self.profile_enabled {
+                self.publish_profile(&ctxs);
+            }
             self.in_flight.sub(batch.len() as i64);
             batch.clear();
         }
-        // Exit path: fold this worker's per-layer tables into the
-        // engine's shared profile (the span rings flush on drop).
+        // Exit path: one final publish so the engine's shutdown merge
+        // (and any last live scrape) sees every batch. The profilers
+        // stay attached to their contexts; slots hold cumulative
+        // *copies*, so re-publishing replaces rather than double-counts
+        // (the span rings still flush on drop).
         if self.profile_enabled {
-            let mut table: Vec<OpStat> = Vec::new();
-            for ctx in &mut ctxs {
-                if let Some(prof) = ctx.take_profiler() {
-                    merge_op_stats(&mut table, &prof.into_ops());
-                }
-            }
-            let mut shared = self.profile.lock().unwrap_or_else(|p| p.into_inner());
-            merge_op_stats(&mut shared, &table);
+            self.publish_profile(&ctxs);
         }
+    }
+
+    /// Replaces this worker's live profile slot with the merged
+    /// cumulative table of its inference contexts.
+    fn publish_profile(&self, ctxs: &[InferCtx]) {
+        let mut table: Vec<OpStat> = Vec::new();
+        for ctx in ctxs {
+            if let Some(prof) = ctx.profiler() {
+                merge_op_stats(&mut table, prof.ops());
+            }
+        }
+        *self.profile[self.shard]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = table;
     }
 
     /// Attributes each just-dequeued report's time-on-queue: one
@@ -952,13 +1089,46 @@ impl WorkerCtx {
                     dev.state.push(module, confidence);
                     // Catch the stream's first decisive verdict the
                     // moment it happens — the reports-to-verdict
-                    // distribution is the policy's decision latency.
+                    // distribution is the policy's decision latency,
+                    // and the audit trail records exactly this event.
                     if dev.decided_at.is_none() {
                         let expected = self.registry.expected(report.source).map(|d| d.0 as usize);
-                        if dev.state.verdict(expected) != Verdict::Unknown {
-                            let n = dev.state.decision().map_or(0, |d| d.observations);
+                        let verdict = dev.state.verdict(expected);
+                        if verdict != Verdict::Unknown {
+                            let decision = dev.state.decision();
+                            let n = decision.as_ref().map_or(0, |d| d.observations);
                             dev.decided_at = Some(n);
                             self.telemetry.record_verdict(n);
+                            if let Some(audit) = &self.audit {
+                                audit.append(AuditEvent {
+                                    seq: 0, // assigned by the log
+                                    unix_ms: unix_ms_now(),
+                                    source: report.source.to_string(),
+                                    verdict: verdict.as_str().to_string(),
+                                    expected: expected.map(|e| e as u64),
+                                    module: decision.as_ref().map(|d| d.module as u64),
+                                    vote_fraction: decision
+                                        .as_ref()
+                                        .map_or(0.0, |d| d.vote_fraction),
+                                    confidence: decision.as_ref().map_or(0.0, |d| d.confidence_ema),
+                                    observations: n,
+                                    reports_to_verdict: Some(n),
+                                    policy: self
+                                        .telemetry
+                                        .policy
+                                        .get()
+                                        .copied()
+                                        .unwrap_or("")
+                                        .to_string(),
+                                    precision: self
+                                        .telemetry
+                                        .precision
+                                        .get()
+                                        .copied()
+                                        .unwrap_or("")
+                                        .to_string(),
+                                });
+                            }
                         }
                     }
                 }

@@ -43,6 +43,16 @@
 //! [`ReplaySource::write_pcap`] closes the loop by exporting any
 //! synthetic dataset as a valid radiotap capture.
 //!
+//! An optional **live observability plane** ([`ObsPlane`]) attaches to
+//! a running engine as a pure observer: an embedded HTTP scrape surface
+//! (`/metrics`, `/stats.json`, `/healthz`, `/readyz`, `/profile`,
+//! `/audit/tail`), an online SLO monitor driving
+//! ok → degraded → failing health transitions, and — when
+//! [`EngineConfig::audit`] is set — a structured per-verdict audit
+//! trail. [`MetricsEmitter`] covers periodic file-based export and
+//! flushes the final partial interval on stop. Verdicts are
+//! bit-identical with the plane on or dark.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -72,7 +82,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod emit;
 mod engine;
+mod plane;
 mod policy;
 mod registry;
 mod replay;
@@ -80,9 +92,12 @@ mod telemetry;
 mod window;
 
 pub use deepcsi_core::Precision;
+pub use emit::{emit_metrics, MetricsEmitter};
 pub use engine::{
-    Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport, IngestOutcome, SourceStatus,
+    AuditConfig, Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport, IngestOutcome,
+    LayerProfile, SourceStatus,
 };
+pub use plane::{ObsPlane, ObsPlaneConfig};
 pub use policy::{
     AdaptiveParams, AdaptiveThreshold, AdaptiveThresholdState, ConfidenceWeighted,
     ConfidenceWeightedState, DecisionPolicy, DecisionPolicyConfig, FixedMajority,

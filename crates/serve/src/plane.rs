@@ -1,0 +1,323 @@
+//! The live observability plane: an embedded HTTP scrape surface plus
+//! an online SLO monitor, bolted onto a running [`Engine`] purely as an
+//! observer.
+//!
+//! [`ObsPlane::start`] borrows the engine's shared handles (telemetry,
+//! audit log, live layer profile), binds a
+//! [`deepcsi_obs::ObsServer`], and spawns one ticker thread that
+//! periodically feeds a [`SloMonitor`] from telemetry snapshots. The
+//! engine never learns the plane exists: every endpoint reads
+//! lock-free counters or observer-side locks, so decision outputs are
+//! bit-identical with the plane on or dark.
+//!
+//! Endpoints (all `GET`, `Connection: close`):
+//!
+//! | path | payload |
+//! |---|---|
+//! | `/metrics` | Prometheus text: every engine metric + plane gauges |
+//! | `/stats.json` | the same registry as one JSON object |
+//! | `/healthz` | latest [`HealthReport`] JSON; `503` when failing |
+//! | `/readyz` | readiness JSON; `503` until serving / after drain |
+//! | `/profile` | per-layer inference profile as a JSON array |
+//! | `/audit/tail?n=N` | last `N` audit events, oldest first |
+
+use crate::engine::{Engine, LayerProfile};
+use crate::telemetry::Telemetry;
+use deepcsi_obs::{
+    AuditLog, HealthReport, HealthState, HttpRequest, HttpResponse, ObsServer, ObsServerConfig,
+    SloConfig, SloMonitor, SloSample,
+};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration for [`ObsPlane::start`].
+#[derive(Debug, Clone)]
+pub struct ObsPlaneConfig {
+    /// Listen address (`"127.0.0.1:9644"`; port `0` picks a free port —
+    /// read it back with [`ObsPlane::local_addr`]).
+    pub listen: String,
+    /// HTTP server limits (connections, timeouts, request-size cap).
+    pub http: ObsServerConfig,
+    /// SLO thresholds for the online health monitor.
+    pub slo: SloConfig,
+    /// How often the SLO monitor samples telemetry (and the audit log is
+    /// flushed). Tests use an effectively-infinite interval and drive
+    /// ticks by hand via [`ObsPlane::tick_now`].
+    pub slo_interval: Duration,
+}
+
+impl Default for ObsPlaneConfig {
+    fn default() -> Self {
+        ObsPlaneConfig {
+            listen: "127.0.0.1:9644".to_string(),
+            http: ObsServerConfig::default(),
+            slo: SloConfig::default(),
+            slo_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Everything the request handler and the ticker share.
+struct PlaneShared {
+    telemetry: Arc<Telemetry>,
+    audit: Option<Arc<AuditLog>>,
+    profile: Option<LayerProfile>,
+    monitor: Mutex<SloMonitor>,
+    /// Flipped by the host around the serving window; `/readyz` follows.
+    ready: AtomicBool,
+    /// The latest SLO evaluation (`None` before the first tick).
+    health: Mutex<Option<HealthReport>>,
+}
+
+impl PlaneShared {
+    /// One SLO evaluation: sample cumulative telemetry, feed the
+    /// monitor, publish the report, and flush the audit log so tailing
+    /// the `--audit-file` stays near-real-time.
+    fn tick(&self) -> HealthReport {
+        let stats = self.telemetry.snapshot();
+        let sample = SloSample {
+            latency: self.telemetry.batch_latency.export(),
+            ingested: stats.ingested,
+            dropped: stats.dropped,
+            rejected: stats.rejected,
+            classified: stats.classified,
+            // No frame source attached means there is nothing to
+            // reconcile — treat as healthy rather than permanently
+            // breaching.
+            capture_reconciled: stats.capture_packets == 0 || stats.capture_reconciles(),
+        };
+        let report = self.monitor.lock().unwrap().observe(sample);
+        *self.health.lock().unwrap() = Some(report.clone());
+        if let Some(audit) = &self.audit {
+            audit.flush();
+        }
+        report
+    }
+
+    fn route(&self, req: &HttpRequest) -> HttpResponse {
+        match req.path.as_str() {
+            "/metrics" => HttpResponse::text(self.render_metrics()),
+            "/stats.json" => HttpResponse::json(self.render_registry_json()),
+            "/healthz" => {
+                let (body, state) = match self.health.lock().unwrap().as_ref() {
+                    Some(report) => (report.to_json(), report.state),
+                    // Before the first tick nothing has been evaluated;
+                    // report a neutral ok so probes don't flap at boot.
+                    None => (
+                        "{\"state\":\"ok\",\"tick\":0,\"consecutive_breaching\":0,\"rules\":[]}"
+                            .to_string(),
+                        HealthState::Ok,
+                    ),
+                };
+                let resp = HttpResponse::json(body);
+                if state == HealthState::Failing {
+                    resp.with_status(503)
+                } else {
+                    resp
+                }
+            }
+            "/readyz" => {
+                let ready = self.ready.load(Ordering::Relaxed);
+                let resp = HttpResponse::json(format!("{{\"ready\":{ready}}}"));
+                if ready {
+                    resp
+                } else {
+                    resp.with_status(503)
+                }
+            }
+            "/profile" => match &self.profile {
+                None => HttpResponse::json("{\"error\":\"profiling off (run with --profile)\"}")
+                    .with_status(404),
+                Some(profile) => HttpResponse::json(render_profile(profile)),
+            },
+            "/audit/tail" => match &self.audit {
+                None => HttpResponse::json("{\"error\":\"audit trail off\"}").with_status(404),
+                Some(audit) => {
+                    let n = req.query_u64("n").unwrap_or(100).min(100_000) as usize;
+                    let mut out = String::from("[");
+                    for (i, ev) in audit.tail(n).iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&ev.to_json());
+                    }
+                    out.push(']');
+                    HttpResponse::json(out)
+                }
+            },
+            _ => HttpResponse::not_found(),
+        }
+    }
+
+    /// The engine registry plus the plane's own gauges, as Prometheus
+    /// text.
+    fn render_metrics(&self) -> String {
+        self.registry().to_prometheus()
+    }
+
+    /// The same registry as one JSON object (`/stats.json`).
+    fn render_registry_json(&self) -> String {
+        self.registry().to_json_line()
+    }
+
+    fn registry(&self) -> deepcsi_obs::MetricsRegistry {
+        let mut reg = self.telemetry.metrics();
+        let state = match self.health.lock().unwrap().as_ref() {
+            Some(report) => report.state,
+            None => HealthState::Ok,
+        };
+        reg.gauge(
+            "deepcsi_health_state",
+            "SLO health state (0 ok, 1 degraded, 2 failing).",
+            match state {
+                HealthState::Ok => 0.0,
+                HealthState::Degraded => 1.0,
+                HealthState::Failing => 2.0,
+            },
+        );
+        if let Some(audit) = &self.audit {
+            reg.counter(
+                "deepcsi_audit_events_total",
+                "Verdict audit events appended.",
+                audit.appended(),
+            );
+            reg.counter(
+                "deepcsi_audit_write_errors_total",
+                "Audit JSONL write failures (events kept in the ring).",
+                audit.write_errors(),
+            );
+        }
+        reg
+    }
+}
+
+/// JSON array rendering of the merged per-layer profile (op names are
+/// compile-time identifiers, so no escaping is needed).
+fn render_profile(profile: &LayerProfile) -> String {
+    let mut out = String::from("[");
+    for (i, op) in profile.merged().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"calls\":{},\"ns\":{},\"bytes\":{},\"samples\":{},\"ns_per_sample\":{:.1}}}",
+            op.name,
+            op.calls,
+            op.ns,
+            op.bytes,
+            op.samples,
+            op.ns_per_sample(),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// A running observability plane: HTTP server + SLO ticker attached to
+/// one engine. Dropping it (or calling [`ObsPlane::shutdown`]) stops
+/// both threadsets; the engine is unaffected.
+pub struct ObsPlane {
+    server: ObsServer,
+    shared: Arc<PlaneShared>,
+    ticker_stop: mpsc::Sender<()>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsPlane")
+            .field("addr", &self.server.local_addr())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObsPlane {
+    /// Binds the scrape server and starts the SLO ticker, observing
+    /// `engine`. Fails only if the listen address cannot be bound.
+    ///
+    /// The plane starts *not ready* — call [`ObsPlane::set_ready`] once
+    /// the host begins serving traffic.
+    pub fn start(cfg: ObsPlaneConfig, engine: &Engine) -> io::Result<ObsPlane> {
+        let shared = Arc::new(PlaneShared {
+            telemetry: engine.telemetry_handle(),
+            audit: engine.audit_handle(),
+            profile: engine.profile_handle(),
+            monitor: Mutex::new(SloMonitor::new(cfg.slo)),
+            ready: AtomicBool::new(false),
+            health: Mutex::new(None),
+        });
+        let handler = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move |req: &HttpRequest| shared.route(req))
+        };
+        let server = ObsServer::bind(&cfg.listen, cfg.http, handler)?;
+        let (ticker_stop, rx) = mpsc::channel::<()>();
+        let ticker = {
+            let shared = Arc::clone(&shared);
+            let interval = cfg.slo_interval.max(Duration::from_millis(1));
+            std::thread::Builder::new()
+                .name("deepcsi-slo-ticker".to_string())
+                .spawn(move || loop {
+                    match rx.recv_timeout(interval) {
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            shared.tick();
+                        }
+                        // Stop signal, or the plane was dropped.
+                        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                    }
+                })
+                .expect("spawn SLO ticker")
+        };
+        Ok(ObsPlane {
+            server,
+            shared,
+            ticker_stop,
+            ticker: Some(ticker),
+        })
+    }
+
+    /// The bound scrape address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Flips `/readyz` between `200` and `503`.
+    pub fn set_ready(&self, ready: bool) {
+        self.shared.ready.store(ready, Ordering::Relaxed);
+    }
+
+    /// Runs one SLO evaluation immediately (in addition to the timer)
+    /// and returns the report. Deterministic tests pair this with a
+    /// very long `slo_interval`.
+    pub fn tick_now(&self) -> HealthReport {
+        self.shared.tick()
+    }
+
+    /// The latest health report (`None` before the first tick).
+    pub fn health(&self) -> Option<HealthReport> {
+        self.shared.health.lock().unwrap().clone()
+    }
+
+    /// Structured breach events recorded so far, oldest first.
+    pub fn breaches(&self) -> Vec<deepcsi_obs::SloBreach> {
+        self.shared
+            .monitor
+            .lock()
+            .unwrap()
+            .events()
+            .cloned()
+            .collect()
+    }
+
+    /// Stops the ticker and the HTTP server. The engine keeps running.
+    pub fn shutdown(mut self) {
+        let _ = self.ticker_stop.send(());
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        self.server.shutdown();
+    }
+}

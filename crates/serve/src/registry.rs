@@ -104,6 +104,16 @@ pub enum Verdict {
 }
 
 impl Verdict {
+    /// The lowercase wire name (`"accept"` / `"reject"` / `"unknown"`)
+    /// used by the audit trail and the observability endpoints.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Accept => "accept",
+            Verdict::Reject => "reject",
+            Verdict::Unknown => "unknown",
+        }
+    }
+
     /// Applies `policy` to a windowed decision for `mac`.
     ///
     /// This is the legacy fixed-majority evaluation — the behavior the

@@ -297,6 +297,10 @@ pub struct Telemetry {
     /// Reports each stream needed before its first decisive verdict —
     /// the decision-latency distribution of the active policy.
     pub reports_to_verdict: ReportCountHistogram,
+    /// When the engine started serving (set once at engine start); the
+    /// source of `deepcsi_uptime_seconds`. Unset on a bare
+    /// [`Telemetry`], in which case uptime exports as 0.
+    pub started: OnceLock<Instant>,
     /// The active decision policy's name (set once at engine start).
     pub policy: OnceLock<&'static str>,
     /// The serving snapshot's numeric backend (`"f32"` / `"int8"`, set
@@ -331,6 +335,12 @@ impl Telemetry {
         self.capture_errors
             .store(c.decode_errors, Ordering::Relaxed);
     }
+    /// Time since the engine started serving (zero when
+    /// [`Telemetry::started`] was never set).
+    pub fn uptime(&self) -> Duration {
+        self.started.get().map_or(Duration::ZERO, Instant::elapsed)
+    }
+
     /// Records one finished micro-batch.
     pub fn record_batch(&self, size: usize, latency: Duration) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -415,6 +425,24 @@ impl Telemetry {
                 ("precision", self.precision.get().copied().unwrap_or("")),
             ],
             1.0,
+        );
+        // Self-describing scrapes: a collector that knows nothing about
+        // this process can still tell what build/config produced the
+        // numbers and how long it has been up.
+        reg.labeled_gauge(
+            "deepcsi_build_info",
+            "Build and serving configuration (dimensions as labels, value always 1).",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("policy", self.policy.get().copied().unwrap_or("")),
+                ("precision", self.precision.get().copied().unwrap_or("")),
+            ],
+            1.0,
+        );
+        reg.gauge(
+            "deepcsi_uptime_seconds",
+            "Seconds since the engine started serving.",
+            self.uptime().as_secs_f64(),
         );
         reg.counter(
             "deepcsi_ingested_total",
@@ -945,6 +973,41 @@ mod tests {
             v.get("deepcsi_classified_total").unwrap().as_f64(),
             Some(8.0)
         );
+    }
+
+    #[test]
+    fn scrapes_are_self_describing() {
+        let t = Telemetry::default();
+        t.policy.set("adaptive").unwrap();
+        t.precision.set("int8").unwrap();
+        // Bare telemetry (no engine): uptime exports as 0.
+        let text = t.metrics().to_prometheus();
+        assert!(text.contains("deepcsi_uptime_seconds 0"));
+        t.started.set(Instant::now()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.uptime() >= Duration::from_millis(5));
+        let samples = deepcsi_obs::parse_prometheus(&t.metrics().to_prometheus()).unwrap();
+        let uptime = samples
+            .iter()
+            .find(|s| s.name == "deepcsi_uptime_seconds")
+            .expect("uptime gauge");
+        assert!(uptime.value > 0.0);
+        let build = samples
+            .iter()
+            .find(|s| s.name == "deepcsi_build_info")
+            .expect("build_info gauge");
+        assert_eq!(build.value, 1.0);
+        for (key, want) in [
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("policy", "adaptive"),
+            ("precision", "int8"),
+        ] {
+            assert!(
+                build.labels.iter().any(|(k, v)| k == key && v == want),
+                "missing {key}={want} in {:?}",
+                build.labels
+            );
+        }
     }
 
     #[test]
