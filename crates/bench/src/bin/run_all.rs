@@ -80,6 +80,13 @@ fn main() {
     run_result_bench(&exe_dir, &forwarded, &out_dir, "parallel_bench", "parallel");
     run_result_bench(&exe_dir, &forwarded, &out_dir, "quant_bench", "quant");
     run_result_bench(&exe_dir, &forwarded, &out_dir, "obs_bench", "obs");
+    run_result_bench(
+        &exe_dir,
+        &forwarded,
+        &out_dir,
+        "scenario_bench",
+        "scenarios",
+    );
 }
 
 /// Runs one bench binary and writes its `RESULT <tag> <key> <value>`

@@ -1,6 +1,6 @@
 //! Property-based tests for the channel simulator.
 
-use deepcsi_channel::{trace_paths, AntennaArray, ChannelModel, Environment, Point2};
+use deepcsi_channel::{trace_paths, AntennaArray, ChannelModel, Environment, MobilityPath, Point2};
 use deepcsi_phy::SubcarrierLayout;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -79,5 +79,84 @@ proptest! {
         let ea = Environment::fig6(a);
         let eb = Environment::fig6(b);
         prop_assert_ne!(ea.scatterers, eb.scatterers);
+    }
+}
+
+/// Waypoint draws for mobility paths. The wobble adds up to
+/// `wobble_amp · 1.5` per axis on top of the nominal track (three
+/// sinusoids of amplitude ≤ 1.5, normalised by 3), so waypoints are drawn
+/// from the fig6 room shrunk by that margin.
+const WOBBLE_AMP: f64 = 0.05;
+const WOBBLE_MARGIN: f64 = WOBBLE_AMP * 1.5 + 1e-9;
+
+fn waypoints_in_room() -> impl Strategy<Value = Vec<Point2>> {
+    let room = Environment::fig6(0).room;
+    let point = (
+        room.x_min + WOBBLE_MARGIN..room.x_max - WOBBLE_MARGIN,
+        room.y_min + WOBBLE_MARGIN..room.y_max - WOBBLE_MARGIN,
+    )
+        .prop_map(|(x, y)| Point2::new(x, y));
+    proptest::collection::vec(point, 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mobile_ap_stays_inside_the_room(
+        waypoints in waypoints_in_room(),
+        speed in 0.05f64..2.0,
+        seed in 0u64..1000,
+        times in proptest::collection::vec(0.0f64..1.3, 1..16),
+    ) {
+        let room = Environment::fig6(0).room;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = MobilityPath::from_waypoints(waypoints, speed, WOBBLE_AMP, &mut rng);
+        for frac in times {
+            // Sample past the end too: the clamp must hold off-path.
+            let t = frac * path.duration();
+            let p = path.position_at(t);
+            prop_assert!(
+                p.x >= room.x_min && p.x <= room.x_max
+                    && p.y >= room.y_min && p.y <= room.y_max,
+                "AP left the room at t={t}: ({}, {})", p.x, p.y
+            );
+        }
+    }
+
+    #[test]
+    fn progress_is_monotone_in_time(
+        waypoints in waypoints_in_room(),
+        speed in 0.05f64..2.0,
+        seed in 0u64..1000,
+        mut times in proptest::collection::vec(-1.0f64..60.0, 2..16),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = MobilityPath::from_waypoints(waypoints, speed, WOBBLE_AMP, &mut rng);
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut prev = path.progress(times[0]);
+        prop_assert!((0.0..=1.0).contains(&prev));
+        for &t in &times[1..] {
+            let g = path.progress(t);
+            prop_assert!((0.0..=1.0).contains(&g), "progress {g} outside [0, 1]");
+            prop_assert!(g >= prev, "progress went backwards: {prev} → {g} at t={t}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn duration_and_length_agree_with_the_waypoint_sum(
+        waypoints in waypoints_in_room(),
+        speed in 0.05f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let segment_sum: f64 = waypoints
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = MobilityPath::from_waypoints(waypoints, speed, WOBBLE_AMP, &mut rng);
+        prop_assert!((path.total_length() - segment_sum).abs() < 1e-9);
+        prop_assert!((path.duration() * speed - segment_sum).abs() < 1e-9);
     }
 }

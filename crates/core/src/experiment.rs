@@ -1,7 +1,7 @@
 //! The training/evaluation harness behind every figure.
 
 use crate::model::ModelConfig;
-use deepcsi_data::Split;
+use deepcsi_data::{LabeledSamples, Split};
 use deepcsi_nn::{evaluate, ConfusionMatrix, Network, TrainConfig, TrainReport, Trainer};
 use serde::{Deserialize, Serialize};
 
@@ -51,14 +51,34 @@ pub struct ExperimentResult {
 ///
 /// Panics if the split's training or test set is empty.
 pub fn run_experiment(cfg: &ExperimentConfig, split: &Split) -> ExperimentResult {
+    run_experiment_with_provider(cfg, split, &mut |_| None)
+}
+
+/// Like [`run_experiment`], but asks `provider` for an alternate training
+/// set before each epoch — the channel-augmentation seam. Returning `None`
+/// keeps `split.train` for that epoch; returning `Some(samples)` trains
+/// that epoch on freshly generated data (e.g. the same devices under a
+/// re-drawn propagation channel, the DeepCRF recipe). Validation and test
+/// sets are never substituted.
+///
+/// # Panics
+///
+/// Panics if the split's training or test set is empty, or if a provided
+/// epoch set is empty.
+pub fn run_experiment_with_provider(
+    cfg: &ExperimentConfig,
+    split: &Split,
+    provider: &mut dyn FnMut(usize) -> Option<LabeledSamples>,
+) -> ExperimentResult {
     assert!(!split.train.is_empty(), "empty training set");
     assert!(!split.test.is_empty(), "empty test set");
     let mut net = cfg.model.build_for(&split.train.x[0]);
     let mut trainer = Trainer::new(cfg.train);
-    let report = trainer.fit(
+    let report = trainer.fit_with_provider(
         &mut net,
         &split.train.x,
         &split.train.y,
+        &mut |epoch| provider(epoch).map(|s| (s.x, s.y)),
         &split.val.x,
         &split.val.y,
     );

@@ -53,6 +53,8 @@ mod experiment;
 mod model;
 mod pipeline;
 
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use experiment::{
+    run_experiment, run_experiment_with_provider, ExperimentConfig, ExperimentResult,
+};
 pub use model::ModelConfig;
 pub use pipeline::{AuthError, Authenticator, FrozenAuthenticator, Precision};

@@ -32,6 +32,15 @@ pub struct GenConfig {
     pub via_frames: bool,
     /// Number of AP modules to fingerprint (the paper has 10).
     pub num_modules: u32,
+    /// Days since the fingerprint was profiled: ages every AP module's
+    /// hardware fingerprint through [`RadioFingerprint::drifted`]
+    /// (temperature/aging offsets re-sampled per day). `0` with
+    /// [`GenConfig::drift_scale`] `0.0` is a bit-exact identity, so
+    /// existing datasets are unchanged.
+    pub drift_day: u32,
+    /// Magnitude of the per-day drift (`0.0` = none; `1.0` = the full
+    /// calibrated drift model).
+    pub drift_scale: f64,
 }
 
 impl Default for GenConfig {
@@ -43,6 +52,8 @@ impl Default for GenConfig {
             codebook: Codebook::MU_HIGH,
             via_frames: false,
             num_modules: 10,
+            drift_day: 0,
+            drift_scale: 0.0,
         }
     }
 }
@@ -97,7 +108,8 @@ pub fn generate_trace(cfg: &GenConfig, spec: &TraceSpec) -> Trace {
 
     let m_tx = 3; // the paper's AP sounds with M = 3 antennas
     let mimo = MimoConfig::new(m_tx, spec.n_rx, spec.n_rx).expect("valid MIMO dims");
-    let tx_fp = RadioFingerprint::generate(spec.module, m_tx, &cfg.profile);
+    let tx_fp = RadioFingerprint::generate(spec.module, m_tx, &cfg.profile)
+        .drifted(cfg.drift_day, cfg.drift_scale);
     let rx_fp = RadioFingerprint::generate_rx(spec.beamformee as u64, spec.n_rx, &cfg.profile);
 
     let spacing = env.half_wavelength();
@@ -277,6 +289,33 @@ mod tests {
         let par = generate_traces(&cfg, &specs);
         let ser: Vec<Trace> = specs.iter().map(|s| generate_trace(&cfg, s)).collect();
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn zero_drift_is_an_identity() {
+        let base = generate_trace(&tiny_cfg(), &spec());
+        let cfg = GenConfig {
+            drift_day: 0,
+            drift_scale: 0.0,
+            ..tiny_cfg()
+        };
+        assert_eq!(base, generate_trace(&cfg, &spec()));
+    }
+
+    #[test]
+    fn drifted_days_change_the_capture_but_not_its_shape() {
+        let base = generate_trace(&tiny_cfg(), &spec());
+        let cfg = GenConfig {
+            drift_day: 30,
+            drift_scale: 0.3,
+            ..tiny_cfg()
+        };
+        let aged = generate_trace(&cfg, &spec());
+        assert_eq!(aged.len(), base.len());
+        assert_ne!(
+            aged.snapshots[0].angles, base.snapshots[0].angles,
+            "a month of drift must perturb the captured angles"
+        );
     }
 
     #[test]

@@ -95,6 +95,37 @@ impl ChainResponse {
         C64::from_polar(10f64.powf(amp_db / 20.0), phase)
     }
 
+    /// Re-samples small temperature/aging offsets on top of this
+    /// response: the multi-day drift of an analog front-end. `scale`
+    /// sets the drift magnitude as a fraction of typical factory
+    /// spreads — `0.1` is a day-to-day thermal cycle, `0.5` months of
+    /// aging. The chain's gross character (its fingerprint) survives;
+    /// the fine detail a classifier may have over-fitted does not.
+    pub fn drifted<R: Rng>(&self, rng: &mut R, scale: f64) -> Self {
+        let gain_db = self.gain_db + rng.gen_range(-1.0..1.0) * scale * 0.05;
+        let delay_s = self.delay_s + rng.gen_range(-1.0..1.0) * scale * 0.05e-9;
+        let phase_offset = self.phase_offset + rng.gen_range(-1.0..1.0) * scale * 0.1;
+        let mut jitter =
+            |base: f64| base + rng.gen_range(-1.0..1.0) * scale * base.abs().max(1e-12);
+        let amp_ripple = self
+            .amp_ripple
+            .iter()
+            .map(|&(c, s)| (jitter(c), jitter(s)))
+            .collect();
+        let phase_ripple = self
+            .phase_ripple
+            .iter()
+            .map(|&(c, s)| (jitter(c), jitter(s)))
+            .collect();
+        ChainResponse {
+            gain_db,
+            delay_s,
+            phase_offset,
+            amp_ripple,
+            phase_ripple,
+        }
+    }
+
     /// The group-delay mismatch of this chain \[s\].
     pub fn delay_s(&self) -> f64 {
         self.delay_s

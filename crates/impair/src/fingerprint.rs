@@ -161,6 +161,46 @@ impl RadioFingerprint {
         }
     }
 
+    /// A multi-day re-sample of this fingerprint: every chain picks up
+    /// small temperature/aging offsets ([`ChainResponse::drifted`]) and
+    /// the oscillator wanders a fraction of a ppm. Deterministic per
+    /// `(fingerprint, day)`: day 0 with `scale` 0 is the identity
+    /// re-seed, and the same day always produces the same aged radio —
+    /// so a "day 3" serve set can be regenerated exactly.
+    pub fn drifted(&self, day: u32, scale: f64) -> Self {
+        if day == 0 && scale == 0.0 {
+            return self.clone();
+        }
+        // Seed from the device's own stable randomness (its first
+        // chain's parameters) plus the day, so distinct devices drift
+        // independently and the same device re-drifts identically.
+        let mut h = 0xD21F_7A6E_0000_0000u64 ^ (day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= self.cfo_ppm.to_bits().wrapping_mul(0x100_0000_01B3);
+        h ^= self.sfo_ppm.to_bits().rotate_left(17);
+        let mut rng = StdRng::seed_from_u64(h);
+        let chains = self
+            .chains
+            .iter()
+            .map(|c| c.drifted(&mut rng, scale))
+            .collect();
+        let iq_beta = self
+            .iq_beta
+            .iter()
+            .map(|&(re, im)| {
+                (
+                    re + rng.gen_range(-1.0..1.0) * scale * 0.002,
+                    im + rng.gen_range(-1.0..1.0) * scale * 0.002,
+                )
+            })
+            .collect();
+        RadioFingerprint {
+            chains,
+            iq_beta,
+            cfo_ppm: self.cfo_ppm + rng.gen_range(-1.0..1.0) * scale * 0.5,
+            sfo_ppm: self.sfo_ppm + rng.gen_range(-1.0..1.0) * scale * 0.5,
+        }
+    }
+
     /// Number of RF chains.
     pub fn num_chains(&self) -> usize {
         self.chains.len()
@@ -264,6 +304,35 @@ mod tests {
             assert!(fp.cfo_ppm().abs() <= p.osc_ppm_std);
             assert!(fp.sfo_ppm().abs() <= p.osc_ppm_std);
         }
+    }
+
+    #[test]
+    fn drift_is_deterministic_per_day_and_distinct_across_days() {
+        let p = ImpairmentProfile::default();
+        let fp = RadioFingerprint::generate(DeviceId(2), 3, &p);
+        assert_eq!(fp.drifted(3, 0.2), fp.drifted(3, 0.2));
+        assert_ne!(fp.drifted(3, 0.2), fp.drifted(4, 0.2));
+        // Day 0 at zero scale is the factory-fresh radio.
+        assert_eq!(fp.drifted(0, 0.0), fp);
+    }
+
+    #[test]
+    fn drift_perturbs_but_preserves_the_gross_fingerprint() {
+        let p = ImpairmentProfile::default();
+        let fp = RadioFingerprint::generate(DeviceId(5), 3, &p);
+        let aged = fp.drifted(1, 0.1);
+        assert_ne!(aged, fp);
+        assert_eq!(aged.num_chains(), fp.num_chains());
+        for i in 0..3 {
+            for k in [-122i32, 0, 60, 122] {
+                let a = fp.chain(i).response(k, 122);
+                let b = aged.chain(i).response(k, 122);
+                // A thermal cycle nudges the response, it does not
+                // replace the device.
+                assert!((a - b).abs() < 0.25, "chain {i} tone {k} moved too far");
+            }
+        }
+        assert!((aged.cfo_ppm() - fp.cfo_ppm()).abs() <= 0.5 * 0.1 + 1e-12);
     }
 
     #[test]

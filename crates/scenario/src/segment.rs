@@ -1,0 +1,189 @@
+//! Serve-time condition segments.
+//!
+//! A [`SegmentSpec`] pins every knob the generation pipeline exposes for
+//! one contiguous stretch of a serve stream: which room draw the channel
+//! comes from, where the beamformee sits, whether the AP is being
+//! carried, the SNR / phase-noise floor, and how many days of hardware
+//! drift separate the capture from the fingerprint profile. A scenario
+//! is simply a sequence of segments replayed back-to-back into one
+//! engine, so a two-segment scenario *is* a mid-stream condition change.
+
+use deepcsi_data::{
+    generate_trace, Dataset, GenConfig, InputSpec, LabeledSamples, TraceKind, TraceSpec,
+};
+use deepcsi_impair::DeviceId;
+
+/// One contiguous stretch of serve-time conditions.
+///
+/// [`SegmentSpec::train`] is the canonical training condition (room
+/// draw 0, position 1, static, calibrated radios, day 0); every field a
+/// scenario leaves at that default keeps the train-time value, so the
+/// deltas in a scenario definition read as exactly the axis it perturbs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentSpec {
+    /// Room draw (`Environment::fig6` id) — re-drawing this mid-stream
+    /// models a channel change at fixed geometry class.
+    pub env_id: u64,
+    /// Beamformee position index 1..=9 (Fig. 6 stars).
+    pub rx_position: usize,
+    /// Generate along the A-B-C-D-B-A mobility path instead of a static
+    /// placement.
+    pub mobility: bool,
+    /// Override the mean CFR-estimation SNR \[dB\] (`None` = profile
+    /// default).
+    pub snr_db: Option<f64>,
+    /// Override the per-packet phase-noise std \[rad\] (`None` = profile
+    /// default). Raised together with a low [`SegmentSpec::snr_db`] to
+    /// model an interference burst.
+    pub phase_noise_std_rad: Option<f64>,
+    /// Days of hardware drift since profiling (see
+    /// [`deepcsi_data::GenConfig::drift_day`]).
+    pub drift_day: u32,
+    /// Drift magnitude (see [`deepcsi_data::GenConfig::drift_scale`]).
+    pub drift_scale: f64,
+}
+
+impl SegmentSpec {
+    /// The canonical train-time condition.
+    pub fn train() -> Self {
+        SegmentSpec {
+            env_id: 0,
+            rx_position: 1,
+            mobility: false,
+            snr_db: None,
+            phase_noise_std_rad: None,
+            drift_day: 0,
+            drift_scale: 0.0,
+        }
+    }
+
+    /// Train-time condition moved to another room draw and position.
+    pub fn at(env_id: u64, rx_position: usize) -> Self {
+        SegmentSpec {
+            env_id,
+            rx_position,
+            ..SegmentSpec::train()
+        }
+    }
+
+    /// The generator configuration this segment resolves to.
+    pub fn gen_config(&self, num_modules: u32, snapshots: usize) -> GenConfig {
+        let mut cfg = GenConfig {
+            env_id: self.env_id,
+            snapshots_per_trace: snapshots,
+            num_modules,
+            drift_day: self.drift_day,
+            drift_scale: self.drift_scale,
+            ..GenConfig::default()
+        };
+        if let Some(snr) = self.snr_db {
+            cfg.profile.snr_db = snr;
+        }
+        if let Some(pn) = self.phase_noise_std_rad {
+            cfg.profile.phase_noise_std_rad = pn;
+        }
+        cfg
+    }
+
+    /// Generates the segment's capture: for every module, one genuine
+    /// stream (beamformee 1) and one impostor stream (beamformee 2),
+    /// each `snapshots` soundings long, under this segment's conditions.
+    pub fn dataset(&self, num_modules: u32, snapshots: usize) -> Dataset {
+        let cfg = self.gen_config(num_modules, snapshots);
+        let mut traces = Vec::with_capacity(num_modules as usize * 2);
+        for module in 0..num_modules {
+            for beamformee in [1u8, 2u8] {
+                let kind = if self.mobility {
+                    TraceKind::D2Mobility { group: 1, idx: 0 }
+                } else {
+                    TraceKind::D1Static {
+                        position: self.rx_position,
+                    }
+                };
+                traces.push(generate_trace(
+                    &cfg,
+                    &TraceSpec {
+                        module: DeviceId(module),
+                        beamformee,
+                        n_rx: 2,
+                        rx_position: self.rx_position,
+                        kind,
+                    },
+                ));
+            }
+        }
+        Dataset { traces }
+    }
+}
+
+impl Default for SegmentSpec {
+    fn default() -> Self {
+        SegmentSpec::train()
+    }
+}
+
+/// Labels every snapshot of every trace with its true module id, ready
+/// for training or [`deepcsi_nn::evaluate`].
+pub fn samples(ds: &Dataset, spec: &InputSpec) -> LabeledSamples {
+    let mut out = LabeledSamples::default();
+    for trace in &ds.traces {
+        for fb in &trace.snapshots {
+            out.push(spec.tensor(fb), trace.module.0 as usize);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_generation_is_deterministic() {
+        let seg = SegmentSpec::at(3, 5);
+        assert_eq!(seg.dataset(2, 3), seg.dataset(2, 3));
+    }
+
+    #[test]
+    fn overrides_reach_the_generator() {
+        let seg = SegmentSpec {
+            snr_db: Some(6.0),
+            phase_noise_std_rad: Some(0.3),
+            drift_day: 10,
+            drift_scale: 0.3,
+            ..SegmentSpec::train()
+        };
+        let cfg = seg.gen_config(4, 7);
+        assert_eq!(cfg.profile.snr_db, 6.0);
+        assert_eq!(cfg.profile.phase_noise_std_rad, 0.3);
+        assert_eq!(cfg.drift_day, 10);
+        assert_eq!(cfg.num_modules, 4);
+        assert_eq!(cfg.snapshots_per_trace, 7);
+        // The train segment keeps profile defaults.
+        let base = SegmentSpec::train().gen_config(4, 7);
+        assert_eq!(base.profile, deepcsi_impair::ImpairmentProfile::default());
+    }
+
+    #[test]
+    fn dataset_holds_one_genuine_and_one_impostor_stream_per_module() {
+        let ds = SegmentSpec::train().dataset(3, 2);
+        assert_eq!(ds.traces.len(), 6);
+        for module in 0..3u32 {
+            for bf in [1u8, 2u8] {
+                assert!(ds
+                    .traces
+                    .iter()
+                    .any(|t| t.module == DeviceId(module) && t.beamformee == bf));
+            }
+        }
+    }
+
+    #[test]
+    fn samples_label_by_module() {
+        let spec = InputSpec::fast();
+        let ds = SegmentSpec::train().dataset(2, 2);
+        let s = samples(&ds, &spec);
+        assert_eq!(s.len(), 8);
+        assert!(s.y.iter().all(|&y| y < 2));
+    }
+}

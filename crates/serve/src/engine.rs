@@ -1082,9 +1082,15 @@ impl WorkerCtx {
                 for (report, logits) in group.reports.iter().zip(outputs.iter()) {
                     let module = logits.argmax();
                     let confidence = softmax_peak(logits.as_slice());
-                    let dev = state.entry(report.source).or_insert_with(|| DeviceState {
-                        state: self.policy.new_state(),
-                        decided_at: None,
+                    let dev = state.entry(report.source).or_insert_with(|| {
+                        // The gauge long soaks watch: states are never
+                        // evicted yet, so growth after warm-up means new
+                        // MACs are still arriving (or leaking).
+                        self.telemetry.device_states.fetch_add(1, Ordering::Relaxed);
+                        DeviceState {
+                            state: self.policy.new_state(),
+                            decided_at: None,
+                        }
                     });
                     dev.state.push(module, confidence);
                     // Catch the stream's first decisive verdict the

@@ -297,6 +297,11 @@ pub struct Telemetry {
     /// Reports each stream needed before its first decisive verdict —
     /// the decision-latency distribution of the active policy.
     pub reports_to_verdict: ReportCountHistogram,
+    /// Per-device policy states currently held across all shards — one
+    /// per distinct source MAC ever seen. The maps are unbounded (full
+    /// LRU eviction is on the ROADMAP), so long soaks watch this gauge
+    /// for growth after warm-up.
+    pub device_states: AtomicU64,
     /// When the engine started serving (set once at engine start); the
     /// source of `deepcsi_uptime_seconds`. Unset on a bare
     /// [`Telemetry`], in which case uptime exports as 0.
@@ -400,6 +405,7 @@ impl Telemetry {
             policy: self.policy.get().copied().unwrap_or(""),
             precision: self.precision.get().copied().unwrap_or(""),
             verdicts_decided: self.verdicts_decided.load(Ordering::Relaxed),
+            device_states: self.device_states.load(Ordering::Relaxed),
             reports_to_verdict_p50: self.reports_to_verdict.quantile(0.50),
             reports_to_verdict_p99: self.reports_to_verdict.quantile(0.99),
             capture_bytes: self.capture_bytes.load(Ordering::Relaxed),
@@ -483,6 +489,11 @@ impl Telemetry {
             "deepcsi_verdicts_decided_total",
             "Device streams whose verdict first left Unknown.",
             c(&self.verdicts_decided),
+        );
+        reg.gauge(
+            "deepcsi_device_states",
+            "Per-device policy states held across all shards.",
+            c(&self.device_states) as f64,
         );
         let batches = c(&self.batches);
         reg.gauge(
@@ -590,6 +601,9 @@ pub struct EngineStats {
     pub precision: &'static str,
     /// Device streams that reached a decisive verdict.
     pub verdicts_decided: u64,
+    /// Per-device policy states currently held across all shards (one
+    /// per distinct source MAC ever seen; never evicted yet).
+    pub device_states: u64,
     /// Median reports a stream needed before its first decisive verdict.
     pub reports_to_verdict_p50: Option<u64>,
     /// 99th-percentile reports before the first decisive verdict.
@@ -744,7 +758,7 @@ impl fmt::Display for EngineStats {
         }
         write!(
             f,
-            "policy {}  precision {}  verdicts decided {}  reports-to-verdict p50 {} p99 {}",
+            "policy {}  precision {}  device states {}  verdicts decided {}  reports-to-verdict p50 {} p99 {}",
             if self.policy.is_empty() {
                 "-"
             } else {
@@ -755,6 +769,7 @@ impl fmt::Display for EngineStats {
             } else {
                 self.precision
             },
+            self.device_states,
             self.verdicts_decided,
             fmt_reports(self.reports_to_verdict_p50),
             fmt_reports(self.reports_to_verdict_p99),

@@ -19,6 +19,7 @@
 //! | [`data`] | `deepcsi-data` | synthetic D1/D2 datasets, S1–S6 splits, input tensors |
 //! | [`core`] | `deepcsi-core` | the classifier, training harness, authenticator, baseline |
 //! | [`serve`] | `deepcsi-serve` | streaming auth engine: sharded ingest, micro-batches, windowed verdicts |
+//! | [`scenario`] | `deepcsi-scenario` | channel-resilience scenario matrix: train/serve condition grids + mitigations |
 //!
 //! ## Quickstart
 //!
@@ -42,4 +43,5 @@ pub use deepcsi_impair as impair;
 pub use deepcsi_linalg as linalg;
 pub use deepcsi_nn as nn;
 pub use deepcsi_phy as phy;
+pub use deepcsi_scenario as scenario;
 pub use deepcsi_serve as serve;
