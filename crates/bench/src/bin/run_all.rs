@@ -87,6 +87,7 @@ fn main() {
         "scenario_bench",
         "scenarios",
     );
+    run_result_bench(&exe_dir, &forwarded, &out_dir, "cluster_bench", "cluster");
 }
 
 /// Runs one bench binary and writes its `RESULT <tag> <key> <value>`

@@ -1,0 +1,287 @@
+//! The engine node: a TCP listener multiplexing many client
+//! connections into one [`Engine`].
+
+use crate::codec::{
+    encode_drain_reply, encode_response, DrainReply, FrameKind, RequestDecoder, RequestFrame,
+    ResponseFrame, ResponseStatus, WireDecision, WireStats,
+};
+use crate::stats::ClusterStats;
+use deepcsi_serve::{Engine, IngestOutcome};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked `accept`/`read` waits before re-checking the
+/// stop flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// A TCP listener feeding one engine.
+///
+/// Each accepted connection gets a handler thread that reads wire
+/// frames ([`crate::codec`]) and hands report payloads straight to
+/// [`Engine::ingest_frame`]. Backpressure extends across the wire:
+///
+/// * [`deepcsi_serve::Backpressure::Block`] (the node default in
+///   `deepcsi-clusterd`) — a full shard queue blocks the handler, the
+///   socket's receive window fills, and the sender stalls. Lossless.
+/// * [`deepcsi_serve::Backpressure::DropNewest`] — the engine sheds
+///   the report and the node answers an explicit `DROP` response, so
+///   the sender can account the loss (reconciled into
+///   [`deepcsi_serve::EngineStats::dropped`]).
+///
+/// `DRAIN` requests flush the engine and reply with counters plus
+/// per-device decisions; `SHUTDOWN` additionally raises
+/// [`EngineNode::shutdown_requested`] so the host process can stop.
+/// A codec error tears only the offending connection down.
+pub struct EngineNode {
+    engine: Arc<Engine>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl EngineNode {
+    /// Binds `listen` (port `0` picks a free port) and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(
+        listen: &str,
+        engine: Arc<Engine>,
+        stats: Arc<ClusterStats>,
+    ) -> io::Result<EngineNode> {
+        let listener = TcpListener::bind(listen)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let shutdown = Arc::clone(&shutdown);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("cluster-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, peer)) => {
+                                let engine = Arc::clone(&engine);
+                                let stats = Arc::clone(&stats);
+                                let stop = Arc::clone(&stop);
+                                let shutdown = Arc::clone(&shutdown);
+                                let handle = std::thread::Builder::new()
+                                    .name(format!("cluster-conn-{peer}"))
+                                    .spawn(move || {
+                                        handle_conn(stream, &engine, &stats, &stop, &shutdown);
+                                    })
+                                    .expect("spawn connection handler");
+                                handlers.lock().unwrap().push(handle);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL);
+                            }
+                            Err(_) => std::thread::sleep(POLL),
+                        }
+                    }
+                })
+                .expect("spawn cluster accept loop")
+        };
+        Ok(EngineNode {
+            engine,
+            local_addr,
+            stop,
+            shutdown,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+
+    /// The bound address (read the ephemeral port back).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine this node feeds.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// `true` once a client sent `SHUTDOWN` (already acked with a
+    /// final drain reply). The host process should [`EngineNode::stop`]
+    /// and tear its engine down.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, joins every connection handler, and returns.
+    /// The engine is left running (snapshot/shutdown it separately).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.handlers.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Builds the drain reply for this node's engine.
+fn drain_reply(engine: &Engine) -> DrainReply {
+    engine.drain();
+    let stats = WireStats::from_engine(&engine.stats());
+    let mut decisions: Vec<WireDecision> = engine
+        .decisions()
+        .iter()
+        .map(WireDecision::from_engine)
+        .collect();
+    decisions.sort_by_key(|d| d.mac.octets());
+    DrainReply { stats, decisions }
+}
+
+fn send(stream: &mut TcpStream, stats: &ClusterStats, frame: &ResponseFrame) -> io::Result<()> {
+    let bytes = encode_response(frame);
+    stats
+        .bytes_out
+        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    stream.write_all(&bytes)
+}
+
+/// One connection's read → decode → ingest loop.
+fn handle_conn(
+    mut stream: TcpStream,
+    engine: &Engine,
+    stats: &ClusterStats,
+    stop: &AtomicBool,
+    shutdown: &AtomicBool,
+) {
+    let track = stats.open_conn();
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut decoder = RequestDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    'conn: loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break, // peer closed
+            Ok(n) => {
+                stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                decoder.push(&buf[..n]);
+                loop {
+                    match decoder.try_next() {
+                        Ok(Some(frame)) => {
+                            stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                            if !handle_frame(&frame, &mut stream, engine, stats, shutdown, &track) {
+                                break 'conn;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Hostile or corrupt stream: answer REJECT
+                            // (best effort) and tear the connection
+                            // down. The decoder is poisoned; nothing
+                            // more can be parsed.
+                            stats.codec_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = send(
+                                &mut stream,
+                                stats,
+                                &ResponseFrame {
+                                    kind: FrameKind::Report,
+                                    status: ResponseStatus::Reject,
+                                    seq: 0,
+                                    payload: Vec::new(),
+                                },
+                            );
+                            break 'conn;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    stats.close_conn(&track);
+}
+
+/// Processes one decoded frame; `false` ends the connection.
+fn handle_frame(
+    frame: &RequestFrame,
+    stream: &mut TcpStream,
+    engine: &Engine,
+    stats: &ClusterStats,
+    shutdown: &AtomicBool,
+    track: &crate::stats::ConnTrack,
+) -> bool {
+    match frame.kind {
+        FrameKind::Report => {
+            stats.reports_in.fetch_add(1, Ordering::Relaxed);
+            track.reports.fetch_add(1, Ordering::Relaxed);
+            let workers = engine.config().workers;
+            stats.record_shard(deepcsi_serve::shard_of(frame.mac, workers));
+            match engine.ingest_frame(&frame.payload) {
+                IngestOutcome::Enqueued => true, // happy path is silent
+                IngestOutcome::Dropped => {
+                    stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    track.refused.fetch_add(1, Ordering::Relaxed);
+                    send(
+                        stream,
+                        stats,
+                        &ResponseFrame {
+                            kind: FrameKind::Report,
+                            status: ResponseStatus::Drop,
+                            seq: frame.seq,
+                            payload: Vec::new(),
+                        },
+                    )
+                    .is_ok()
+                }
+                IngestOutcome::DecodeError => send(
+                    stream,
+                    stats,
+                    &ResponseFrame {
+                        kind: FrameKind::Report,
+                        status: ResponseStatus::Reject,
+                        seq: frame.seq,
+                        payload: Vec::new(),
+                    },
+                )
+                .is_ok(),
+            }
+        }
+        FrameKind::Drain | FrameKind::Shutdown => {
+            let reply = drain_reply(engine);
+            // Raise the flag *before* acking, so a client that saw the
+            // ack observes `shutdown_requested() == true`.
+            if frame.kind == FrameKind::Shutdown {
+                shutdown.store(true, Ordering::Relaxed);
+            }
+            send(
+                stream,
+                stats,
+                &ResponseFrame {
+                    kind: frame.kind,
+                    status: ResponseStatus::Ack,
+                    seq: frame.seq,
+                    payload: encode_drain_reply(&reply),
+                },
+            )
+            .is_ok()
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Tier-level counters: per-listener, per-shard and per-connection,
+//! exported onto the live observability plane.
+
+use deepcsi_obs::MetricsRegistry;
+use deepcsi_serve::ExtraMetrics;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One accepted connection's live counters. Kept (bounded) after close
+/// so a scrape sees the final numbers.
+#[derive(Debug)]
+pub struct ConnTrack {
+    /// Monotonic connection id (the metrics label).
+    pub id: u64,
+    /// Reports received on this connection.
+    pub reports: AtomicU64,
+    /// Reports answered `BUSY`/`DROP` on this connection.
+    pub refused: AtomicU64,
+    /// Set when the connection closes.
+    pub closed: AtomicBool,
+}
+
+impl ConnTrack {
+    fn new(id: u64) -> Self {
+        ConnTrack {
+            id,
+            reports: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Closed connections retained for scraping (older ones are forgotten).
+const CONN_HISTORY: usize = 64;
+
+/// Shared counters for one node or router process.
+///
+/// Everything is atomic; the struct is shared by every connection
+/// handler and the observability plane's scrape closure (see
+/// [`ClusterStats::extra_metrics`]).
+#[derive(Debug)]
+pub struct ClusterStats {
+    /// Connections accepted since start.
+    pub connections_opened: AtomicU64,
+    /// Connections closed since start.
+    pub connections_closed: AtomicU64,
+    /// Wire frames decoded (any kind).
+    pub frames_in: AtomicU64,
+    /// Report frames decoded.
+    pub reports_in: AtomicU64,
+    /// Bytes read off sockets.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to sockets.
+    pub bytes_out: AtomicU64,
+    /// Reports refused with `BUSY` (router queue full under
+    /// `DropNewest`).
+    pub busy: AtomicU64,
+    /// Reports answered `DROP` (engine backpressure).
+    pub dropped: AtomicU64,
+    /// Connections torn down on a codec error.
+    pub codec_errors: AtomicU64,
+    /// Reports routed per shard (engine workers on a node, engine
+    /// nodes on a router).
+    shard_reports: Vec<AtomicU64>,
+    conns: Mutex<Vec<Arc<ConnTrack>>>,
+    next_conn: AtomicU64,
+}
+
+impl ClusterStats {
+    /// Counters for a process routing across `shards` targets.
+    pub fn new(shards: usize) -> Self {
+        ClusterStats {
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            reports_in: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            codec_errors: AtomicU64::new(0),
+            shard_reports: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            conns: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a new connection and returns its tracker.
+    pub fn open_conn(&self) -> Arc<ConnTrack> {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let track = Arc::new(ConnTrack::new(id));
+        let mut conns = self.conns.lock().unwrap();
+        conns.push(Arc::clone(&track));
+        // Bound the scrape surface: drop the oldest *closed* entries
+        // once the history cap is passed.
+        if conns.len() > CONN_HISTORY {
+            if let Some(idx) = conns.iter().position(|c| c.closed.load(Ordering::Relaxed)) {
+                conns.remove(idx);
+            }
+        }
+        track
+    }
+
+    /// Marks a connection closed (its counters stay scrapable for a
+    /// while).
+    pub fn close_conn(&self, track: &ConnTrack) {
+        track.closed.store(true, Ordering::Relaxed);
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one report routed to `shard`.
+    pub fn record_shard(&self, shard: usize) {
+        if let Some(c) = self.shard_reports.get(shard) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reports routed to `shard` so far.
+    pub fn shard_reports(&self, shard: usize) -> u64 {
+        self.shard_reports
+            .get(shard)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Renders every counter into `reg` under `deepcsi_cluster_*`,
+    /// with a `role` label (`"node"` or `"router"`), per-shard gauges
+    /// labeled `shard="i"` and per-connection gauges labeled
+    /// `conn="id"`.
+    pub fn export_into(&self, reg: &mut MetricsRegistry, role: &str) {
+        let c = |v: &AtomicU64| v.load(Ordering::Relaxed) as f64;
+        for (name, help, value) in [
+            (
+                "deepcsi_cluster_connections_opened_total",
+                "Connections accepted by the cluster tier.",
+                c(&self.connections_opened),
+            ),
+            (
+                "deepcsi_cluster_connections_closed_total",
+                "Connections closed by the cluster tier.",
+                c(&self.connections_closed),
+            ),
+            (
+                "deepcsi_cluster_frames_in_total",
+                "Wire frames decoded.",
+                c(&self.frames_in),
+            ),
+            (
+                "deepcsi_cluster_reports_in_total",
+                "Report frames decoded.",
+                c(&self.reports_in),
+            ),
+            (
+                "deepcsi_cluster_bytes_in_total",
+                "Bytes read off cluster sockets.",
+                c(&self.bytes_in),
+            ),
+            (
+                "deepcsi_cluster_bytes_out_total",
+                "Bytes written to cluster sockets.",
+                c(&self.bytes_out),
+            ),
+            (
+                "deepcsi_cluster_busy_total",
+                "Reports refused with BUSY (router queue full).",
+                c(&self.busy),
+            ),
+            (
+                "deepcsi_cluster_dropped_total",
+                "Reports answered DROP (engine backpressure).",
+                c(&self.dropped),
+            ),
+            (
+                "deepcsi_cluster_codec_errors_total",
+                "Connections torn down on a codec error.",
+                c(&self.codec_errors),
+            ),
+        ] {
+            reg.labeled_gauge(name, help, &[("role", role)], value);
+        }
+        for (i, shard) in self.shard_reports.iter().enumerate() {
+            let label = i.to_string();
+            reg.labeled_gauge(
+                "deepcsi_cluster_shard_reports",
+                "Reports routed per shard.",
+                &[("role", role), ("shard", &label)],
+                shard.load(Ordering::Relaxed) as f64,
+            );
+        }
+        for conn in self.conns.lock().unwrap().iter() {
+            let label = conn.id.to_string();
+            reg.labeled_gauge(
+                "deepcsi_cluster_conn_reports",
+                "Reports received per connection.",
+                &[("role", role), ("conn", &label)],
+                conn.reports.load(Ordering::Relaxed) as f64,
+            );
+            reg.labeled_gauge(
+                "deepcsi_cluster_conn_refused",
+                "Reports answered BUSY/DROP per connection.",
+                &[("role", role), ("conn", &label)],
+                conn.refused.load(Ordering::Relaxed) as f64,
+            );
+        }
+    }
+
+    /// Wraps [`ClusterStats::export_into`] as an
+    /// [`deepcsi_serve::ObsPlaneConfig::extra`] hook, so `/metrics`
+    /// and `/stats.json` on a node's plane include the tier counters.
+    pub fn extra_metrics(self: &Arc<Self>, role: &'static str) -> ExtraMetrics {
+        let stats = Arc::clone(self);
+        Arc::new(move |reg: &mut MetricsRegistry| stats.export_into(reg, role))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_renders_every_family() {
+        let stats = Arc::new(ClusterStats::new(2));
+        stats.frames_in.fetch_add(3, Ordering::Relaxed);
+        stats.record_shard(1);
+        let track = stats.open_conn();
+        track.reports.fetch_add(2, Ordering::Relaxed);
+        stats.close_conn(&track);
+        let mut reg = MetricsRegistry::new();
+        stats.export_into(&mut reg, "node");
+        let text = reg.to_prometheus();
+        for needle in [
+            "deepcsi_cluster_frames_in_total",
+            "deepcsi_cluster_shard_reports",
+            "shard=\"1\"",
+            "deepcsi_cluster_conn_reports",
+            "conn=\"0\"",
+            "role=\"node\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert_eq!(stats.shard_reports(1), 1);
+    }
+
+    #[test]
+    fn conn_history_is_bounded() {
+        let stats = ClusterStats::new(1);
+        for _ in 0..(CONN_HISTORY * 3) {
+            let t = stats.open_conn();
+            stats.close_conn(&t);
+        }
+        assert!(stats.conns.lock().unwrap().len() <= CONN_HISTORY + 1);
+    }
+}

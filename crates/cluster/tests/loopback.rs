@@ -1,0 +1,257 @@
+//! In-process loopback integration: a listener fanning out to two
+//! sharded engine nodes must produce per-device verdicts
+//! **byte-identical** to a single-process engine over the same
+//! replay, with zero drops at the default (Block) backpressure — the
+//! tier's acceptance test.
+
+use deepcsi_cluster::demo::{demo_dataset, demo_frames, demo_model, DemoConfig};
+use deepcsi_cluster::{
+    encode_drain_reply, ClusterClient, ClusterStats, DrainReply, EngineNode, RouterConfig,
+    ShardRouter, WireDecision,
+};
+use deepcsi_core::FrozenAuthenticator;
+use deepcsi_serve::{Engine, EngineConfig, ObsPlane, ObsPlaneConfig, ReplaySource};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DEMO: DemoConfig = DemoConfig {
+    modules: 2,
+    snapshots: 12,
+    epochs: 1,
+};
+
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn frozen_pipeline() -> (deepcsi_data::Dataset, Arc<FrozenAuthenticator>) {
+    let ds = demo_dataset(&DEMO);
+    let auth = demo_model(&DEMO, &ds);
+    (ds, Arc::new(auth.freeze()))
+}
+
+fn wire_bytes(decisions: &[WireDecision]) -> Vec<u8> {
+    encode_drain_reply(&DrainReply {
+        stats: Default::default(),
+        decisions: decisions.to_vec(),
+    })
+}
+
+fn single_process_decisions(
+    ds: &deepcsi_data::Dataset,
+    frozen: &Arc<FrozenAuthenticator>,
+) -> Vec<WireDecision> {
+    let engine = Engine::start_frozen(
+        EngineConfig::default(),
+        Arc::clone(frozen),
+        ReplaySource::registry(ds),
+    );
+    let replay = ReplaySource::from_dataset(ds);
+    for frame in replay.frames() {
+        engine.ingest_frame(frame);
+    }
+    engine.drain();
+    let mut decisions: Vec<WireDecision> = engine
+        .decisions()
+        .iter()
+        .map(WireDecision::from_engine)
+        .collect();
+    decisions.sort_by_key(|d| d.mac.octets());
+    engine.shutdown();
+    decisions
+}
+
+struct Node {
+    node: EngineNode,
+    engine: Arc<Engine>,
+}
+
+fn start_node(ds: &deepcsi_data::Dataset, frozen: &Arc<FrozenAuthenticator>) -> Node {
+    let engine = Arc::new(Engine::start_frozen(
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+        Arc::clone(frozen),
+        ReplaySource::registry(ds),
+    ));
+    let stats = Arc::new(ClusterStats::new(1));
+    let node =
+        EngineNode::start("127.0.0.1:0", Arc::clone(&engine), stats).expect("bind node listener");
+    Node { node, engine }
+}
+
+fn stop_node(n: Node) {
+    n.node.stop();
+    match Arc::try_unwrap(n.engine) {
+        Ok(engine) => {
+            engine.shutdown();
+        }
+        Err(_) => panic!("engine still shared after node stop"),
+    }
+}
+
+#[test]
+fn router_over_two_nodes_matches_single_process_byte_for_byte() {
+    let (ds, frozen) = frozen_pipeline();
+    let reference = single_process_decisions(&ds, &frozen);
+    assert!(!reference.is_empty(), "reference run produced decisions");
+
+    let a = start_node(&ds, &frozen);
+    let b = start_node(&ds, &frozen);
+    let router_stats = Arc::new(ClusterStats::new(2));
+    let router = ShardRouter::start(
+        RouterConfig {
+            listen: "127.0.0.1:0".into(),
+            nodes: vec![
+                a.node.local_addr().to_string(),
+                b.node.local_addr().to_string(),
+            ],
+            ..RouterConfig::default()
+        },
+        Arc::clone(&router_stats),
+    )
+    .expect("bind router");
+
+    let mut client =
+        ClusterClient::connect(&router.local_addr().to_string()).expect("connect to router");
+    let frames = demo_frames(&ds);
+    for (mac, mpdu) in &frames {
+        client.send_report(*mac, mpdu).expect("stream report");
+    }
+    let reply = client.drain(DRAIN_TIMEOUT).expect("merged drain reply");
+
+    // Zero loss at default backpressure, end to end.
+    let counters = client.counters();
+    assert_eq!(counters.sent, frames.len() as u64);
+    assert_eq!(counters.busy, 0, "no BUSY at Block backpressure");
+    assert_eq!(counters.dropped, 0, "no DROP at Block backpressure");
+    assert_eq!(counters.rejected, 0, "replay frames all decode");
+    assert_eq!(reply.stats.dropped, 0);
+    assert_eq!(reply.stats.ingested, frames.len() as u64);
+    assert_eq!(reply.stats.classified, frames.len() as u64);
+
+    // Both nodes actually served a shard (the replay has ≥ 2 streams).
+    assert!(
+        reply.decisions.len() >= 2,
+        "expected multiple device streams"
+    );
+
+    // The headline claim: byte-identical verdicts.
+    assert_eq!(
+        wire_bytes(&reply.decisions),
+        wire_bytes(&reference),
+        "cluster verdicts must be byte-identical to single-process"
+    );
+
+    drop(client);
+    router.stop();
+    stop_node(a);
+    stop_node(b);
+}
+
+#[test]
+fn direct_node_connection_speaks_the_same_protocol() {
+    let (ds, frozen) = frozen_pipeline();
+    let reference = single_process_decisions(&ds, &frozen);
+
+    // One node, no router: same client, same frames, same verdicts.
+    let engine = Arc::new(Engine::start_frozen(
+        EngineConfig::default(),
+        Arc::clone(&frozen),
+        ReplaySource::registry(&ds),
+    ));
+    let stats = Arc::new(ClusterStats::new(2));
+    let node = EngineNode::start("127.0.0.1:0", Arc::clone(&engine), Arc::clone(&stats))
+        .expect("bind node");
+    let mut client =
+        ClusterClient::connect(&node.local_addr().to_string()).expect("connect to node");
+    for (mac, mpdu) in demo_frames(&ds) {
+        client.send_report(mac, &mpdu).expect("stream report");
+    }
+
+    // A garbage payload exercises the explicit REJECT response path.
+    client
+        .send_report(deepcsi_frame::MacAddr::station(0xBAD), &[0xAB; 7])
+        .expect("stream garbage");
+
+    let reply = client.drain(DRAIN_TIMEOUT).expect("drain reply");
+    assert_eq!(wire_bytes(&reply.decisions), wire_bytes(&reference));
+    assert_eq!(
+        reply.stats.decode_errors, 1,
+        "garbage counted by the engine"
+    );
+    assert_eq!(client.counters().rejected, 1, "REJECT relayed to client");
+
+    // SHUTDOWN raises the node's flag after a final acked drain.
+    assert!(!node.shutdown_requested());
+    let last = client.shutdown(DRAIN_TIMEOUT).expect("shutdown ack");
+    assert_eq!(wire_bytes(&last.decisions), wire_bytes(&reference));
+    assert!(node.shutdown_requested());
+
+    drop(client);
+    node.stop();
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("engine still shared"))
+        .shutdown();
+}
+
+#[test]
+fn node_plane_scrapes_cluster_counters() {
+    let (ds, frozen) = frozen_pipeline();
+    let engine = Arc::new(Engine::start_frozen(
+        EngineConfig {
+            audit: Some(deepcsi_serve::AuditConfig::default()),
+            ..EngineConfig::default()
+        },
+        Arc::clone(&frozen),
+        ReplaySource::registry(&ds),
+    ));
+    let stats = Arc::new(ClusterStats::new(2));
+    let plane = ObsPlane::start(
+        ObsPlaneConfig {
+            listen: "127.0.0.1:0".into(),
+            extra: Some(stats.extra_metrics("node")),
+            ..ObsPlaneConfig::default()
+        },
+        &engine,
+    )
+    .expect("bind plane");
+    plane.set_ready(true);
+    let node = EngineNode::start("127.0.0.1:0", Arc::clone(&engine), Arc::clone(&stats))
+        .expect("bind node");
+
+    let mut client =
+        ClusterClient::connect(&node.local_addr().to_string()).expect("connect to node");
+    for (mac, mpdu) in demo_frames(&ds) {
+        client.send_report(mac, &mpdu).expect("stream report");
+    }
+    client.drain(DRAIN_TIMEOUT).expect("drain");
+
+    let addr = plane.local_addr().to_string();
+    let (code, body) =
+        deepcsi_obs::http_get(&addr, "/metrics", Duration::from_secs(5)).expect("GET /metrics");
+    assert_eq!(code, 200);
+    for needle in [
+        "deepcsi_cluster_connections_opened_total",
+        "deepcsi_cluster_reports_in_total",
+        "deepcsi_cluster_shard_reports",
+        "role=\"node\"",
+        "conn=\"0\"",
+        "deepcsi_ingested_total",
+    ] {
+        assert!(
+            body.contains(needle),
+            "missing {needle} in /metrics:\n{body}"
+        );
+    }
+    let (code, json) = deepcsi_obs::http_get(&addr, "/stats.json", Duration::from_secs(5))
+        .expect("GET /stats.json");
+    assert_eq!(code, 200);
+    assert!(json.contains("deepcsi_cluster_reports_in_total"));
+
+    drop(client);
+    node.stop();
+    plane.shutdown();
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("engine still shared"))
+        .shutdown();
+}

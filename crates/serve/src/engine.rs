@@ -30,6 +30,7 @@
 
 use crate::policy::{DecisionPolicy, DecisionPolicyConfig, PolicyState};
 use crate::registry::{DeviceRegistry, Verdict, VerdictPolicy};
+use crate::snapshot::{DeviceSnapshot, EngineSnapshot};
 use crate::telemetry::{EngineStats, Stage, Telemetry};
 use crate::window::{WindowConfig, WindowedDecision};
 use deepcsi_capture::{CaptureError, FrameSource, SourcePoll};
@@ -41,7 +42,7 @@ use deepcsi_obs::{
     Tracer,
 };
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -116,6 +117,18 @@ pub struct EngineConfig {
     pub batch_linger: Duration,
     /// Full-queue policy.
     pub backpressure: Backpressure,
+    /// Cap on live per-device policy states across all shards
+    /// (`None` = unbounded, the historical behavior).
+    ///
+    /// A passive monitor sees the long tail of every MAC that ever
+    /// transmits; without a cap the device maps grow without bound. With
+    /// a cap, each shard holds at most `⌈max / workers⌉` states and
+    /// evicts least-recently-seen streams ([`EngineStats`] counts
+    /// evictions and re-warms — a re-warm is an evicted stream returning
+    /// and rebuilding its evidence from scratch). Size it well above the
+    /// working set: an evicted *registered* device re-enters calibration
+    /// on return.
+    pub max_device_states: Option<usize>,
     /// Sliding-window smoothing parameters (shared by every decision
     /// policy).
     pub window: WindowConfig,
@@ -174,6 +187,7 @@ impl Default for EngineConfig {
             infer_threads: 1,
             batch_linger: Duration::from_millis(1),
             backpressure: Backpressure::default(),
+            max_device_states: None,
             window: WindowConfig::default(),
             policy: VerdictPolicy::default(),
             decision: DecisionPolicyConfig::default(),
@@ -253,6 +267,9 @@ struct DeviceState {
     state: Box<dyn PolicyState>,
     /// Observations at the stream's first decisive verdict.
     decided_at: Option<u64>,
+    /// The shard clock value of this stream's most recent report, for
+    /// LRU eviction (see [`Shard`]).
+    touch: u64,
 }
 
 /// Count of reports enqueued but not yet classified/rejected, with a
@@ -300,11 +317,96 @@ impl InFlight {
     }
 }
 
-/// One shard's device map. Sharding by source MAC means the maps hold
-/// disjoint key sets, so each lock is only ever contended between its
-/// own worker and an occasional snapshot reader — never between
-/// workers.
-type ShardState = Arc<Mutex<HashMap<MacAddr, DeviceState>>>;
+/// Evicted MACs remembered per shard for re-warm accounting. Bounded:
+/// the ring only affects a counter, so forgetting ancient evictions
+/// merely undercounts `devices_rewarmed` — it can never grow unbounded
+/// like the map it guards.
+const REWARM_RING: usize = 1024;
+
+/// One shard's device map plus its LRU bookkeeping. Sharding by source
+/// MAC means the maps hold disjoint key sets, so each lock is only ever
+/// contended between its own worker and an occasional snapshot reader —
+/// never between workers.
+///
+/// LRU is lazy-invalidation: every report pushes `(mac, clock)` onto
+/// `queue` and stamps the same clock into the device's `touch`. An
+/// entry is live iff its stamp still matches; eviction pops stale
+/// entries until it finds a live head. Amortized O(1) per report, no
+/// linked list.
+#[derive(Default)]
+struct Shard {
+    devices: HashMap<MacAddr, DeviceState>,
+    /// Monotonic per-shard report counter (the LRU clock).
+    clock: u64,
+    /// Touch history, oldest first; stale entries are skipped on pop
+    /// and periodically compacted.
+    queue: VecDeque<(MacAddr, u64)>,
+    /// Recently evicted MACs, oldest first (bounded by
+    /// [`REWARM_RING`]).
+    evicted_ring: VecDeque<MacAddr>,
+    /// Membership index over `evicted_ring`.
+    evicted_set: HashSet<MacAddr>,
+}
+
+impl Shard {
+    /// Evicts the least-recently-seen device. Returns `false` when the
+    /// map was empty (nothing to evict).
+    fn evict_one(&mut self, telemetry: &Telemetry) -> bool {
+        while let Some((mac, stamp)) = self.queue.pop_front() {
+            let live = self.devices.get(&mac).is_some_and(|dev| dev.touch == stamp);
+            if !live {
+                continue; // stale queue entry: the device was touched again (or already evicted)
+            }
+            self.devices.remove(&mac);
+            if self.evicted_set.insert(mac) {
+                self.evicted_ring.push_back(mac);
+                while self.evicted_ring.len() > REWARM_RING {
+                    let old = self.evicted_ring.pop_front().expect("non-empty");
+                    self.evicted_set.remove(&old);
+                }
+            }
+            telemetry.devices_evicted.fetch_add(1, Ordering::Relaxed);
+            telemetry.device_states.fetch_sub(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Drops `mac` from the eviction memory, reporting whether it was
+    /// there (i.e. whether this arrival is a re-warm).
+    fn forget_eviction(&mut self, mac: MacAddr) -> bool {
+        if self.evicted_set.remove(&mac) {
+            self.evicted_ring.retain(|m| *m != mac);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Stamps a fresh touch for `mac` (which must be present in
+    /// `devices`) and records it in the LRU queue.
+    fn touch(&mut self, mac: MacAddr) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(dev) = self.devices.get_mut(&mac) {
+            dev.touch = clock;
+        }
+        self.queue.push_back((mac, clock));
+        self.maybe_compact();
+    }
+
+    /// Rebuilds the queue once stale entries dominate, keeping its
+    /// memory proportional to the live map.
+    fn maybe_compact(&mut self) {
+        if self.queue.len() > 8 * self.devices.len().max(16) {
+            let devices = &self.devices;
+            self.queue
+                .retain(|(mac, stamp)| devices.get(mac).is_some_and(|d| d.touch == *stamp));
+        }
+    }
+}
+
+type ShardState = Arc<Mutex<Shard>>;
 
 /// A running streaming authentication engine.
 ///
@@ -348,6 +450,11 @@ pub struct Engine {
     /// The per-verdict audit trail (`None` unless
     /// [`EngineConfig::audit`] is set).
     audit: Option<Arc<AuditLog>>,
+    /// The decision policy, shared with the workers — kept on the
+    /// engine so [`Engine::restore`] can rebuild device states.
+    policy: Arc<dyn DecisionPolicy>,
+    /// Per-shard device-state cap (`None` = unbounded).
+    device_cap: Option<usize>,
 }
 
 /// A cloneable live view of the engine's per-layer inference profile
@@ -469,8 +576,14 @@ impl Engine {
         let _ = telemetry.policy.set(policy.name());
         let _ = telemetry.precision.set(auth.precision().as_str());
         let state: Vec<ShardState> = (0..cfg.workers)
-            .map(|_| Arc::new(Mutex::new(HashMap::new())))
+            .map(|_| Arc::new(Mutex::new(Shard::default())))
             .collect();
+        // The global cap splits evenly across shards (rounded up, so a
+        // cap of 10 over 4 workers bounds each shard at 3). Zero means
+        // "at most one state per shard" — a cap, not a kill switch.
+        let device_cap = cfg
+            .max_device_states
+            .map(|m| m.div_ceil(cfg.workers).max(1));
         let registry = Arc::new(registry);
         let in_flight = Arc::new(InFlight::default());
         let tracer = Tracer::new(cfg.trace.clone());
@@ -510,6 +623,7 @@ impl Engine {
                 expected_shape: Arc::clone(&expected_shape),
                 policy: Arc::clone(&policy),
                 registry: Arc::clone(&registry),
+                device_cap,
                 max_batch: cfg.max_batch,
                 linger: cfg.batch_linger,
                 infer_threads: cfg.infer_threads,
@@ -539,6 +653,8 @@ impl Engine {
             ingest_spans,
             profile,
             audit,
+            policy,
+            device_cap,
         }
     }
 
@@ -710,7 +826,7 @@ impl Engine {
             let state = shard
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
-            for (mac, dev) in state.iter() {
+            for (mac, dev) in state.devices.iter() {
                 let decision = dev.state.decision();
                 have.insert(*mac);
                 seen.push(DeviceDecision {
@@ -742,6 +858,80 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// Captures every device's policy state as an [`EngineSnapshot`]
+    /// (sorted by MAC for deterministic bytes).
+    ///
+    /// Safe to call while the engine runs — each shard is locked briefly
+    /// in turn — but for a consistent image call [`Engine::drain`]
+    /// first so no reports are mid-flight.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut devices: Vec<DeviceSnapshot> = Vec::new();
+        for shard in &self.state {
+            let guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            for (mac, dev) in guard.devices.iter() {
+                devices.push(DeviceSnapshot {
+                    mac: *mac,
+                    decided_at: dev.decided_at,
+                    policy: dev.state.save(),
+                });
+            }
+        }
+        devices.sort_by_key(|d| d.mac);
+        EngineSnapshot {
+            policy: self.cfg.decision.kind,
+            devices,
+        }
+    }
+
+    /// Restores device states from a snapshot, returning how many were
+    /// restored.
+    ///
+    /// Each device is routed to its shard with the same
+    /// [`shard_of`] hash the workers use and rebuilt via
+    /// [`DecisionPolicy::restore_state`] under *this* engine's
+    /// configuration — so restoring onto an engine running a different
+    /// policy kind restores nothing (the per-device kind check refuses),
+    /// and a restored `AdaptiveThreshold` stream keeps its learned floor
+    /// instead of re-entering calibration. A configured
+    /// [`EngineConfig::max_device_states`] cap is respected: restoring
+    /// more devices than the cap evicts in restore order.
+    pub fn restore(&self, snap: &EngineSnapshot) -> usize {
+        let mut restored = 0;
+        for dev in &snap.devices {
+            let Some(state) = self.policy.restore_state(&dev.policy) else {
+                continue;
+            };
+            let shard = &self.state[shard_of(dev.mac, self.state.len())];
+            let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            if !guard.devices.contains_key(&dev.mac) {
+                if let Some(cap) = self.device_cap {
+                    while guard.devices.len() >= cap {
+                        if !guard.evict_one(&self.telemetry) {
+                            break;
+                        }
+                    }
+                }
+                if guard.forget_eviction(dev.mac) {
+                    self.telemetry
+                        .devices_rewarmed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                self.telemetry.device_states.fetch_add(1, Ordering::Relaxed);
+            }
+            guard.devices.insert(
+                dev.mac,
+                DeviceState {
+                    state,
+                    decided_at: dev.decided_at,
+                    touch: 0,
+                },
+            );
+            guard.touch(dev.mac);
+            restored += 1;
+        }
+        restored
     }
 
     /// Drains, stops the workers and returns the final report.
@@ -790,7 +980,16 @@ impl Drop for Engine {
     }
 }
 
-fn shard_of(mac: MacAddr, workers: usize) -> usize {
+/// The shard (worker index) a source MAC maps to under `workers`-way
+/// MAC-hash sharding.
+///
+/// This is the one routing function in the system: the engine's worker
+/// ring uses it per report, and the cluster tier's listener uses the
+/// *same* function to fan MACs across engine-node processes — so a
+/// device's evidence always lands in exactly one place at every level.
+/// [`DefaultHasher::new`] is deterministic (fixed keys), so two
+/// processes of the same build always agree.
+pub fn shard_of(mac: MacAddr, workers: usize) -> usize {
     let mut h = DefaultHasher::new();
     mac.hash(&mut h);
     (h.finish() % workers as u64) as usize
@@ -814,6 +1013,8 @@ struct WorkerCtx {
     /// Expected identities, for spotting each stream's first decisive
     /// verdict as reports land (reports-to-verdict telemetry).
     registry: Arc<DeviceRegistry>,
+    /// Per-shard device-state cap (`None` = unbounded).
+    device_cap: Option<usize>,
     max_batch: usize,
     linger: Duration,
     /// Lane-split width for each micro-batch inference call.
@@ -1075,23 +1276,48 @@ impl WorkerCtx {
                 // Recover a poisoned lock: on a caught panic the map is
                 // at worst missing one window push, which is fine to
                 // keep serving.
-                let mut state = self
+                let mut shard = self
                     .state
                     .lock()
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
                 for (report, logits) in group.reports.iter().zip(outputs.iter()) {
                     let module = logits.argmax();
                     let confidence = softmax_peak(logits.as_slice());
-                    let dev = state.entry(report.source).or_insert_with(|| {
-                        // The gauge long soaks watch: states are never
-                        // evicted yet, so growth after warm-up means new
-                        // MACs are still arriving (or leaking).
-                        self.telemetry.device_states.fetch_add(1, Ordering::Relaxed);
-                        DeviceState {
-                            state: self.policy.new_state(),
-                            decided_at: None,
+                    if !shard.devices.contains_key(&report.source) {
+                        // A new stream. Under a cap, make room first and
+                        // note whether this MAC is an evicted stream
+                        // returning (a re-warm: its evidence rebuilds
+                        // from scratch).
+                        if let Some(cap) = self.device_cap {
+                            while shard.devices.len() >= cap {
+                                if !shard.evict_one(&self.telemetry) {
+                                    break;
+                                }
+                            }
                         }
-                    });
+                        if shard.forget_eviction(report.source) {
+                            self.telemetry
+                                .devices_rewarmed
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        // The gauge long soaks watch: bounded by the cap
+                        // when one is set; growth after warm-up means
+                        // new MACs are still arriving (or leaking).
+                        self.telemetry.device_states.fetch_add(1, Ordering::Relaxed);
+                        shard.devices.insert(
+                            report.source,
+                            DeviceState {
+                                state: self.policy.new_state(),
+                                decided_at: None,
+                                touch: 0,
+                            },
+                        );
+                    }
+                    shard.touch(report.source);
+                    let dev = shard
+                        .devices
+                        .get_mut(&report.source)
+                        .expect("just inserted or present");
                     dev.state.push(module, confidence);
                     // Catch the stream's first decisive verdict the
                     // moment it happens — the reports-to-verdict

@@ -88,25 +88,27 @@ mod plane;
 mod policy;
 mod registry;
 mod replay;
+mod snapshot;
 mod telemetry;
 mod window;
 
 pub use deepcsi_core::Precision;
 pub use emit::{emit_metrics, MetricsEmitter};
 pub use engine::{
-    AuditConfig, Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport, IngestOutcome,
-    LayerProfile, SourceStatus,
+    shard_of, AuditConfig, Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport,
+    IngestOutcome, LayerProfile, SourceStatus,
 };
-pub use plane::{ObsPlane, ObsPlaneConfig};
+pub use plane::{ExtraMetrics, ObsPlane, ObsPlaneConfig};
 pub use policy::{
     AdaptiveParams, AdaptiveThreshold, AdaptiveThresholdState, ConfidenceWeighted,
     ConfidenceWeightedState, DecisionPolicy, DecisionPolicyConfig, FixedMajority,
-    FixedMajorityState, PolicyKind, PolicyState,
+    FixedMajorityState, PolicyKind, PolicySnapshot, PolicyState, WelfordSnapshot,
 };
 pub use registry::{DeviceRegistry, Verdict, VerdictPolicy};
 pub use replay::ReplaySource;
+pub use snapshot::{crc32, DeviceSnapshot, EngineSnapshot, SnapshotError};
 pub use telemetry::{
     EngineStats, LatencyHistogram, ReportCountHistogram, Stage, StageSnapshot, StatsDelta,
     Telemetry,
 };
-pub use window::{DecisionWindow, WindowConfig, WindowedDecision};
+pub use window::{DecisionWindow, WindowConfig, WindowSnapshot, WindowedDecision};

@@ -33,8 +33,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
+/// Extra metric source attached to a plane: called on every
+/// `/metrics` / `/stats.json` render so a host (e.g. the cluster tier)
+/// can publish its own gauges next to the engine's.
+pub type ExtraMetrics = Arc<dyn Fn(&mut deepcsi_obs::MetricsRegistry) + Send + Sync>;
+
 /// Configuration for [`ObsPlane::start`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ObsPlaneConfig {
     /// Listen address (`"127.0.0.1:9644"`; port `0` picks a free port —
     /// read it back with [`ObsPlane::local_addr`]).
@@ -47,6 +52,23 @@ pub struct ObsPlaneConfig {
     /// flushed). Tests use an effectively-infinite interval and drive
     /// ticks by hand via [`ObsPlane::tick_now`].
     pub slo_interval: Duration,
+    /// Optional host metric source, rendered into every `/metrics` and
+    /// `/stats.json` response after the engine's own registry (the
+    /// cluster tier publishes its per-connection/per-shard gauges
+    /// here).
+    pub extra: Option<ExtraMetrics>,
+}
+
+impl std::fmt::Debug for ObsPlaneConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsPlaneConfig")
+            .field("listen", &self.listen)
+            .field("http", &self.http)
+            .field("slo", &self.slo)
+            .field("slo_interval", &self.slo_interval)
+            .field("extra", &self.extra.as_ref().map(|_| "Fn"))
+            .finish()
+    }
 }
 
 impl Default for ObsPlaneConfig {
@@ -56,6 +78,7 @@ impl Default for ObsPlaneConfig {
             http: ObsServerConfig::default(),
             slo: SloConfig::default(),
             slo_interval: Duration::from_secs(1),
+            extra: None,
         }
     }
 }
@@ -70,6 +93,8 @@ struct PlaneShared {
     ready: AtomicBool,
     /// The latest SLO evaluation (`None` before the first tick).
     health: Mutex<Option<HealthReport>>,
+    /// Host metric source (see [`ObsPlaneConfig::extra`]).
+    extra: Option<ExtraMetrics>,
 }
 
 impl PlaneShared {
@@ -190,6 +215,9 @@ impl PlaneShared {
                 audit.write_errors(),
             );
         }
+        if let Some(extra) = &self.extra {
+            extra(&mut reg);
+        }
         reg
     }
 }
@@ -248,6 +276,7 @@ impl ObsPlane {
             monitor: Mutex::new(SloMonitor::new(cfg.slo)),
             ready: AtomicBool::new(false),
             health: Mutex::new(None),
+            extra: cfg.extra.clone(),
         });
         let handler = {
             let shared = Arc::clone(&shared);

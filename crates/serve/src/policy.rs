@@ -49,7 +49,7 @@
 //! ```
 
 use crate::registry::{Verdict, VerdictPolicy};
-use crate::window::{DecisionWindow, WindowConfig, WindowedDecision};
+use crate::window::{DecisionWindow, WindowConfig, WindowSnapshot, WindowedDecision};
 use std::collections::VecDeque;
 use std::fmt;
 use std::str::FromStr;
@@ -190,6 +190,19 @@ pub trait DecisionPolicy: Send + Sync + fmt::Debug {
 
     /// Fresh evidence state for one device stream.
     fn new_state(&self) -> Box<dyn PolicyState>;
+
+    /// Rebuilds a state from a [`PolicySnapshot`] under *this* policy's
+    /// configuration. Returns `None` when the snapshot was taken under a
+    /// different [`PolicyKind`] — restoring, say, adaptive floors into a
+    /// fixed-majority engine would silently discard the learned gates,
+    /// so a kind mismatch refuses instead.
+    ///
+    /// Restoring under the same configuration the snapshot was taken
+    /// with is *bit-exact*: the restored state answers
+    /// [`decision`](PolicyState::decision) and
+    /// [`verdict`](PolicyState::verdict) identically to the original at
+    /// every step of any continued stream.
+    fn restore_state(&self, snap: &PolicySnapshot) -> Option<Box<dyn PolicyState>>;
 }
 
 /// The accumulated evidence of one device stream under one policy.
@@ -206,6 +219,79 @@ pub trait PolicyState: Send + fmt::Debug {
     /// (`None` when the source is unregistered, which is always
     /// [`Verdict::Unknown`]).
     fn verdict(&self, expected: Option<usize>) -> Verdict;
+
+    /// A plain-data image of this state, restorable via
+    /// [`DecisionPolicy::restore_state`].
+    fn save(&self) -> PolicySnapshot;
+}
+
+/// Plain-data image of a Welford accumulator (part of
+/// [`PolicySnapshot::Adaptive`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WelfordSnapshot {
+    /// Samples accumulated.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Sum of squared deviations (Welford's `M2`).
+    pub m2: f64,
+}
+
+/// A policy-agnostic image of one device stream's evidence, produced by
+/// [`PolicyState::save`] and consumed by
+/// [`DecisionPolicy::restore_state`].
+///
+/// Snapshots carry *state*, not configuration: window length, gates,
+/// margins, and warm-up come from the restoring policy. Restoring under
+/// the same configuration is bit-exact; restoring under a different one
+/// applies the new configuration to the saved evidence (e.g. a shorter
+/// window drops the oldest votes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySnapshot {
+    /// [`FixedMajority`] evidence: the decision window.
+    Fixed {
+        /// The smoothing window.
+        window: WindowSnapshot,
+    },
+    /// [`ConfidenceWeighted`] evidence.
+    Confidence {
+        /// Live `(module, clamped weight)` votes, oldest first.
+        votes: Vec<(usize, f64)>,
+        /// Summed weight per module — stored verbatim rather than
+        /// recomputed so restore is bit-exact (a rebuilt sum can differ
+        /// from the incrementally maintained one in the last ulp).
+        weights: Vec<f64>,
+        /// The confidence EMA.
+        ema: Option<f64>,
+        /// Total reports observed.
+        observations: u64,
+    },
+    /// [`AdaptiveThreshold`] evidence: window plus learned calibration.
+    Adaptive {
+        /// The smoothing window.
+        window: WindowSnapshot,
+        /// In-progress confidence calibration.
+        calib: WelfordSnapshot,
+        /// In-progress vote-fraction calibration.
+        vote_calib: WelfordSnapshot,
+        /// Last completed calibration `(mean, sigma)`.
+        profile: Option<(f64, f64)>,
+        /// The learned accept floor.
+        threshold: Option<f64>,
+        /// The learned position-local vote gate.
+        vote_gate: Option<f64>,
+    },
+}
+
+impl PolicySnapshot {
+    /// Which policy this snapshot was taken under.
+    pub fn kind(&self) -> PolicyKind {
+        match self {
+            PolicySnapshot::Fixed { .. } => PolicyKind::FixedMajority,
+            PolicySnapshot::Confidence { .. } => PolicyKind::ConfidenceWeighted,
+            PolicySnapshot::Adaptive { .. } => PolicyKind::AdaptiveThreshold,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -264,6 +350,16 @@ impl DecisionPolicy for FixedMajority {
     fn new_state(&self) -> Box<dyn PolicyState> {
         Box::new(self.state())
     }
+
+    fn restore_state(&self, snap: &PolicySnapshot) -> Option<Box<dyn PolicyState>> {
+        let PolicySnapshot::Fixed { window } = snap else {
+            return None;
+        };
+        Some(Box::new(FixedMajorityState {
+            window: DecisionWindow::restore(self.window, window),
+            verdict: self.verdict,
+        }))
+    }
 }
 
 /// Per-device state of [`FixedMajority`].
@@ -289,6 +385,12 @@ impl PolicyState for FixedMajorityState {
         match self.window.decision() {
             Some(d) => Verdict::from_decision(self.verdict, expected, &d),
             None => Verdict::Unknown,
+        }
+    }
+
+    fn save(&self) -> PolicySnapshot {
+        PolicySnapshot::Fixed {
+            window: self.window.snapshot(),
         }
     }
 }
@@ -382,6 +484,35 @@ impl DecisionPolicy for ConfidenceWeighted {
 
     fn new_state(&self) -> Box<dyn PolicyState> {
         Box::new(self.state())
+    }
+
+    fn restore_state(&self, snap: &PolicySnapshot) -> Option<Box<dyn PolicyState>> {
+        let PolicySnapshot::Confidence {
+            votes,
+            weights,
+            ema,
+            observations,
+        } = snap
+        else {
+            return None;
+        };
+        let mut state = ConfidenceWeightedState {
+            cfg: *self,
+            votes: votes.iter().copied().collect(),
+            weights: weights.clone(),
+            ema: *ema,
+            observations: *observations,
+        };
+        // A shorter restoring window drops the oldest votes exactly as
+        // push() would have expired them (push only evicts at
+        // len == cfg.len, so an over-full deque must be trimmed here).
+        while state.votes.len() > self.window.len {
+            let (expired, w) = state.votes.pop_front().expect("non-empty");
+            if let Some(slot) = state.weights.get_mut(expired) {
+                *slot = (*slot - w).max(0.0);
+            }
+        }
+        Some(Box::new(state))
     }
 }
 
@@ -479,6 +610,15 @@ impl PolicyState for ConfidenceWeightedState {
             Verdict::Accept
         } else {
             Verdict::Reject
+        }
+    }
+
+    fn save(&self) -> PolicySnapshot {
+        PolicySnapshot::Confidence {
+            votes: self.votes.iter().copied().collect(),
+            weights: self.weights.clone(),
+            ema: self.ema,
+            observations: self.observations,
         }
     }
 }
@@ -635,6 +775,29 @@ impl DecisionPolicy for AdaptiveThreshold {
     fn new_state(&self) -> Box<dyn PolicyState> {
         Box::new(self.state())
     }
+
+    fn restore_state(&self, snap: &PolicySnapshot) -> Option<Box<dyn PolicyState>> {
+        let PolicySnapshot::Adaptive {
+            window,
+            calib,
+            vote_calib,
+            profile,
+            threshold,
+            vote_gate,
+        } = snap
+        else {
+            return None;
+        };
+        Some(Box::new(AdaptiveThresholdState {
+            cfg: *self,
+            window: DecisionWindow::restore(self.window, window),
+            calib: Welford::restore(calib),
+            vote_calib: Welford::restore(vote_calib),
+            profile: *profile,
+            threshold: *threshold,
+            vote_gate: *vote_gate,
+        }))
+    }
 }
 
 /// Welford's online mean/variance accumulator.
@@ -646,6 +809,22 @@ struct Welford {
 }
 
 impl Welford {
+    fn snapshot(&self) -> WelfordSnapshot {
+        WelfordSnapshot {
+            count: self.count,
+            mean: self.mean,
+            m2: self.m2,
+        }
+    }
+
+    fn restore(snap: &WelfordSnapshot) -> Welford {
+        Welford {
+            count: snap.count,
+            mean: snap.mean,
+            m2: snap.m2,
+        }
+    }
+
     fn add(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;
@@ -833,6 +1012,17 @@ impl PolicyState for AdaptiveThresholdState {
         } else {
             // The right module at the wrong confidence: flagged.
             Verdict::Reject
+        }
+    }
+
+    fn save(&self) -> PolicySnapshot {
+        PolicySnapshot::Adaptive {
+            window: self.window.snapshot(),
+            calib: self.calib.snapshot(),
+            vote_calib: self.vote_calib.snapshot(),
+            profile: self.profile,
+            threshold: self.threshold,
+            vote_gate: self.vote_gate,
         }
     }
 }

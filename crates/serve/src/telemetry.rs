@@ -297,11 +297,18 @@ pub struct Telemetry {
     /// Reports each stream needed before its first decisive verdict —
     /// the decision-latency distribution of the active policy.
     pub reports_to_verdict: ReportCountHistogram,
-    /// Per-device policy states currently held across all shards — one
-    /// per distinct source MAC ever seen. The maps are unbounded (full
-    /// LRU eviction is on the ROADMAP), so long soaks watch this gauge
-    /// for growth after warm-up.
+    /// Per-device policy states currently held across all shards.
+    /// Bounded by `EngineConfig::max_device_states` when a cap is set
+    /// (each eviction decrements it); otherwise one per distinct source
+    /// MAC ever seen, and long soaks watch this gauge for growth after
+    /// warm-up.
     pub device_states: AtomicU64,
+    /// Device states evicted by the per-shard LRU cap.
+    pub devices_evicted: AtomicU64,
+    /// Evicted streams that returned and rebuilt their state from
+    /// scratch (re-warms) — a high rate means the cap is below the
+    /// working set.
+    pub devices_rewarmed: AtomicU64,
     /// When the engine started serving (set once at engine start); the
     /// source of `deepcsi_uptime_seconds`. Unset on a bare
     /// [`Telemetry`], in which case uptime exports as 0.
@@ -406,6 +413,8 @@ impl Telemetry {
             precision: self.precision.get().copied().unwrap_or(""),
             verdicts_decided: self.verdicts_decided.load(Ordering::Relaxed),
             device_states: self.device_states.load(Ordering::Relaxed),
+            devices_evicted: self.devices_evicted.load(Ordering::Relaxed),
+            devices_rewarmed: self.devices_rewarmed.load(Ordering::Relaxed),
             reports_to_verdict_p50: self.reports_to_verdict.quantile(0.50),
             reports_to_verdict_p99: self.reports_to_verdict.quantile(0.99),
             capture_bytes: self.capture_bytes.load(Ordering::Relaxed),
@@ -494,6 +503,16 @@ impl Telemetry {
             "deepcsi_device_states",
             "Per-device policy states held across all shards.",
             c(&self.device_states) as f64,
+        );
+        reg.counter(
+            "deepcsi_devices_evicted_total",
+            "Device states evicted by the per-shard LRU cap.",
+            c(&self.devices_evicted),
+        );
+        reg.counter(
+            "deepcsi_devices_rewarmed_total",
+            "Evicted streams that returned and rebuilt their state.",
+            c(&self.devices_rewarmed),
         );
         let batches = c(&self.batches);
         reg.gauge(
@@ -601,9 +620,13 @@ pub struct EngineStats {
     pub precision: &'static str,
     /// Device streams that reached a decisive verdict.
     pub verdicts_decided: u64,
-    /// Per-device policy states currently held across all shards (one
-    /// per distinct source MAC ever seen; never evicted yet).
+    /// Per-device policy states currently held across all shards
+    /// (bounded when `EngineConfig::max_device_states` is set).
     pub device_states: u64,
+    /// Device states evicted by the per-shard LRU cap.
+    pub devices_evicted: u64,
+    /// Evicted streams that returned and rebuilt their state (re-warms).
+    pub devices_rewarmed: u64,
     /// Median reports a stream needed before its first decisive verdict.
     pub reports_to_verdict_p50: Option<u64>,
     /// 99th-percentile reports before the first decisive verdict.
@@ -773,7 +796,15 @@ impl fmt::Display for EngineStats {
             self.verdicts_decided,
             fmt_reports(self.reports_to_verdict_p50),
             fmt_reports(self.reports_to_verdict_p99),
-        )
+        )?;
+        if self.devices_evicted > 0 {
+            write!(
+                f,
+                "  evicted {}  re-warmed {}",
+                self.devices_evicted, self.devices_rewarmed
+            )?;
+        }
+        Ok(())
     }
 }
 

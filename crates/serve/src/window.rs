@@ -214,6 +214,74 @@ impl DecisionWindow {
     pub fn config(&self) -> WindowConfig {
         self.cfg
     }
+
+    /// A plain-data image of the live evidence, for policy-state
+    /// snapshot/restore ([`DecisionWindow::restore`]).
+    pub fn snapshot(&self) -> WindowSnapshot {
+        WindowSnapshot {
+            votes: self.votes.iter().copied().collect(),
+            ema: self.ema,
+            observations: self.observations,
+        }
+    }
+
+    /// Rebuilds a window from a snapshot under `cfg`.
+    ///
+    /// Restoring under the *same* configuration the snapshot was taken
+    /// with is bit-exact: counts are integers rebuilt from the stored
+    /// votes and the EMA is copied verbatim, so
+    /// [`decision`](DecisionWindow::decision) answers identically before
+    /// and after a round-trip. A shorter window drops the oldest votes
+    /// (exactly as if they had expired). An inconsistent image (votes
+    /// without an EMA) is normalized to an EMA of `0.0` rather than left
+    /// to panic later.
+    ///
+    /// ```
+    /// use deepcsi_serve::{DecisionWindow, WindowConfig};
+    ///
+    /// let cfg = WindowConfig { len: 3, ema_alpha: 0.5 };
+    /// let mut w = DecisionWindow::new(cfg);
+    /// for module in [7, 7, 2] {
+    ///     w.push(module, 0.9);
+    /// }
+    /// let restored = DecisionWindow::restore(cfg, &w.snapshot());
+    /// assert_eq!(restored.decision(), w.decision());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration, like
+    /// [`new`](DecisionWindow::new).
+    pub fn restore(cfg: WindowConfig, snap: &WindowSnapshot) -> DecisionWindow {
+        let mut w = DecisionWindow::new(cfg);
+        let skip = snap.votes.len().saturating_sub(cfg.len);
+        for &module in snap.votes.iter().skip(skip) {
+            if module >= w.counts.len() {
+                w.counts.resize(module + 1, 0);
+            }
+            w.votes.push_back(module);
+            w.counts[module] += 1;
+        }
+        w.ema = if w.votes.is_empty() {
+            snap.ema
+        } else {
+            snap.ema.or(Some(0.0))
+        };
+        w.observations = snap.observations;
+        w
+    }
+}
+
+/// Plain-data image of a [`DecisionWindow`] (see
+/// [`DecisionWindow::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowSnapshot {
+    /// Live votes, oldest first.
+    pub votes: Vec<usize>,
+    /// The confidence EMA (`None` before the first vote).
+    pub ema: Option<f64>,
+    /// Total reports ever observed.
+    pub observations: u64,
 }
 
 #[cfg(test)]

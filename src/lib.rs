@@ -19,6 +19,7 @@
 //! | [`data`] | `deepcsi-data` | synthetic D1/D2 datasets, S1–S6 splits, input tensors |
 //! | [`core`] | `deepcsi-core` | the classifier, training harness, authenticator, baseline |
 //! | [`serve`] | `deepcsi-serve` | streaming auth engine: sharded ingest, micro-batches, windowed verdicts |
+//! | [`cluster`] | `deepcsi-cluster` | distributed serving tier: wire codec, TCP ingest, MAC-shard router |
 //! | [`scenario`] | `deepcsi-scenario` | channel-resilience scenario matrix: train/serve condition grids + mitigations |
 //!
 //! ## Quickstart
@@ -36,6 +37,7 @@
 pub use deepcsi_bfi as bfi;
 pub use deepcsi_capture as capture;
 pub use deepcsi_channel as channel;
+pub use deepcsi_cluster as cluster;
 pub use deepcsi_core as core;
 pub use deepcsi_data as data;
 pub use deepcsi_frame as frame;
