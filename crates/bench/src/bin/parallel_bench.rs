@@ -1,18 +1,23 @@
 //! Parallel-serving scaling sweep: worker-count × per-worker
-//! `infer_threads` engine throughput, the frozen model's raw
-//! `infer_batch_par` thread scaling, and the SELU/sigmoid polynomial-exp
-//! before/after numbers — as machine-readable `RESULT parallel …` lines
-//! (collected by `run_all` into `BENCH_parallel.json`; keys documented
-//! in `crates/bench/README.md`).
+//! `infer_threads` engine throughput, the frozen model's lane-split
+//! thread scaling (spawn-per-call `infer_batch_par` next to the
+//! persistent `InferPool` the engine actually serves with), and the
+//! SELU/sigmoid polynomial-exp before/after numbers — as
+//! machine-readable `RESULT parallel …` lines (collected by `run_all`
+//! into `BENCH_parallel.json`; keys documented in
+//! `crates/bench/README.md`).
 //!
-//! On a single-core container the thread sweeps should hover around 1x
-//! (the split costs a spawn and buys nothing) — the interesting numbers
-//! come from multi-core hosts, where the lane split scales the one
-//! shared weight snapshot across cores without any weight clone.
+//! On a single-core container the spawn-path thread sweeps fall *below*
+//! 1x (each call pays `threads − 1` spawn/joins and buys no
+//! parallelism); the pool rows should recover to ~1x there, since
+//! parked lanes cost only a channel round-trip. The interesting scaling
+//! numbers come from multi-core hosts, where the lane split spreads the
+//! one shared weight snapshot across cores without any weight clone.
 
 use deepcsi_bench::result_line;
 use deepcsi_bench::serve_bench::{
-    engine_reports_per_sec_threads, fast_cnn, measure_par_batch_s, paper_cnn, serve_dataset,
+    engine_reports_per_sec_threads, fast_cnn, measure_par_batch_s, measure_pool_batch_s, paper_cnn,
+    serve_dataset,
 };
 use deepcsi_nn::poly_exp;
 use std::time::Instant;
@@ -53,10 +58,13 @@ fn main() {
     }
     // A cache-resident activation plane (the real layers' working set),
     // so the exp comparison measures compute, not DRAM bandwidth.
+    // The cnn rep counts are sized for the pool-vs-spawn comparison:
+    // at t=2 the spawn tax is ~1% of a fast_cnn batch, so the paired
+    // rows need sub-percent timing resolution to order reliably.
     let (exp_elems, exp_reps, cnn_reps, snapshots, repeat) = if quick {
-        (16_384usize, 200usize, 2usize, 10usize, 1usize)
+        (16_384usize, 200usize, 8usize, 10usize, 1usize)
     } else {
-        (32_768, 1_000, 4, 30, 2)
+        (32_768, 1_000, 16, 30, 2)
     };
 
     // --- SELU exp: libm before vs polynomial after -------------------
@@ -93,16 +101,28 @@ fn main() {
             } else {
                 measure_par_batch_s(&w, BATCH, threads, cnn_reps)
             };
+            // The same split through the persistent pool: parked lanes
+            // replace the per-call spawn/join, so the pool row should
+            // never fall below the spawn row at the same lane count.
+            let pool_s = measure_pool_batch_s(&w, BATCH, threads, cnn_reps);
             println!(
-                "{:<10} t={threads}: {:>9.3} ms/batch  ({:.2}x vs t=1)",
+                "{:<10} t={threads}: spawn {:>9.3} ms/batch ({:.2}x vs t=1)   pool {:>9.3} ms/batch ({:.2}x vs t=1, {:.2}x vs spawn)",
                 w.name,
                 s * 1e3,
-                base_s / s
+                base_s / s,
+                pool_s * 1e3,
+                base_s / pool_s,
+                s / pool_s
             );
             result_line(
                 "parallel",
                 &format!("infer_batch_{}_t{threads}_speedup", w.name),
                 base_s / s,
+            );
+            result_line(
+                "parallel",
+                &format!("infer_batch_{}_t{threads}_pool_speedup", w.name),
+                base_s / pool_s,
             );
         }
     }

@@ -144,11 +144,42 @@ pub fn measure_par_batch_s(w: &Workload, batch: usize, threads: usize, min_reps:
     let mut ctxs: Vec<deepcsi_nn::InferCtx> = (0..threads).map(|_| frozen.ctx()).collect();
     let _ = frozen.infer_batch_par(&xs, &mut ctxs); // warm-up
     let reps = min_reps.max(1);
-    let t = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(frozen.infer_batch_par(&xs, &mut ctxs));
+    // Best of 5 windows, as in the SELU pass: the minimum is robust
+    // against preemption on shared hosts, which matters doubly here —
+    // the spawn-vs-pool comparison is decided by margins smaller than
+    // one descheduling.
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(frozen.infer_batch_par(&xs, &mut ctxs));
+        }
+        best = best.min(t.elapsed().as_secs_f64() / reps as f64);
     }
-    t.elapsed().as_secs_f64() / reps as f64
+    best
+}
+
+/// Times the same lane split through a persistent [`deepcsi_nn::InferPool`]
+/// at a given lane count, seconds per batch. The pool is built once
+/// outside the timed loop — exactly how the serving engine holds it —
+/// so the measurement sees the steady-state hot path (channel handoff,
+/// no spawn/join) rather than pool construction.
+pub fn measure_pool_batch_s(w: &Workload, batch: usize, lanes: usize, min_reps: usize) -> f64 {
+    let xs = inputs(w, batch);
+    let frozen = w.net.freeze();
+    let mut pool = deepcsi_nn::InferPool::new(lanes);
+    let _ = pool.infer_batch(&frozen, &xs); // warm-up (grows lane buffers)
+    let reps = min_reps.max(1);
+    // Best of 5 windows, matching `measure_par_batch_s` exactly.
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(pool.infer_batch(&frozen, &xs));
+        }
+        best = best.min(t.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
 }
 
 /// A small synthetic capture for end-to-end engine throughput runs.

@@ -560,8 +560,9 @@ impl FrozenModel {
     /// never pays a spawn it cannot amortise. Usable parallelism is
     /// therefore `max(1, batch / PAR_MIN_CHUNK)`, whatever the context
     /// count. Threads are scoped per call — on very fast models the
-    /// spawn/join overhead can rival the inference itself; a persistent
-    /// per-worker pool is the known next step (see ROADMAP).
+    /// spawn/join overhead can rival the inference itself; the serving
+    /// engine therefore runs [`crate::InferPool`], which executes the
+    /// *identical* [`plan_split`] partition on persistent lane threads.
     ///
     /// # Panics
     ///
@@ -578,18 +579,10 @@ impl FrozenModel {
             xs.iter().all(|x| x.shape() == xs[0].shape()),
             "batch samples must share a shape"
         );
-        // Floor division: a thread below one full lane block of work
-        // costs more to spawn than it saves.
-        let threads = ctxs.len().min((xs.len() / PAR_MIN_CHUNK).max(1));
+        let (threads, chunk) = plan_split(xs.len(), ctxs.len());
         if threads == 1 {
             return self.infer_batch(xs, &mut ctxs[0]);
         }
-        // Lane-block-aligned chunks: every chunk except the batch's own
-        // ragged tail is a multiple of the SIMD width, so each thread
-        // runs the register-blocked kernels, not the scalar fallback.
-        // Rounding the chunk up can only *reduce* the chunk count, so
-        // `zip(ctxs)` never drops samples.
-        let chunk = xs.len().div_ceil(threads).next_multiple_of(PAR_MIN_CHUNK);
         std::thread::scope(|scope| {
             let handles: Vec<_> = xs
                 .chunks(chunk)
@@ -602,6 +595,32 @@ impl FrozenModel {
                 .collect()
         })
     }
+}
+
+/// The `(threads, chunk_len)` partition shared bit-for-bit by
+/// [`FrozenModel::infer_batch_par`] and [`crate::InferPool`]: both paths
+/// must split a batch identically so swapping one for the other can
+/// never reorder or regroup samples.
+///
+/// * Floor division picks the thread count: a lane below one full
+///   [`PAR_MIN_CHUNK`] block of work costs more to hand off than it
+///   saves, so usable parallelism is `max(1, batch / PAR_MIN_CHUNK)`
+///   regardless of how many lanes exist.
+/// * Chunks are lane-block *aligned*: every chunk except the batch's own
+///   ragged tail is a multiple of the SIMD width, so each lane runs the
+///   register-blocked kernels, not the scalar fallback. Rounding the
+///   chunk up can only *reduce* the chunk count, so zipping chunks
+///   against lanes never drops samples — and since `chunk_len ≥ 1` no
+///   chunk is ever empty.
+pub fn plan_split(batch: usize, lanes: usize) -> (usize, usize) {
+    let threads = lanes.min((batch / PAR_MIN_CHUNK).max(1));
+    if threads == 1 {
+        return (1, batch.max(1));
+    }
+    (
+        threads,
+        batch.div_ceil(threads).next_multiple_of(PAR_MIN_CHUNK),
+    )
 }
 
 #[cfg(test)]

@@ -21,6 +21,9 @@
 //!   `infer`/`infer_batch` are bit-equal to `forward(train = false)`,
 //!   and [`FrozenModel::infer_batch_par`] splits a batch's lane blocks
 //!   across threads without ever changing an output.
+//! * [`InferPool`] — the persistent serving runtime: parked lane
+//!   threads own their contexts for the process lifetime, so the same
+//!   bit-exact lane split runs with no spawn/join on the hot path.
 //! * [`quant`] — the int8 serving backend: [`QuantSpec::calibrate`] +
 //!   [`Network::freeze_int8`] re-freeze conv/dense onto integer
 //!   dot-product kernels behind the same [`InferOp`] seam (top-1
@@ -53,7 +56,10 @@
 //! assert!(acc > 0.9);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent inference pool
+// (`pool.rs`) opts back in at file scope for its lane-block handoff —
+// every other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod fastmath;
@@ -65,12 +71,13 @@ mod loss;
 mod metrics;
 mod network;
 mod optim;
+mod pool;
 pub mod quant;
 mod tensor;
 mod train;
 
 pub use fastmath::poly_exp;
-pub use frozen::{FrozenModel, InferCtx, InferOp, ShapeMismatch, PAR_MIN_CHUNK};
+pub use frozen::{plan_split, FrozenModel, InferCtx, InferOp, ShapeMismatch, PAR_MIN_CHUNK};
 pub use layer::Layer;
 pub use layers::{
     AlphaDropout, Conv2d, Dense, Flatten, MaxPool2d, Selu, Sigmoid, SpatialAttention,
@@ -79,6 +86,7 @@ pub use loss::softmax_cross_entropy;
 pub use metrics::ConfusionMatrix;
 pub use network::Network;
 pub use optim::{Adam, Optimizer, Sgd};
+pub use pool::InferPool;
 pub use quant::{ActRange, Int8Freeze, QuantError, QuantLayerInfo, QuantSpec};
 pub use tensor::Tensor;
 pub use train::{evaluate, predict, TrainConfig, TrainReport, Trainer};

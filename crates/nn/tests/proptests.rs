@@ -1,9 +1,10 @@
 //! Property-based and 2-D-path tests for the deep-learning substrate.
 
 use deepcsi_nn::{
-    poly_exp, softmax_cross_entropy, AlphaDropout, Conv2d, Dense, Flatten, InferCtx, Layer,
-    MaxPool2d, Network, Selu, Sigmoid, SpatialAttention, Tensor,
+    poly_exp, softmax_cross_entropy, AlphaDropout, Conv2d, Dense, Flatten, InferCtx, InferPool,
+    Layer, MaxPool2d, Network, Selu, Sigmoid, SpatialAttention, Tensor, PAR_MIN_CHUNK,
 };
+use deepcsi_obs::Profiler;
 use proptest::prelude::*;
 
 fn tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
@@ -289,6 +290,87 @@ proptest! {
     /// The polynomial `exp` both the forward and frozen paths share must
     /// stay within a small ULP budget of `f32::exp` everywhere in the
     /// normal-result range.
+    /// Degenerate splits — more contexts than the batch has lane
+    /// blocks, a batch of 1, lane counts that do not divide the batch —
+    /// must never produce an empty partition (every sample classified
+    /// exactly once), must stay bit-exact against the single-context
+    /// path, and the per-lane profilers must account each sample
+    /// exactly once (no double counting from a skewed split). The
+    /// persistent [`InferPool`] inherits the identical guarantee: it
+    /// shares the spawn path's partition function.
+    #[test]
+    fn degenerate_splits_never_drop_samples_or_skew_profilers(
+        xs in proptest::collection::vec(tensor(vec![6]), 1..40),
+        lanes in 1usize..9,
+    ) {
+        let mut net = Network::new();
+        net.push(Dense::new(6, 4, 71));
+        net.push(Selu::new());
+        net.push(Dense::new(4, 3, 72));
+        let frozen = net.freeze();
+        let batch = xs.len();
+
+        let mut one = frozen.ctx();
+        let want = frozen.infer_batch(&xs, &mut one);
+
+        // Spawn-per-call path, every lane armed with a profiler.
+        let mut ctxs: Vec<InferCtx> = (0..lanes)
+            .map(|_| {
+                let mut ctx = frozen.ctx();
+                ctx.set_profiler(Profiler::new());
+                ctx
+            })
+            .collect();
+        let got = frozen.infer_batch_par(&xs, &mut ctxs);
+        prop_assert_eq!(got.len(), batch, "no partition may come up empty or dropped");
+        for (w, g) in want.iter().zip(&got) {
+            prop_assert!(w.as_slice() == g.as_slice(), "par split diverged");
+        }
+        // Each op processes every sample exactly once across the lanes
+        // — an op's per-lane sample count summed over contexts must be
+        // exactly the batch, however skewed the split.
+        for op_index in 0..3 {
+            let samples: u64 = ctxs
+                .iter()
+                .map(|ctx| {
+                    ctx.profiler()
+                        .and_then(|p| p.ops().get(op_index))
+                        .map_or(0, |stat| stat.samples)
+                })
+                .sum();
+            prop_assert_eq!(
+                samples,
+                batch as u64,
+                "op {} accounted {} samples for batch {} over {} lanes",
+                op_index, samples, batch, lanes
+            );
+        }
+
+        // The persistent pool: same partition function, same contract.
+        let mut pool = InferPool::new(lanes);
+        pool.set_profilers((0..lanes).map(|_| Profiler::new()).collect());
+        let got = pool.infer_batch(&frozen, &xs);
+        prop_assert_eq!(got.len(), batch);
+        for (w, g) in want.iter().zip(&got) {
+            prop_assert!(w.as_slice() == g.as_slice(), "pool split diverged");
+        }
+        prop_assert!(pool.last_engaged() >= 1 && pool.last_engaged() <= lanes);
+        prop_assert!(
+            pool.last_engaged() <= batch.div_ceil(PAR_MIN_CHUNK).max(1),
+            "a lane below one full lane block of work was engaged"
+        );
+        let table = pool.profile_table();
+        prop_assert_eq!(table.len(), 3, "one merged row per op");
+        for stat in &table {
+            prop_assert_eq!(
+                stat.samples,
+                batch as u64,
+                "pool op {} accounted {} samples for batch {}",
+                &stat.name, stat.samples, batch
+            );
+        }
+    }
+
     #[test]
     fn poly_exp_stays_within_ulp_budget(x in -87.0f32..88.0) {
         let got = poly_exp(x);

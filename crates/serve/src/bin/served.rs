@@ -8,6 +8,7 @@
 //!                [--workers N] [--infer-threads N]
 //!                [--precision f32|int8] [--calib-samples N]
 //!                [--batch N] [--queue N] [--window N]
+//!                [--adaptive-batch] [--batch-min N] [--batch-slo-ms MS]
 //!                [--policy fixed|confidence|adaptive]
 //!                [--accept-threshold MASS] [--calibration N]
 //!                [--repeat N] [--drop] [--garbage N]
@@ -39,13 +40,22 @@
 //!
 //! * `--workers N` sizes the sharded worker ring (device streams are
 //!   partitioned across workers by source MAC).
-//! * `--infer-threads N` splits each worker's micro-batch across `N`
-//!   inference threads through the one shared frozen model (default 1).
-//!   The lane split is bit-exact, so this knob can never change a
-//!   verdict — only throughput. Each thread needs one full 16-sample
-//!   SIMD lane block, so a micro-batch engages at most `--batch / 16`
-//!   threads — raise `--batch` together with `N` (e.g. `--batch 64`
-//!   for `--infer-threads 4`).
+//! * `--infer-threads N` sizes each worker's persistent inference pool
+//!   (default 1): `N` parked lane threads own their scratch contexts
+//!   for the process lifetime and split every micro-batch's lane
+//!   blocks with no spawn/join on the hot path. The split is
+//!   bit-exact, so this knob can never change a verdict — only
+//!   throughput. Each lane needs one full 16-sample SIMD lane block,
+//!   so a micro-batch engages at most `--batch / 16` lanes — raise
+//!   `--batch` together with `N` (e.g. `--batch 64` for
+//!   `--infer-threads 4`).
+//! * `--adaptive-batch` replaces the fixed batch former with the
+//!   latency-adaptive one: each worker's micro-batch target starts at
+//!   `--batch-min` (default 1), doubles toward `--batch` under queue
+//!   pressure, and halves back when the queue runs dry or a batch's
+//!   service time breaches `--batch-slo-ms` (default 250). Batch
+//!   formation changes departure timing only — decision vectors stay
+//!   bit-identical to the fixed former's.
 //! * `--precision f32|int8` selects the serving snapshot's numeric
 //!   backend (default `f32`, bit-identical to training). `int8`
 //!   calibrates activation scales on up to `--calib-samples` (default
@@ -104,9 +114,9 @@ use deepcsi_data::{d1_split, generate_d1, D1Set, Dataset, GenConfig, InputSpec};
 use deepcsi_nn::TrainConfig;
 use deepcsi_obs::{format_op_table, write_chrome_trace, TraceConfig};
 use deepcsi_serve::{
-    AuditConfig, Backpressure, DecisionPolicyConfig, Engine, EngineConfig, MetricsEmitter,
-    ObsPlane, ObsPlaneConfig, PolicyKind, Precision, ReplaySource, SourceStatus, Verdict,
-    WindowConfig,
+    AuditConfig, Backpressure, BatchFormer, DecisionPolicyConfig, Engine, EngineConfig,
+    MetricsEmitter, ObsPlane, ObsPlaneConfig, PolicyKind, Precision, ReplaySource, SourceStatus,
+    Verdict, WindowConfig,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -123,6 +133,9 @@ struct Args {
     precision: Precision,
     calib_samples: usize,
     batch: usize,
+    adaptive_batch: bool,
+    batch_min: usize,
+    batch_slo_ms: u64,
     queue: usize,
     window: usize,
     policy: PolicyKind,
@@ -161,6 +174,9 @@ impl Args {
             precision: Precision::default(),
             calib_samples: 256,
             batch: 32,
+            adaptive_batch: false,
+            batch_min: 1,
+            batch_slo_ms: 250,
             queue: 1024,
             window: 25,
             policy: PolicyKind::default(),
@@ -212,6 +228,13 @@ impl Args {
                     args.calib_samples = value("--calib-samples").parse().expect("--calib-samples")
                 }
                 "--batch" => args.batch = value("--batch").parse().expect("--batch"),
+                "--adaptive-batch" => args.adaptive_batch = true,
+                "--batch-min" => {
+                    args.batch_min = value("--batch-min").parse().expect("--batch-min")
+                }
+                "--batch-slo-ms" => {
+                    args.batch_slo_ms = value("--batch-slo-ms").parse().expect("--batch-slo-ms")
+                }
                 "--queue" => args.queue = value("--queue").parse().expect("--queue"),
                 "--window" => args.window = value("--window").parse().expect("--window"),
                 "--policy" => {
@@ -302,6 +325,23 @@ impl Args {
             panic!("--calibration must be positive");
         }
         assert!(args.infer_threads > 0, "--infer-threads must be positive");
+        if args.adaptive_batch {
+            assert!(args.batch_min > 0, "--batch-min must be positive");
+            assert!(
+                args.batch_min <= args.batch,
+                "--batch-min ({}) must not exceed --batch ({})",
+                args.batch_min,
+                args.batch
+            );
+            assert!(args.batch_slo_ms > 0, "--batch-slo-ms must be positive");
+        } else {
+            if args.batch_min != 1 {
+                eprintln!("warning: --batch-min only applies with --adaptive-batch; ignored");
+            }
+            if args.batch_slo_ms != 250 {
+                eprintln!("warning: --batch-slo-ms only applies with --adaptive-batch; ignored");
+            }
+        }
         if args.calib_samples == 0 {
             panic!("--calib-samples must be positive");
         }
@@ -328,6 +368,18 @@ impl Args {
             eprintln!("warning: --audit-capacity needs --obs-listen or --audit-file");
         }
         args
+    }
+
+    /// The batch-formation mode the flags describe.
+    fn former(&self) -> BatchFormer {
+        if self.adaptive_batch {
+            BatchFormer::Adaptive {
+                min_batch: self.batch_min,
+                slo: Duration::from_millis(self.batch_slo_ms),
+            }
+        } else {
+            BatchFormer::Fixed
+        }
     }
 
     /// The audit-trail configuration the flags describe: on whenever the
@@ -577,6 +629,7 @@ fn main() {
             precision: args.precision,
             queue_capacity: args.queue,
             max_batch: args.batch,
+            former: args.former(),
             backpressure: if args.drop_on_full {
                 Backpressure::DropNewest
             } else {
@@ -596,8 +649,16 @@ fn main() {
         registry.clone(),
     );
     println!(
-        "decision policy: {} ({} workers × {} inference threads, {} inference)",
-        args.policy, args.workers, args.infer_threads, args.precision
+        "decision policy: {} ({} workers × {} pool lanes, {} inference, {} batch former)",
+        args.policy,
+        args.workers,
+        args.infer_threads,
+        args.precision,
+        if args.adaptive_batch {
+            "adaptive"
+        } else {
+            "fixed"
+        }
     );
 
     // Observability plumbing: the file emitter publishes periodically

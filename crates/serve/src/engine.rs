@@ -14,15 +14,15 @@
 //!   per [`EngineConfig::backpressure`].
 //! * **Shared frozen model** — every worker holds the same
 //!   `Arc<FrozenAuthenticator>` (immutable weights, `Send + Sync`); the
-//!   only per-worker inference state is a handful of scratch
-//!   [`InferCtx`]s. No per-worker weight clone.
-//! * **Micro-batching** — each worker drains its queue up to
-//!   [`EngineConfig::max_batch`] reports (lingering briefly for
-//!   stragglers) and classifies them with one
-//!   [`deepcsi_nn::FrozenModel::infer_batch_par`] call, optionally
-//!   splitting the batch's lane blocks across
-//!   [`EngineConfig::infer_threads`] cores — bit-exact under any split,
-//!   so thread count never changes a verdict.
+//!   only per-worker inference state is a persistent [`InferPool`] of
+//!   scratch contexts. No per-worker weight clone.
+//! * **Micro-batching** — each worker drains its queue up to the batch
+//!   former's cap (lingering briefly for stragglers; see
+//!   [`EngineConfig::former`]) and classifies the batch with one
+//!   [`InferPool::infer_batch`] call, optionally splitting its lane
+//!   blocks across [`EngineConfig::infer_threads`] persistent lane
+//!   threads — no spawn/join on the hot path, bit-exact under any
+//!   split, so thread count never changes a verdict.
 //! * **Policy decisions** — per-sample predictions feed one
 //!   [`PolicyState`] per device (built by the configured
 //!   [`DecisionPolicy`]); verdicts come from the policy judged against
@@ -36,7 +36,7 @@ use crate::window::{WindowConfig, WindowedDecision};
 use deepcsi_capture::{CaptureError, FrameSource, SourcePoll};
 use deepcsi_core::{Authenticator, FrozenAuthenticator, Precision};
 use deepcsi_frame::{BeamformingReportFrame, CapturedReport, MacAddr};
-use deepcsi_nn::{InferCtx, Tensor};
+use deepcsi_nn::{InferPool, Tensor};
 use deepcsi_obs::{
     merge_op_stats, AuditEvent, AuditLog, OpStat, Profiler, SpanEvent, ThreadTracer, TraceConfig,
     Tracer,
@@ -45,7 +45,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -95,15 +95,18 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Micro-batch size cap per inference call.
     pub max_batch: usize,
-    /// Inference threads *per worker*: each micro-batch's lane blocks
-    /// are split across this many threads through the one shared
-    /// [`FrozenAuthenticator`] (see
-    /// [`deepcsi_nn::FrozenModel::infer_batch_par`]).
+    /// Inference lanes *per worker*: sizes the worker's persistent
+    /// [`deepcsi_nn::InferPool`]. Each micro-batch's lane blocks are
+    /// split across the pool's parked lane threads through the one
+    /// shared [`FrozenAuthenticator`] — no spawn/join on the hot path;
+    /// the lanes live for the life of the worker.
     ///
-    /// Defaults to `1` — the classic single-threaded worker, no thread
-    /// spawn at all. Because the frozen model is bit-exact under any
-    /// lane split, changing this can change throughput but **never a
-    /// verdict** (pinned by the engine's thread-invariance tests).
+    /// Defaults to `1` — the caller-inline lane only, no helper threads
+    /// and no channel round-trip. Because the pool partitions batches
+    /// with the same [`deepcsi_nn::plan_split`] as the spawn-per-call
+    /// [`deepcsi_nn::FrozenModel::infer_batch_par`], changing this can
+    /// change throughput but **never a verdict** (pinned by the
+    /// engine's thread-invariance tests).
     ///
     /// Usable parallelism is additionally bounded by the micro-batch:
     /// each thread gets at least one full [`deepcsi_nn::PAR_MIN_CHUNK`]
@@ -115,6 +118,16 @@ pub struct EngineConfig {
     pub infer_threads: usize,
     /// How long a worker lingers for stragglers once a batch is open.
     pub batch_linger: Duration,
+    /// Micro-batch formation strategy: [`BatchFormer::Fixed`] (the
+    /// historical behavior — always linger toward
+    /// [`EngineConfig::max_batch`]) or [`BatchFormer::Adaptive`] (a
+    /// latency-aware target that grows under queue pressure and shrinks
+    /// to `min_batch` when idle, cutting linger latency entirely at a
+    /// target of 1). Batching never affects a per-report output or the
+    /// per-shard FIFO order, so the former mode can change latency and
+    /// throughput but **never a verdict** (pinned by the engine's
+    /// former-invariance tests).
+    pub former: BatchFormer,
     /// Full-queue policy.
     pub backpressure: Backpressure,
     /// Cap on live per-device policy states across all shards
@@ -159,7 +172,7 @@ pub struct EngineConfig {
     /// `decode` spans at the same rate), collected into
     /// [`EngineReport::spans`] at shutdown.
     pub trace: TraceConfig,
-    /// When `true`, every worker's [`InferCtx`]s carry a
+    /// When `true`, every lane of each worker's [`InferPool`] carries a
     /// [`Profiler`]: each frozen op's wall time and activation bytes
     /// are aggregated into the per-layer table returned as
     /// [`EngineReport::layer_profile`]. Observation-only — verdicts are
@@ -186,6 +199,7 @@ impl Default for EngineConfig {
             max_batch: 32,
             infer_threads: 1,
             batch_linger: Duration::from_millis(1),
+            former: BatchFormer::Fixed,
             backpressure: Backpressure::default(),
             max_device_states: None,
             window: WindowConfig::default(),
@@ -196,6 +210,50 @@ impl Default for EngineConfig {
             profile: false,
             stage_timing: true,
             audit: None,
+        }
+    }
+}
+
+/// Micro-batch formation strategy (see [`EngineConfig::former`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchFormer {
+    /// Always linger up to [`EngineConfig::batch_linger`] toward
+    /// [`EngineConfig::max_batch`] — the historical fixed former. An
+    /// idle stream pays the full linger on every report; a loaded one
+    /// still caps at `max_batch`.
+    Fixed,
+    /// Latency-aware adaptive former. Each worker holds a per-batch
+    /// target in `[min_batch, max_batch]` and steers it from two
+    /// signals observed at every batch departure:
+    ///
+    /// * **Pressure** — the next opener was already queued when the
+    ///   last batch finished *and* the batch filled its whole target:
+    ///   double the target (toward `max_batch`) so the backlog drains
+    ///   in fewer, larger inference calls.
+    /// * **Idle** — the worker waited longer than the linger window for
+    ///   an opener: halve the target (toward `min_batch`). At a target
+    ///   of 1 the opener departs immediately — zero linger latency.
+    /// * **SLO breach** — a batch's service time exceeded `slo`: halve
+    ///   the target regardless, trading throughput for the p99
+    ///   batch-latency objective.
+    Adaptive {
+        /// Floor of the adaptive target; also the idle-stream batch
+        /// size. `1` gives idle openers zero linger.
+        min_batch: usize,
+        /// Per-batch service-time budget the controller protects (the
+        /// p99 batch-latency SLO).
+        slo: Duration,
+    },
+}
+
+impl BatchFormer {
+    /// The adaptive former at its recommended defaults: target floor 1
+    /// (idle openers depart with zero linger) and a 250 ms service
+    /// budget — the p99 SLO the soak harness asserts.
+    pub fn adaptive() -> BatchFormer {
+        BatchFormer::Adaptive {
+            min_batch: 1,
+            slo: Duration::from_millis(250),
         }
     }
 }
@@ -523,7 +581,8 @@ impl Engine {
     ///
     /// All workers hold clones of one `Arc<FrozenAuthenticator>` — there
     /// is no per-worker weight copy; the only per-worker inference state
-    /// is `cfg.infer_threads` scratch [`InferCtx`]s. Pass an existing
+    /// is a persistent [`InferPool`] of `cfg.infer_threads` scratch
+    /// lanes. Pass an existing
     /// `Arc` to share the same snapshot across engines (e.g. a serving
     /// engine and an offline evaluator), or a bare
     /// [`FrozenAuthenticator`] to let the engine wrap it.
@@ -560,6 +619,15 @@ impl Engine {
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
         assert!(cfg.max_batch > 0, "batch size must be positive");
         assert!(cfg.infer_threads > 0, "need at least one inference thread");
+        if let BatchFormer::Adaptive { min_batch, slo } = cfg.former {
+            assert!(min_batch > 0, "adaptive min_batch must be positive");
+            assert!(
+                min_batch <= cfg.max_batch,
+                "adaptive min_batch ({min_batch}) must not exceed max_batch ({})",
+                cfg.max_batch
+            );
+            assert!(!slo.is_zero(), "adaptive SLO must be positive");
+        }
         assert_eq!(
             auth.precision(),
             cfg.precision,
@@ -575,6 +643,21 @@ impl Engine {
         let _ = telemetry.started.set(Instant::now());
         let _ = telemetry.policy.set(policy.name());
         let _ = telemetry.precision.set(auth.precision().as_str());
+        telemetry
+            .pool_lanes
+            .store(cfg.infer_threads as u64, Ordering::Relaxed);
+        // Seed the batch-target gauge so a scrape before the first batch
+        // reads the starting target, not 0.
+        let initial_target = match cfg.former {
+            BatchFormer::Fixed => cfg.max_batch,
+            BatchFormer::Adaptive { min_batch, .. } => min_batch,
+        };
+        telemetry
+            .batch_target
+            .store(initial_target as u64, Ordering::Relaxed);
+        // One shared wall-clock anchor: every worker stamps audit events
+        // against the same last-known-good epoch reference.
+        let clock = WallClock::new();
         let state: Vec<ShardState> = (0..cfg.workers)
             .map(|_| Arc::new(Mutex::new(Shard::default())))
             .collect();
@@ -626,7 +709,9 @@ impl Engine {
                 device_cap,
                 max_batch: cfg.max_batch,
                 linger: cfg.batch_linger,
+                former: cfg.former,
                 infer_threads: cfg.infer_threads,
+                clock,
                 tracer: tracer.clone(),
                 stage_timing: cfg.stage_timing,
                 profile_enabled: cfg.profile,
@@ -1017,13 +1102,18 @@ struct WorkerCtx {
     device_cap: Option<usize>,
     max_batch: usize,
     linger: Duration,
+    /// Batch formation strategy (fixed cap vs adaptive target).
+    former: BatchFormer,
     /// Lane-split width for each micro-batch inference call.
     infer_threads: usize,
+    /// Fault-tolerant wall-clock source for audit timestamps (shared
+    /// anchor across workers).
+    clock: WallClock,
     /// Shared tracing gate + span-recorder factory.
     tracer: Tracer,
     /// Whether to timestamp pipeline stages into [`Telemetry::stages`].
     stage_timing: bool,
-    /// Whether the worker's [`InferCtx`]s carry per-op profilers.
+    /// Whether the worker's pool lanes carry per-op profilers.
     profile_enabled: bool,
     /// The per-worker profile slots; this worker publishes its
     /// cumulative table into `profile[self.shard]` after every batch
@@ -1035,53 +1125,172 @@ struct WorkerCtx {
     audit: Option<Arc<AuditLog>>,
 }
 
-/// Wall-clock milliseconds since the Unix epoch (0 if the clock is
-/// before the epoch, which only a broken clock reports).
-fn unix_ms_now() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map_or(0, |d| d.as_millis() as u64)
+/// Fault-tolerant wall-clock source for audit timestamps.
+///
+/// `SystemTime` can report "before the epoch" on a broken or stepped
+/// clock; the engine used to map that to `0`, stamping audit events at
+/// 1970 and silently corrupting the trail's timeline. Instead, the
+/// engine captures one epoch reading and a monotonic anchor at startup
+/// and, on any later clock fault, extends that last-known-good reading
+/// by the monotonic elapsed time — timestamps stay ordered and roughly
+/// correct, and every fault is counted in [`Telemetry::clock_faults`].
+#[derive(Debug, Clone, Copy)]
+struct WallClock {
+    /// Monotonic instant paired with `anchor_ms`.
+    anchor: Instant,
+    /// Epoch milliseconds read at the anchor (best effort: a clock
+    /// already broken at startup anchors at 0 and the offset still
+    /// keeps later stamps ordered).
+    anchor_ms: u64,
+}
+
+impl WallClock {
+    fn new() -> WallClock {
+        WallClock {
+            anchor: Instant::now(),
+            anchor_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64),
+        }
+    }
+
+    /// Wall-clock milliseconds since the Unix epoch, degrading to
+    /// last-known-good + monotonic offset (never 0) on a clock fault.
+    fn unix_ms(&self, telemetry: &Telemetry) -> u64 {
+        self.resolve(SystemTime::now().duration_since(UNIX_EPOCH).ok(), telemetry)
+    }
+
+    /// Split from [`WallClock::unix_ms`] so tests can inject the fault.
+    fn resolve(&self, since_epoch: Option<Duration>, telemetry: &Telemetry) -> u64 {
+        match since_epoch {
+            Some(d) => d.as_millis() as u64,
+            None => {
+                telemetry.clock_faults.fetch_add(1, Ordering::Relaxed);
+                self.anchor_ms + self.anchor.elapsed().as_millis() as u64
+            }
+        }
+    }
+}
+
+/// Fills `batch` from `rx` until it reaches `cap` or `deadline` passes:
+/// one deadline, one clock read, one blocking wait per loop.
+/// `recv_timeout` already returns immediately when a message is queued
+/// (and keeps handing out queued messages at a zero timeout), so the
+/// old `try_recv`-then-`recv_timeout` round-trip — with its second
+/// `Instant::now()` per iteration — bought nothing. An opener-only
+/// batch therefore departs within ~`linger` of opening, never
+/// overshooting by an extra poll cycle (pinned by
+/// `opener_only_batch_departs_at_the_linger_deadline`).
+fn fill_batch(rx: &Receiver<Queued>, batch: &mut Vec<Queued>, cap: usize, deadline: Instant) {
+    while batch.len() < cap {
+        match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(q) => batch.push(q),
+            // Timeout: the linger window closed. Disconnected: the
+            // engine is shutting down — classify what we have; the
+            // outer loop's next recv observes the hangup.
+            Err(_) => break,
+        }
+    }
+}
+
+/// The adaptive batch former's controller state (one per worker; see
+/// [`BatchFormer::Adaptive`] for the control law).
+#[derive(Debug)]
+struct AdaptiveFormer {
+    target: usize,
+    min: usize,
+    max: usize,
+    slo: Duration,
+    /// The linger window doubles as the idle threshold: an opener that
+    /// took longer than one linger to arrive means the queue ran dry.
+    linger: Duration,
+}
+
+impl AdaptiveFormer {
+    fn new(former: BatchFormer, max_batch: usize, linger: Duration) -> Option<AdaptiveFormer> {
+        match former {
+            BatchFormer::Fixed => None,
+            BatchFormer::Adaptive { min_batch, slo } => Some(AdaptiveFormer {
+                target: min_batch,
+                min: min_batch,
+                max: max_batch,
+                slo,
+                linger,
+            }),
+        }
+    }
+
+    /// The current per-batch target (the cap handed to [`fill_batch`]).
+    fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Observes one departed batch: `filled` reports formed, `waited`
+    /// how long the worker sat idle before the opener arrived,
+    /// `service` the time to classify the batch.
+    fn observe(&mut self, filled: usize, waited: Duration, service: Duration) {
+        if service > self.slo {
+            // Over budget: smaller batches bound per-batch service
+            // time, protecting the p99 SLO at some throughput cost.
+            self.target = (self.target / 2).max(self.min);
+        } else if waited > self.linger {
+            // The queue ran dry while we waited for this opener: shrink
+            // so the next lone report departs sooner (at a target of 1
+            // the linger is skipped entirely).
+            self.target = (self.target / 2).max(self.min);
+        } else if filled >= self.target {
+            // The opener was already queued (no idle wait) and the
+            // batch filled its whole allowance: backlog — grow so it
+            // drains in fewer, larger inference calls.
+            self.target = (self.target * 2).min(self.max);
+        }
+        // Underfilled but prompt traffic holds the target steady.
+    }
 }
 
 impl WorkerCtx {
     fn run(self) {
-        // This worker's only mutable inference state: one scratch
-        // context per inference thread. Buffers reach their high-water
-        // mark after the first full batches, then the hot path stops
-        // allocating.
-        let mut ctxs: Vec<InferCtx> = (0..self.infer_threads).map(|_| self.auth.ctx()).collect();
+        // This worker's only mutable inference state: a persistent pool
+        // of `infer_threads` lanes, each owning its scratch context for
+        // the worker's lifetime. Buffers reach their high-water mark
+        // after the first full batches, then the hot path neither
+        // allocates nor spawns — a multi-lane batch costs two channel
+        // operations per helper lane.
+        let mut pool = InferPool::new(self.infer_threads);
         if self.profile_enabled {
-            for ctx in &mut ctxs {
-                // With tracing on, the profiler also emits one span per
-                // op for sampled batches (its own ring/tid per context).
-                ctx.set_profiler(if self.tracer.enabled() {
-                    Profiler::with_tracer(self.tracer.thread())
-                } else {
-                    Profiler::new()
-                });
-            }
+            // With tracing on, the profilers also emit one span per op
+            // for sampled batches (their own ring/tid per lane).
+            pool.set_profilers(
+                (0..self.infer_threads)
+                    .map(|_| {
+                        if self.tracer.enabled() {
+                            Profiler::with_tracer(self.tracer.thread())
+                        } else {
+                            Profiler::new()
+                        }
+                    })
+                    .collect(),
+            );
         }
         let mut spans = self.tracer.thread();
+        let mut former = AdaptiveFormer::new(self.former, self.max_batch, self.linger);
         let mut batch: Vec<Queued> = Vec::with_capacity(self.max_batch);
         // Block for each batch opener; exit once all senders are gone.
-        while let Ok(opener) = self.rx.recv() {
+        loop {
+            // The adaptive controller reads how long the worker sat
+            // idle; under the fixed former the clock is skipped.
+            let wait_started = former.as_ref().map(|_| Instant::now());
+            let Ok(opener) = self.rx.recv() else { break };
+            let waited = wait_started.map(|t| t.elapsed());
             batch.push(opener);
-            // Linger briefly to fill the micro-batch.
-            let deadline = Instant::now() + self.linger;
-            while batch.len() < self.max_batch {
-                if let Ok(q) = self.rx.try_recv() {
-                    batch.push(q);
-                    continue;
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                match self.rx.recv_timeout(deadline - now) {
-                    Ok(q) => batch.push(q),
-                    Err(RecvTimeoutError::Timeout) => break,
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
+            // Linger to fill the micro-batch up to the former's cap. A
+            // cap of 1 skips the linger entirely: the opener departs
+            // the moment it arrives.
+            let cap = former
+                .as_ref()
+                .map_or(self.max_batch, AdaptiveFormer::target);
+            if batch.len() < cap {
+                fill_batch(&self.rx, &mut batch, cap, Instant::now() + self.linger);
             }
             // One sampling decision per micro-batch: a sampled batch
             // records a span for every stage it passes through.
@@ -1093,14 +1302,23 @@ impl WorkerCtx {
             // rejected) in `accounted`; whatever a panic left unaccounted
             // is rejected here, so enqueued == classified + rejected
             // always reconciles.
+            let service_started = former.as_ref().map(|_| Instant::now());
             let accounted = std::cell::Cell::new(0u64);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.classify(&batch, &accounted, &mut ctxs, sampled, &mut spans);
+                self.classify(&batch, &accounted, &mut pool, sampled, &mut spans);
             }));
             if outcome.is_err() {
                 self.telemetry
                     .rejected
                     .fetch_add(batch.len() as u64 - accounted.get(), Ordering::Relaxed);
+            }
+            if let (Some(former), Some(waited), Some(started)) =
+                (former.as_mut(), waited, service_started)
+            {
+                former.observe(batch.len(), waited, started.elapsed());
+                self.telemetry
+                    .batch_target
+                    .store(former.target() as u64, Ordering::Relaxed);
             }
             // Publish the live profile before the in-flight count drops:
             // once `drain()` returns, every drained batch is visible to
@@ -1108,33 +1326,27 @@ impl WorkerCtx {
             // uncontended mutex — noise next to the batch inference it
             // accounts.
             if self.profile_enabled {
-                self.publish_profile(&ctxs);
+                self.publish_profile(&mut pool);
             }
             self.in_flight.sub(batch.len() as i64);
             batch.clear();
         }
         // Exit path: one final publish so the engine's shutdown merge
         // (and any last live scrape) sees every batch. The profilers
-        // stay attached to their contexts; slots hold cumulative
-        // *copies*, so re-publishing replaces rather than double-counts
-        // (the span rings still flush on drop).
+        // stay attached to their lanes; slots hold cumulative *copies*,
+        // so re-publishing replaces rather than double-counts (the span
+        // rings still flush on drop).
         if self.profile_enabled {
-            self.publish_profile(&ctxs);
+            self.publish_profile(&mut pool);
         }
     }
 
     /// Replaces this worker's live profile slot with the merged
-    /// cumulative table of its inference contexts.
-    fn publish_profile(&self, ctxs: &[InferCtx]) {
-        let mut table: Vec<OpStat> = Vec::new();
-        for ctx in ctxs {
-            if let Some(prof) = ctx.profiler() {
-                merge_op_stats(&mut table, prof.ops());
-            }
-        }
+    /// cumulative table of its pool lanes.
+    fn publish_profile(&self, pool: &mut InferPool) {
         *self.profile[self.shard]
             .lock()
-            .unwrap_or_else(|p| p.into_inner()) = table;
+            .unwrap_or_else(|p| p.into_inner()) = pool.profile_table();
     }
 
     /// Attributes each just-dequeued report's time-on-queue: one
@@ -1179,7 +1391,7 @@ impl WorkerCtx {
         &self,
         batch: &[Queued],
         accounted: &std::cell::Cell<u64>,
-        ctxs: &mut [InferCtx],
+        pool: &mut InferPool,
         sampled: bool,
         spans: &mut ThreadTracer,
     ) {
@@ -1265,13 +1477,16 @@ impl WorkerCtx {
             let mut infer_outcome = None;
             stage(Stage::Infer, sampled, spans, &mut || {
                 infer_outcome = Some(std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                    || self.auth.model().infer_batch_par(&group.tensors, ctxs),
+                    || pool.infer_batch(self.auth.model(), &group.tensors),
                 )));
             });
             let Ok(outputs) = infer_outcome.expect("infer stage ran") else {
                 reject(group.reports.len());
                 continue;
             };
+            // Pool occupancy: how many lanes this inference call
+            // engaged, summed into a rolling mean for the live plane.
+            self.telemetry.record_pool_call(pool.last_engaged());
             stage(Stage::PolicyApply, sampled, spans, &mut || {
                 // Recover a poisoned lock: on a caught panic the map is
                 // at worst missing one window push, which is fine to
@@ -1334,7 +1549,7 @@ impl WorkerCtx {
                             if let Some(audit) = &self.audit {
                                 audit.append(AuditEvent {
                                     seq: 0, // assigned by the log
-                                    unix_ms: unix_ms_now(),
+                                    unix_ms: self.clock.unix_ms(&self.telemetry),
                                     source: report.source.to_string(),
                                     verdict: verdict.as_str().to_string(),
                                     expected: expected.map(|e| e as u64),
@@ -1414,5 +1629,163 @@ mod tests {
         assert!(p > 1.0 / 3.0 && p < 1.0);
         let uniform = softmax_peak(&[0.5, 0.5, 0.5, 0.5]);
         assert!((uniform - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_clock_passes_a_healthy_reading_through() {
+        let telemetry = Telemetry::default();
+        let clock = WallClock::new();
+        let stamp = clock.resolve(Some(Duration::from_millis(1_234_567)), &telemetry);
+        assert_eq!(stamp, 1_234_567);
+        assert_eq!(telemetry.clock_faults.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn wall_clock_fault_extends_the_anchor_and_is_counted() {
+        let telemetry = Telemetry::default();
+        let clock = WallClock::new();
+        assert!(clock.anchor_ms > 0, "test host clock must be sane");
+
+        let first = clock.resolve(None, &telemetry);
+        assert!(
+            first >= clock.anchor_ms,
+            "fallback stamp {first} went backwards from anchor {}",
+            clock.anchor_ms
+        );
+        assert_eq!(telemetry.clock_faults.load(Ordering::Relaxed), 1);
+
+        // Later faults never move the trail backwards.
+        std::thread::sleep(Duration::from_millis(5));
+        let second = clock.resolve(None, &telemetry);
+        assert!(second >= first);
+        assert_eq!(telemetry.clock_faults.load(Ordering::Relaxed), 2);
+    }
+
+    /// A minimal queued report for the batch-formation tests (its
+    /// contents never reach inference).
+    fn queued() -> Queued {
+        use deepcsi_bfi::{BeamformingFeedback, QuantizedAngles};
+        use deepcsi_phy::{Codebook, MimoConfig};
+        Queued {
+            report: CapturedReport {
+                source: MacAddr::station(1),
+                destination: MacAddr::station(2),
+                sequence: 0,
+                feedback: BeamformingFeedback {
+                    mimo: MimoConfig::new(3, 2, 2).expect("valid"),
+                    codebook: Codebook::MU_HIGH,
+                    angles: vec![QuantizedAngles {
+                        m: 3,
+                        n_ss: 2,
+                        q_phi: vec![0; 3],
+                        q_psi: vec![0; 3],
+                    }],
+                    subcarriers: vec![0],
+                },
+            },
+            enqueued_at: None,
+        }
+    }
+
+    /// The satellite bugfix pin: a batch holding only its opener departs
+    /// within ~`linger` of the deadline — the single-deadline wait never
+    /// overshoots by extra poll cycles the way the old
+    /// `try_recv`/`recv_timeout` round-trip (two clock reads per
+    /// iteration) could.
+    #[test]
+    fn opener_only_batch_departs_at_the_linger_deadline() {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Queued>(8);
+        let mut batch = vec![queued()];
+        let linger = Duration::from_millis(80);
+
+        let started = Instant::now();
+        fill_batch(&rx, &mut batch, 8, started + linger);
+        let waited = started.elapsed();
+
+        assert_eq!(batch.len(), 1, "nothing was sent; the opener rides alone");
+        assert!(waited >= linger, "departed {waited:?} before the deadline");
+        assert!(
+            waited < linger + Duration::from_millis(60),
+            "overshot the linger deadline: waited {waited:?} for {linger:?}"
+        );
+        drop(tx);
+    }
+
+    /// Already-queued reports drain instantly even when the deadline has
+    /// passed: `recv_timeout` at a zero timeout still hands out queued
+    /// messages, so a backlog fills the batch without waiting.
+    #[test]
+    fn expired_deadline_still_drains_a_queued_backlog() {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Queued>(8);
+        for _ in 0..3 {
+            tx.send(queued()).expect("capacity");
+        }
+        let mut batch = vec![queued()];
+        fill_batch(&rx, &mut batch, 4, Instant::now() - Duration::from_secs(1));
+        assert_eq!(batch.len(), 4, "queued backlog must fill the batch");
+    }
+
+    #[test]
+    fn fixed_former_runs_without_a_controller() {
+        assert!(AdaptiveFormer::new(BatchFormer::Fixed, 32, Duration::from_millis(2)).is_none());
+    }
+
+    #[test]
+    fn adaptive_former_grows_under_backlog_and_caps_at_max() {
+        let mut former = AdaptiveFormer::new(BatchFormer::adaptive(), 32, Duration::from_millis(2))
+            .expect("adaptive");
+        let mut seen = vec![former.target()];
+        for _ in 0..8 {
+            // Prompt opener, full batch, fast service: pure backlog.
+            former.observe(former.target(), Duration::ZERO, Duration::from_millis(1));
+            seen.push(former.target());
+        }
+        assert_eq!(seen, vec![1, 2, 4, 8, 16, 32, 32, 32, 32]);
+    }
+
+    #[test]
+    fn adaptive_former_shrinks_on_idle_and_floors_at_min() {
+        let mut former = AdaptiveFormer::new(BatchFormer::adaptive(), 32, Duration::from_millis(2))
+            .expect("adaptive");
+        for _ in 0..5 {
+            former.observe(former.target(), Duration::ZERO, Duration::from_millis(1));
+        }
+        assert_eq!(former.target(), 32);
+        // The opener took longer than one linger: the queue ran dry.
+        let idle = Duration::from_millis(3);
+        let mut seen = Vec::new();
+        for _ in 0..7 {
+            former.observe(1, idle, Duration::from_millis(1));
+            seen.push(former.target());
+        }
+        assert_eq!(seen, vec![16, 8, 4, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn adaptive_former_sheds_load_on_an_slo_breach() {
+        let mut former = AdaptiveFormer::new(BatchFormer::adaptive(), 32, Duration::from_millis(2))
+            .expect("adaptive");
+        for _ in 0..5 {
+            former.observe(former.target(), Duration::ZERO, Duration::from_millis(1));
+        }
+        assert_eq!(former.target(), 32);
+        // A full, prompt batch that blew the service SLO must shrink —
+        // the breach branch outranks the growth branch.
+        former.observe(32, Duration::ZERO, Duration::from_millis(500));
+        assert_eq!(former.target(), 16);
+    }
+
+    #[test]
+    fn underfilled_prompt_batches_hold_the_target() {
+        let mut former = AdaptiveFormer::new(BatchFormer::adaptive(), 32, Duration::from_millis(2))
+            .expect("adaptive");
+        for _ in 0..3 {
+            former.observe(former.target(), Duration::ZERO, Duration::from_millis(1));
+        }
+        assert_eq!(former.target(), 8);
+        // Steady prompt traffic that does not fill the allowance is
+        // neither backlog nor idle: the target stays put.
+        former.observe(3, Duration::ZERO, Duration::from_millis(1));
+        assert_eq!(former.target(), 8);
     }
 }

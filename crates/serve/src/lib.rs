@@ -15,12 +15,13 @@
 //!   backpressure/drop accounting ([`Backpressure`]).
 //! * **Micro-batched inference over one shared frozen model** — every
 //!   worker holds the same `Arc<deepcsi_core::FrozenAuthenticator>`
-//!   (immutable weights, no per-worker clone) plus its own scratch
-//!   [`deepcsi_nn::InferCtx`]s; queues drain into batches classified
-//!   with one [`deepcsi_nn::FrozenModel::infer_batch_par`] call, so one
-//!   pass of every weight matrix serves the whole batch —
-//!   [`EngineConfig::infer_threads`] additionally splits each batch's
-//!   lane blocks across cores, bit-exactly.
+//!   (immutable weights, no per-worker clone) plus its own persistent
+//!   [`deepcsi_nn::InferPool`]; batches are formed by a fixed or
+//!   latency-adaptive former ([`BatchFormer`]) and classified with one
+//!   pool call, so one pass of every weight matrix serves the whole
+//!   batch — [`EngineConfig::infer_threads`] sizes the pool, which
+//!   splits each batch's lane blocks across its parked lanes
+//!   bit-exactly, with no spawn/join on the hot path.
 //! * **Decision policies** — per-report predictions feed one
 //!   [`PolicyState`] per device, built by a pluggable
 //!   [`DecisionPolicy`]: [`FixedMajority`] (sliding-window majority +
@@ -95,8 +96,8 @@ mod window;
 pub use deepcsi_core::Precision;
 pub use emit::{emit_metrics, MetricsEmitter};
 pub use engine::{
-    shard_of, AuditConfig, Backpressure, DeviceDecision, Engine, EngineConfig, EngineReport,
-    IngestOutcome, LayerProfile, SourceStatus,
+    shard_of, AuditConfig, Backpressure, BatchFormer, DeviceDecision, Engine, EngineConfig,
+    EngineReport, IngestOutcome, LayerProfile, SourceStatus,
 };
 pub use plane::{ExtraMetrics, ObsPlane, ObsPlaneConfig};
 pub use policy::{

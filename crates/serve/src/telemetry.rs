@@ -289,6 +289,24 @@ pub struct Telemetry {
     pub batches: AtomicU64,
     /// Batch latency distribution (decode → decisions applied).
     pub batch_latency: LatencyHistogram,
+    /// The batch former's current per-worker target (gauge). Equals
+    /// `max_batch` under the fixed former; under the adaptive former it
+    /// is the last target any worker published — workers converge under
+    /// steady load, so last-write-wins is fine for a gauge.
+    pub batch_target: AtomicU64,
+    /// Inference-pool lanes per worker (gauge; `infer_threads`).
+    pub pool_lanes: AtomicU64,
+    /// Sum of lanes engaged across pool inference calls — divided by
+    /// [`Telemetry::pool_infer_calls`] this is the pool's mean
+    /// occupancy (1.0 = every batch ran single-lane, `pool_lanes` =
+    /// every batch split across the whole pool).
+    pub pool_lanes_engaged: AtomicU64,
+    /// Pool inference calls (one per shape group per micro-batch).
+    pub pool_infer_calls: AtomicU64,
+    /// System-clock faults absorbed while stamping audit events (the
+    /// wall clock fell back to last-known-good + monotonic offset).
+    /// A non-zero value means the host clock misbehaved mid-serve.
+    pub clock_faults: AtomicU64,
     /// Device streams whose verdict first left [`Verdict::Unknown`]
     /// (per stream, once — re-registration aside).
     ///
@@ -360,6 +378,13 @@ impl Telemetry {
         self.batch_latency.record(latency);
     }
 
+    /// Records one inference-pool call that engaged `engaged` lanes.
+    pub fn record_pool_call(&self, engaged: usize) {
+        self.pool_infer_calls.fetch_add(1, Ordering::Relaxed);
+        self.pool_lanes_engaged
+            .fetch_add(engaged as u64, Ordering::Relaxed);
+    }
+
     /// Records a stream's first decisive verdict after `reports`
     /// classified reports.
     pub fn record_verdict(&self, reports: u64) {
@@ -381,6 +406,8 @@ impl Telemetry {
     pub fn snapshot(&self) -> EngineStats {
         let batches = self.batches.load(Ordering::Relaxed);
         let classified = self.classified.load(Ordering::Relaxed);
+        let pool_calls = self.pool_infer_calls.load(Ordering::Relaxed);
+        let pool_engaged = self.pool_lanes_engaged.load(Ordering::Relaxed);
         EngineStats {
             captured_at: Instant::now(),
             stages: Stage::ALL
@@ -409,6 +436,14 @@ impl Telemetry {
             },
             batch_latency_p50: self.batch_latency.quantile(0.50),
             batch_latency_p99: self.batch_latency.quantile(0.99),
+            batch_target: self.batch_target.load(Ordering::Relaxed),
+            pool_lanes: self.pool_lanes.load(Ordering::Relaxed),
+            pool_occupancy: if pool_calls == 0 {
+                0.0
+            } else {
+                pool_engaged as f64 / pool_calls as f64
+            },
+            clock_faults: self.clock_faults.load(Ordering::Relaxed),
             policy: self.policy.get().copied().unwrap_or(""),
             precision: self.precision.get().copied().unwrap_or(""),
             verdicts_decided: self.verdicts_decided.load(Ordering::Relaxed),
@@ -524,6 +559,41 @@ impl Telemetry {
                 c(&self.classified) as f64 / batches as f64
             },
         );
+        reg.gauge(
+            "deepcsi_batch_target",
+            "The batch former's current per-worker target.",
+            c(&self.batch_target) as f64,
+        );
+        reg.gauge(
+            "deepcsi_pool_lanes",
+            "Inference-pool lanes per worker (infer_threads).",
+            c(&self.pool_lanes) as f64,
+        );
+        reg.counter(
+            "deepcsi_pool_infer_calls_total",
+            "Inference-pool calls (one per shape group per batch).",
+            c(&self.pool_infer_calls),
+        );
+        reg.counter(
+            "deepcsi_pool_lanes_engaged_total",
+            "Lanes engaged summed across inference-pool calls.",
+            c(&self.pool_lanes_engaged),
+        );
+        let pool_calls = c(&self.pool_infer_calls);
+        reg.gauge(
+            "deepcsi_pool_occupancy",
+            "Mean lanes engaged per inference-pool call.",
+            if pool_calls == 0 {
+                0.0
+            } else {
+                c(&self.pool_lanes_engaged) as f64 / pool_calls as f64
+            },
+        );
+        reg.counter(
+            "deepcsi_clock_faults_total",
+            "System-clock faults absorbed while stamping audit events.",
+            c(&self.clock_faults),
+        );
         reg.counter(
             "deepcsi_capture_bytes_total",
             "Capture-layer container bytes read.",
@@ -612,6 +682,19 @@ pub struct EngineStats {
     pub batch_latency_p50: Option<Duration>,
     /// 99th-percentile micro-batch latency.
     pub batch_latency_p99: Option<Duration>,
+    /// The batch former's current target size (fixed formers report
+    /// `EngineConfig::batch`; adaptive formers move between their
+    /// configured bounds).
+    pub batch_target: u64,
+    /// Inference lanes owned by each worker's persistent pool.
+    pub pool_lanes: u64,
+    /// Mean lanes engaged per pool inference call (0.0 before the
+    /// first call) — how much of the pool the observed batch sizes
+    /// actually exercised.
+    pub pool_occupancy: f64,
+    /// Wall-clock reads that failed and fell back to the
+    /// monotonic-offset timestamp.
+    pub clock_faults: u64,
     /// The active decision policy's name (empty when snapshotted from a
     /// bare [`Telemetry`] outside an engine).
     pub policy: &'static str,
@@ -764,6 +847,11 @@ impl fmt::Display for EngineStats {
             self.mean_batch,
             fmt_latency(self.batch_latency_p50),
             fmt_latency(self.batch_latency_p99),
+        )?;
+        writeln!(
+            f,
+            "batch target {}  pool lanes {} (occupancy {:.2})  clock faults {}",
+            self.batch_target, self.pool_lanes, self.pool_occupancy, self.clock_faults
         )?;
         let timed: Vec<&StageSnapshot> = self.stages.iter().filter(|s| s.count > 0).collect();
         if !timed.is_empty() {

@@ -18,8 +18,8 @@ use deepcsi_impair::DeviceId;
 use deepcsi_nn::{Dense, Flatten, Network, Tensor, TrainConfig};
 use deepcsi_phy::{Codebook, MimoConfig};
 use deepcsi_serve::{
-    Backpressure, DecisionPolicyConfig, DeviceRegistry, Engine, EngineConfig, EngineReport,
-    PolicyKind, ReplaySource, Verdict,
+    Backpressure, BatchFormer, DecisionPolicyConfig, DeviceRegistry, Engine, EngineConfig,
+    EngineReport, PolicyKind, Precision, ReplaySource, Verdict,
 };
 
 fn spec() -> InputSpec {
@@ -286,4 +286,86 @@ fn start_and_start_frozen_agree() {
     let frozen = Arc::new(auth.freeze());
     let shared = serve_frozen(PolicyKind::FixedMajority, 2, &frozen, registry, &frames);
     assert_eq!(by_value.decisions, shared.decisions);
+}
+
+/// Replays `frames` with an explicit batch-former mode and precision.
+fn serve_formed(
+    former: BatchFormer,
+    precision: Precision,
+    frozen: &Arc<deepcsi_core::FrozenAuthenticator>,
+    registry: DeviceRegistry,
+    frames: &[Vec<u8>],
+) -> EngineReport {
+    let engine = Engine::start_frozen(
+        EngineConfig {
+            former,
+            precision,
+            ..config(PolicyKind::FixedMajority, 2)
+        },
+        Arc::clone(frozen),
+        registry,
+    );
+    for frame in frames {
+        engine.ingest_frame(frame);
+    }
+    engine.shutdown()
+}
+
+/// Batch formation changes departure timing, never a decision: the same
+/// capture served with the fixed former and with the adaptive former
+/// (which moves its target across the whole 1..=max_batch range)
+/// produces identical decision vectors — at f32 AND int8, through the
+/// pooled multi-lane path.
+#[test]
+fn former_mode_never_changes_a_decision() {
+    let ds = generate_d1(&GenConfig {
+        num_modules: 2,
+        snapshots_per_trace: 24,
+        ..GenConfig::default()
+    });
+    let auth = trained_authenticator(&ds, 2);
+    let calib: Vec<Tensor> = ds
+        .traces
+        .iter()
+        .flat_map(|t| t.snapshots.iter())
+        .map(|fb| auth.tensorize(fb))
+        .collect();
+    let snapshots = [
+        (Precision::F32, Arc::new(auth.freeze())),
+        (
+            Precision::Int8,
+            Arc::new(
+                deepcsi_core::FrozenAuthenticator::quantized(&auth, &calib)
+                    .expect("int8 quantization"),
+            ),
+        ),
+    ];
+    let frames: Vec<Vec<u8>> = ReplaySource::from_dataset(&ds)
+        .frames()
+        .map(<[u8]>::to_vec)
+        .collect();
+    let registry = ReplaySource::registry(&ds);
+
+    for (precision, frozen) in &snapshots {
+        let fixed = serve_formed(
+            BatchFormer::Fixed,
+            *precision,
+            frozen,
+            registry.clone(),
+            &frames,
+        );
+        assert_eq!(fixed.stats.classified as usize, frames.len());
+        let adaptive = serve_formed(
+            BatchFormer::adaptive(),
+            *precision,
+            frozen,
+            registry.clone(),
+            &frames,
+        );
+        assert_eq!(adaptive.stats.classified as usize, frames.len());
+        assert_eq!(
+            fixed.decisions, adaptive.decisions,
+            "decisions diverged between formers at {precision:?}"
+        );
+    }
 }

@@ -20,7 +20,10 @@
 
 use deepcsi_core::{Authenticator, ModelConfig};
 use deepcsi_data::{generate_d1, GenConfig, InputSpec};
-use deepcsi_serve::{Backpressure, Engine, EngineConfig, EngineStats, ReplaySource, Verdict};
+use deepcsi_serve::{
+    Backpressure, BatchFormer, Engine, EngineConfig, EngineStats, ReplaySource, Verdict,
+};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Same stall-detection bound as the aggregate soak (`soak.rs`).
@@ -164,4 +167,104 @@ fn wallclock_soak_smoke_10k() {
 fn wallclock_soak_sustained_500k() {
     let checkpoints = run_wallclock_soak(500_000, 5);
     assert_eq!(checkpoints.len(), 5);
+}
+
+/// Burst/idle wall-clock phases through the adaptive batch former: a
+/// sustained backlog grows the per-worker target all the way to
+/// `max_batch` (prompt, allowance-filling batches double it; the
+/// backlog tail holds it), idle gaps longer than the linger collapse it
+/// back to the floor, the p99 batch-latency SLO holds throughout — and
+/// the decision vector is bit-identical to the fixed former's over the
+/// same frames.
+#[test]
+fn adaptive_former_tracks_burst_and_idle_phases() {
+    let ds = generate_d1(&GenConfig {
+        num_modules: 2,
+        snapshots_per_trace: 10,
+        ..GenConfig::default()
+    });
+    let spec = InputSpec {
+        stride: 4,
+        ..InputSpec::default()
+    };
+    let probe = spec.tensor(&ds.traces[0].snapshots[0]);
+    let auth = Authenticator::new(ModelConfig::demo(2).build_for(&probe), spec);
+    let frozen = Arc::new(auth.freeze());
+    let registry = ReplaySource::registry(&ds);
+    let frames: Vec<Vec<u8>> = ReplaySource::from_dataset(&ds)
+        .frames()
+        .map(<[u8]>::to_vec)
+        .collect();
+
+    // Scheduler jitter must read as "prompt", so the linger (which
+    // doubles as the former's idle threshold) sits well above a
+    // scheduling quantum — and the idle gaps sit well above the linger.
+    let linger = Duration::from_millis(25);
+    let config = |former| EngineConfig {
+        workers: 1,
+        batch_linger: linger,
+        former,
+        backpressure: Backpressure::Block,
+        ..EngineConfig::default()
+    };
+    let max_batch = EngineConfig::default().max_batch as u64;
+
+    let engine = Engine::start_frozen(
+        config(BatchFormer::adaptive()),
+        Arc::clone(&frozen),
+        registry.clone(),
+    );
+
+    // Burst phase: a sustained backlog (ingest far outruns inference,
+    // so the queue holds pressure until the tail).
+    for _ in 0..40 {
+        for frame in &frames {
+            engine.ingest_frame(frame);
+        }
+    }
+    engine.drain();
+    let burst = engine.stats();
+    assert_eq!(
+        burst.batch_target, max_batch,
+        "burst backlog did not grow the target to max_batch"
+    );
+
+    // Idle phase: lone reports separated by gaps far longer than the
+    // linger. Every dry wait halves the target; five halvings from 32
+    // reach the floor and later ones pin it there.
+    for _ in 0..7 {
+        std::thread::sleep(3 * linger);
+        engine.ingest_frame(&frames[0]);
+        engine.drain();
+    }
+    let idle = engine.stats();
+    assert_eq!(
+        idle.batch_target, 1,
+        "idle gaps did not collapse the target to min_batch"
+    );
+    let p99 = idle.batch_latency_p99.expect("batches ran");
+    assert!(p99 <= P99_SLO, "adaptive p99 {p99:?} exceeds {P99_SLO:?}");
+    let adaptive = engine.shutdown();
+
+    // Determinism: the identical frame sequence through the fixed
+    // former decides identically — batch formation shapes departure
+    // timing, never a verdict.
+    let engine = Engine::start_frozen(config(BatchFormer::Fixed), frozen, registry);
+    for _ in 0..40 {
+        for frame in &frames {
+            engine.ingest_frame(frame);
+        }
+    }
+    for _ in 0..7 {
+        engine.ingest_frame(&frames[0]);
+    }
+    let fixed = engine.shutdown();
+    assert_eq!(
+        fixed.stats.classified, adaptive.stats.classified,
+        "former modes classified different report counts"
+    );
+    assert_eq!(
+        fixed.decisions, adaptive.decisions,
+        "decisions diverged between former modes"
+    );
 }
